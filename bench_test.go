@@ -1,0 +1,217 @@
+// Package reassign's top-level benchmarks regenerate every table of
+// the paper's evaluation (see DESIGN.md §4 for the experiment index):
+//
+//	BenchmarkTable1 — Table I, the VM fleet configurations
+//	BenchmarkTable2 — Table II, ReASSIgN learning time per (α, γ, ε)
+//	BenchmarkTable3 — Table III, simulated makespan of learned plans
+//	BenchmarkTable4 — Table IV, plans executed in the concurrent engine
+//	BenchmarkTable5 — Table V, activation→VM plans at 16 vCPUs
+//
+// plus ablation benches for the design choices DESIGN.md §5 calls
+// out. Figure 1 is an architecture diagram with no data series; the
+// module layout mirrors it (see README.md).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Each bench prints its table once (on the first iteration) so a
+// bench run doubles as a results report; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/expt"
+	"reassign/internal/metrics"
+	"reassign/internal/sim"
+	"reassign/internal/trace"
+)
+
+// benchOpts is the shared configuration for the table benches: the
+// paper's episode budget on the paper's workload.
+func benchOpts() expt.Options {
+	return expt.Options{Seed: 1, Episodes: 100}
+}
+
+// printOnce guards each table's one-time printing across -count runs.
+var printOnce sync.Map
+
+func report(b *testing.B, key string, t *metrics.Table) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		b.Logf("\n%s", t.String())
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	b.ReportAllocs()
+	var t *metrics.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.Table1()
+	}
+	report(b, "table1", t)
+}
+
+// sweepCache shares the expensive 27×3 sweep between the Table II and
+// Table III benches (they report two views of the same experiment).
+var (
+	sweepOnce   sync.Once
+	sweepResult *expt.SweepResult
+	sweepErr    error
+)
+
+func sweep() (*expt.SweepResult, error) {
+	sweepOnce.Do(func() {
+		sweepResult, sweepErr = expt.RunSweep(benchOpts())
+	})
+	return sweepResult, sweepErr
+}
+
+func BenchmarkTable2(b *testing.B) {
+	s, err := sweep()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t *metrics.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.Table2(s)
+	}
+	report(b, "table2", t)
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s, err := sweep()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t *metrics.Table
+	for i := 0; i < b.N; i++ {
+		t = expt.Table3(s)
+	}
+	report(b, "table3", t)
+}
+
+// BenchmarkLearning100Episodes measures the underlying cost Table II
+// reports: one full ReASSIgN learning run (100 episodes, Montage 50)
+// on the 16-vCPU fleet.
+func BenchmarkLearning100Episodes(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := trace.Montage50(rng)
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fluct := cloud.DefaultFluctuation()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := &core.Learner{
+			Workflow: w, Fleet: fleet,
+			Params: core.DefaultParams(), Episodes: 100, Seed: int64(i),
+			SimConfig: sim.Config{Fluct: &fluct},
+		}
+		if _, err := l.Learn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	var t *metrics.Table
+	for i := 0; i < b.N; i++ {
+		rows, err := expt.RunTable4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t = expt.Table4(rows)
+	}
+	report(b, "table4", t)
+}
+
+func BenchmarkTable5(b *testing.B) {
+	o := benchOpts()
+	b.ReportAllocs()
+	var t *metrics.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = expt.Table5(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	share, err := expt.Table5BigVMShare(o)
+	if err != nil {
+		b.Fatal(err)
+	}
+	report(b, "table5", t)
+	if _, loaded := printOnce.LoadOrStore("table5share", true); !loaded {
+		b.Logf("t2.2xlarge placement share: HEFT=%.2f C1=%.2f C2=%.2f C3=%.2f",
+			share["HEFT"], share["C1"], share["C2"], share["C3"])
+	}
+}
+
+// Ablation benches: smaller episode budgets keep them minutes-scale
+// while preserving the comparisons (DESIGN.md §5).
+
+func ablationOpts() expt.Options {
+	return expt.Options{Seed: 1, Episodes: 50}
+}
+
+func runAblation(b *testing.B, key string, fn func(expt.Options) (*metrics.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	var t *metrics.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = fn(ablationOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	report(b, key, t)
+}
+
+func BenchmarkAblationRho(b *testing.B)      { runAblation(b, "rho", expt.AblationRho) }
+func BenchmarkAblationMu(b *testing.B)       { runAblation(b, "mu", expt.AblationMu) }
+func BenchmarkAblationPolicy(b *testing.B)   { runAblation(b, "policy", expt.AblationPolicy) }
+func BenchmarkAblationEpisodes(b *testing.B) { runAblation(b, "episodes", expt.AblationEpisodes) }
+func BenchmarkAblationRule(b *testing.B)     { runAblation(b, "rule", expt.AblationRule) }
+func BenchmarkAblationDiscount(b *testing.B) { runAblation(b, "discount", expt.AblationDiscount) }
+func BenchmarkAblationBootstrap(b *testing.B) {
+	runAblation(b, "bootstrap", expt.AblationBootstrap)
+}
+func BenchmarkAblationClustering(b *testing.B) {
+	runAblation(b, "clustering", expt.AblationClustering)
+}
+
+// BenchmarkBaselines runs the wider scheduler comparison on each
+// Table I fleet.
+func BenchmarkBaselines(b *testing.B) {
+	for _, vcpus := range []int{16, 32, 64} {
+		vcpus := vcpus
+		b.Run(fmt.Sprintf("%dvcpu", vcpus), func(b *testing.B) {
+			b.ReportAllocs()
+			var t *metrics.Table
+			for i := 0; i < b.N; i++ {
+				var err error
+				t, err = expt.BaselineComparison(ablationOpts(), vcpus)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, fmt.Sprintf("baselines%d", vcpus), t)
+		})
+	}
+}

@@ -1,0 +1,254 @@
+// Command experiments regenerates the paper's evaluation tables
+// (Tables I–V) and the DESIGN.md ablations.
+//
+// Usage:
+//
+//	experiments                 # all tables, paper-scale (100 episodes)
+//	experiments -table 3        # just Table III
+//	experiments -episodes 20    # faster, smaller episode budget
+//	experiments -ablations      # the ablation suite instead of I-V
+//	experiments -out results/   # additionally write TSVs per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"reassign/internal/expt"
+	"reassign/internal/metrics"
+	"reassign/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	table := flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
+	episodes := flag.Int("episodes", 100, "learning episodes per configuration")
+	seed := flag.Int64("seed", 1, "random seed")
+	ablations := flag.Bool("ablations", false, "run the ablation suite instead of Tables I-V")
+	baselines := flag.Bool("baselines", false, "run the wider baseline comparison")
+	studies := flag.Bool("studies", false, "run the beyond-paper studies (elasticity, spot revocations)")
+	curves := flag.String("curves", "", "write ReASSIgN learning curves (SVG) to this file and exit")
+	reportPath := flag.String("report", "", "write a self-contained HTML report (all tables + figures) and exit")
+	outDir := flag.String("out", "", "also write TSV files to this directory")
+	flag.Parse()
+
+	o := expt.Options{Seed: *seed, Episodes: *episodes}
+	emit := func(name string, t *metrics.Table) error {
+		fmt.Println(t.String())
+		if *outDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*outDir, name+".tsv"), []byte(t.TSV()), 0o644)
+	}
+
+	if *reportPath != "" {
+		if err := writeReport(o, *reportPath); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
+		return nil
+	}
+
+	if *curves != "" {
+		chart, err := expt.LearningCurves(o, 5)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*curves, []byte(chart.SVG()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("learning curves written to %s\n", *curves)
+		return nil
+	}
+
+	if *ablations {
+		type gen struct {
+			name string
+			fn   func(expt.Options) (*metrics.Table, error)
+		}
+		for _, g := range []gen{
+			{"ablation_rho", expt.AblationRho},
+			{"ablation_mu", expt.AblationMu},
+			{"ablation_policy", expt.AblationPolicy},
+			{"ablation_episodes", expt.AblationEpisodes},
+			{"ablation_rule", expt.AblationRule},
+			{"ablation_discount", expt.AblationDiscount},
+			{"ablation_bootstrap", expt.AblationBootstrap},
+			{"ablation_costweight", expt.AblationCostWeight},
+			{"ablation_schedules", expt.AblationSchedules},
+			{"ablation_clustering", expt.AblationClustering},
+		} {
+			t, err := g.fn(o)
+			if err != nil {
+				return fmt.Errorf("%s: %w", g.name, err)
+			}
+			if err := emit(g.name, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if *studies {
+		el, err := expt.StudyElasticity(o)
+		if err != nil {
+			return err
+		}
+		if err := emit("study_elasticity", el); err != nil {
+			return err
+		}
+		sp, err := expt.StudySpot(o)
+		if err != nil {
+			return err
+		}
+		if err := emit("study_spot", sp); err != nil {
+			return err
+		}
+		sc, err := expt.StudyScaling(o)
+		if err != nil {
+			return err
+		}
+		return emit("study_scaling", sc)
+	}
+	if *baselines {
+		for _, vcpus := range []int{16, 32, 64} {
+			t, err := expt.BaselineComparison(o, vcpus)
+			if err != nil {
+				return err
+			}
+			if err := emit(fmt.Sprintf("baselines_%dvcpu", vcpus), t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	want := func(n int) bool { return *table == 0 || *table == n }
+	if want(1) {
+		if err := emit("table1", expt.Table1()); err != nil {
+			return err
+		}
+	}
+	if want(2) || want(3) {
+		sweep, err := expt.RunSweep(o)
+		if err != nil {
+			return err
+		}
+		if want(2) {
+			if err := emit("table2", expt.Table2(sweep)); err != nil {
+				return err
+			}
+		}
+		if want(3) {
+			if err := emit("table3", expt.Table3(sweep)); err != nil {
+				return err
+			}
+		}
+	}
+	if want(4) {
+		rows, err := expt.RunTable4(o)
+		if err != nil {
+			return err
+		}
+		if err := emit("table4", expt.Table4(rows)); err != nil {
+			return err
+		}
+	}
+	if want(5) {
+		t5, err := expt.Table5(o)
+		if err != nil {
+			return err
+		}
+		if err := emit("table5", t5); err != nil {
+			return err
+		}
+		share, err := expt.Table5BigVMShare(o)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("t2.2xlarge placement share: HEFT=%.2f C1=%.2f C2=%.2f C3=%.2f\n\n",
+			share["HEFT"], share["C1"], share["C2"], share["C3"])
+	}
+	return nil
+}
+
+// writeReport assembles the full reproduction into one HTML file:
+// Tables I-V in the paper's layout, the learning-curve figure, and
+// HEFT vs ReASSIgN Gantt charts on the 16-vCPU fleet.
+func writeReport(o expt.Options, path string) error {
+	b := report.New("ReASSIgN reproduction — paper tables and figures")
+	b.AddParagraph("Generated by cmd/experiments -report. " +
+		"See EXPERIMENTS.md for the paper-vs-measured discussion.")
+
+	b.AddHeading("Table I — VM configurations")
+	b.AddTable(expt.Table1())
+
+	b.AddHeading("Tables II & III — learning time and simulated makespan")
+	sweep, err := expt.RunSweep(o)
+	if err != nil {
+		return err
+	}
+	b.AddTable(expt.Table2(sweep))
+	b.AddTable(expt.Table3(sweep))
+
+	b.AddHeading("Table IV — execution-engine makespans")
+	rows, err := expt.RunTable4(o)
+	if err != nil {
+		return err
+	}
+	b.AddTable(expt.Table4(rows))
+
+	b.AddHeading("Table V — scheduling plans at 16 vCPUs")
+	t5, err := expt.Table5(o)
+	if err != nil {
+		return err
+	}
+	b.AddTable(t5)
+	share, err := expt.Table5BigVMShare(o)
+	if err != nil {
+		return err
+	}
+	b.AddParagraph(fmt.Sprintf(
+		"t2.2xlarge placement share — HEFT: %.2f, C1: %.2f, C2: %.2f, C3: %.2f.",
+		share["HEFT"], share["C1"], share["C2"], share["C3"]))
+
+	b.AddHeading("Learning curves")
+	chart, err := expt.LearningCurves(o, 5)
+	if err != nil {
+		return err
+	}
+	b.AddSVG(chart.SVG())
+
+	b.AddHeading("Beyond the paper — elasticity and spot studies")
+	el, err := expt.StudyElasticity(o)
+	if err != nil {
+		return err
+	}
+	b.AddTable(el)
+	sp, err := expt.StudySpot(o)
+	if err != nil {
+		return err
+	}
+	b.AddTable(sp)
+
+	b.AddHeading("Schedules — HEFT vs learned plan (16 vCPUs)")
+	charts, err := expt.ScheduleCharts(o)
+	if err != nil {
+		return err
+	}
+	for _, c := range charts {
+		b.AddSVG(c.SVG())
+	}
+
+	return os.WriteFile(path, []byte(b.HTML()), 0o644)
+}

@@ -1,0 +1,281 @@
+// Command reassign schedules a workflow onto a Table I cloud fleet
+// with any implemented algorithm and reports the plan and makespan.
+// For -sched reassign it runs the full two-stage pipeline: Q-learning
+// episodes in the simulator, greedy plan extraction, then execution
+// in the concurrent engine with provenance output.
+//
+// Usage:
+//
+//	reassign -dax montage50.dax -sched heft -vcpus 16
+//	reassign -sched reassign -episodes 100 -alpha 0.5 -gamma 1 -epsilon 0.1
+//	reassign -sched minmin -vcpus 64 -fluct=false -plan plan.tsv
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/dag"
+	"reassign/internal/dax"
+	"reassign/internal/engine"
+	"reassign/internal/gantt"
+	"reassign/internal/metrics"
+	"reassign/internal/plot"
+	"reassign/internal/provenance"
+	"reassign/internal/rl"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+	"reassign/internal/trace"
+	"reassign/internal/wfjson"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "reassign: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	daxPath := flag.String("dax", "", "workflow file, DAX XML or WfFormat JSON (default: synthetic Montage 50)")
+	schedName := flag.String("sched", "reassign", "scheduler: reassign|heft|minmin|maxmin|mct|fcfs|rr|random|dataaware|cheapfirst|siteaware|ga|adaptive")
+	vcpus := flag.Int("vcpus", 16, "Table I fleet: 16, 32 or 64 vCPUs")
+	seed := flag.Int64("seed", 1, "random seed")
+	episodes := flag.Int("episodes", 100, "ReASSIgN learning episodes")
+	alpha := flag.Float64("alpha", 0.5, "ReASSIgN learning rate α")
+	gamma := flag.Float64("gamma", 1.0, "ReASSIgN discount γ")
+	epsilon := flag.Float64("epsilon", 0.1, "ReASSIgN exploitation probability ε (paper convention)")
+	fluct := flag.Bool("fluct", true, "enable the cloud fluctuation model")
+	autoscale := flag.Int("autoscale", 0, "enable elasticity: grow the fleet up to N VMs (t2.large, 45s boot, 120s idle timeout)")
+	spot := flag.Float64("spot", 0, "treat VMs as spot instances with this mean lifetime in seconds (one VM protected)")
+	execute := flag.Bool("execute", false, "execute the plan in the concurrent engine after scheduling")
+	planOut := flag.String("plan", "", "write the activation→VM plan (TSV) to this file")
+	qOut := flag.String("qtable", "", "save the learned Q table (JSON) to this file")
+	qIn := flag.String("resume", "", "resume learning from a saved Q table")
+	provOut := flag.String("prov", "", "write execution provenance (JSON) to this file")
+	ganttOut := flag.String("gantt", "", "write the schedule as an SVG Gantt chart to this file")
+	curveOut := flag.String("learncurve", "", "write the per-episode makespan curve (SVG) to this file (ReASSIgN only)")
+	ascii := flag.Bool("ascii", false, "print an ASCII Gantt chart of the schedule")
+	flag.Parse()
+
+	w, err := loadWorkflow(*daxPath, *seed)
+	if err != nil {
+		return err
+	}
+	fleet, err := cloud.FleetTable1(*vcpus)
+	if err != nil {
+		return err
+	}
+	var fm *cloud.FluctuationModel
+	if *fluct {
+		f := cloud.DefaultFluctuation()
+		fm = &f
+	}
+	cfg := sim.Config{Fluct: fm, Seed: *seed}
+	if *autoscale > 0 {
+		cfg.Autoscale = &sim.Autoscale{
+			Type: cloud.T2Large, MaxVMs: *autoscale,
+			BootDelay: 45, IdleTimeout: 120, Cooldown: 20,
+		}
+	}
+	if *spot > 0 {
+		cfg.Spot = &sim.SpotPolicy{MeanLifetime: *spot, KeepOne: true}
+	}
+
+	fmt.Printf("workflow: %s (%d activations, %d edges)\n", w.Name, w.Len(), w.Edges())
+	fmt.Printf("fleet:    %s (%d VMs, %d vCPUs, $%.4f/h)\n",
+		fleet.Name, fleet.Len(), fleet.VCPUs(), fleet.PricePerHour())
+
+	var plan map[string]int
+	var makespan float64
+	var lastRes *sim.Result
+	if strings.EqualFold(*schedName, "reassign") {
+		p := core.DefaultParams()
+		p.Alpha, p.Gamma, p.Epsilon = *alpha, *gamma, *epsilon
+		l := &core.Learner{Workflow: w, Fleet: fleet, Params: p, Episodes: *episodes, Seed: *seed, SimConfig: cfg}
+		if *qIn != "" {
+			tab := rl.NewTable(rand.New(rand.NewSource(*seed)), 1.0)
+			if err := tab.LoadFile(*qIn); err != nil {
+				return err
+			}
+			l.Table = tab
+		}
+		res, err := l.Learn()
+		if err != nil {
+			return err
+		}
+		plan, makespan = res.Plan, res.PlanMakespan
+		fmt.Printf("learning: %d episodes in %v (best episode makespan %.2fs)\n",
+			len(res.Episodes), res.LearningTime, res.BestEpisodeMakespan)
+		if *curveOut != "" {
+			xs := make([]float64, len(res.Episodes))
+			ys := make([]float64, len(res.Episodes))
+			for i, ep := range res.Episodes {
+				xs[i] = float64(ep.Episode)
+				ys[i] = ep.Makespan
+			}
+			chart := &plot.Chart{
+				Title:  fmt.Sprintf("ReASSIgN learning curve — %s, %d vCPUs", w.Name, fleet.VCPUs()),
+				XLabel: "episode", YLabel: "episode makespan (s)",
+				Series: []plot.Series{
+					{Name: "episode", X: xs, Y: ys},
+					{Name: "smoothed", X: xs, Y: plot.Smooth(ys, 5)},
+				},
+			}
+			if err := os.WriteFile(*curveOut, []byte(chart.SVG()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("curve:    written to %s\n", *curveOut)
+		}
+		if *qOut != "" {
+			if err := res.Table.SaveFile(*qOut); err != nil {
+				return err
+			}
+			fmt.Printf("q-table:  saved to %s (%d entries)\n", *qOut, res.Table.Len())
+		}
+	} else {
+		s, err := lookupScheduler(*schedName, *seed)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Run(w, fleet, s, cfg)
+		if err != nil {
+			return err
+		}
+		if res.State != sim.FinishedOK {
+			return fmt.Errorf("simulation ended in state %v", res.State)
+		}
+		plan, makespan, lastRes = res.Plan, res.Makespan, res
+	}
+	fmt.Printf("plan:     %d activations scheduled, simulated makespan %.3fs (%s)\n",
+		len(plan), makespan, metrics.FormatDuration(makespan))
+	printPlanSummary(plan, fleet)
+
+	if *ascii || *ganttOut != "" {
+		if lastRes == nil {
+			// ReASSIgN path: replay the learned plan once for the chart.
+			res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "ReASSIgN", Assign: plan}, cfg)
+			if err != nil {
+				return err
+			}
+			lastRes = res
+		}
+		chart := gantt.FromResult(lastRes, fleet)
+		if *ascii {
+			fmt.Print(chart.ASCII(100))
+		}
+		if *ganttOut != "" {
+			if err := os.WriteFile(*ganttOut, []byte(chart.SVG()), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("gantt:    written to %s\n", *ganttOut)
+		}
+	}
+
+	if *planOut != "" {
+		if err := writePlan(*planOut, plan); err != nil {
+			return err
+		}
+		fmt.Printf("plan:     written to %s\n", *planOut)
+	}
+
+	if *execute {
+		store := provenance.NewStore()
+		e := &engine.Engine{
+			Workflow: w, Fleet: fleet, Plan: plan,
+			Fluct: fm, Seed: *seed + 1000, Store: store, RunID: "cli",
+		}
+		rep, err := e.Execute(context.Background())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("executed: %d activations, makespan %.3fs (%s), wall %v\n",
+			len(rep.Tasks), rep.Makespan, metrics.FormatDuration(rep.Makespan), rep.Wall)
+		if *provOut != "" {
+			if err := store.SaveFile(*provOut); err != nil {
+				return err
+			}
+			fmt.Printf("prov:     written to %s (%d records)\n", *provOut, store.Len())
+		}
+	}
+	return nil
+}
+
+func loadWorkflow(path string, seed int64) (*dag.Workflow, error) {
+	if path == "" {
+		return trace.Montage50(rand.New(rand.NewSource(seed))), nil
+	}
+	if strings.HasSuffix(path, ".json") {
+		return wfjson.ReadFile(path)
+	}
+	return dax.ReadFile(path)
+}
+
+func lookupScheduler(name string, seed int64) (sim.Scheduler, error) {
+	switch strings.ToLower(name) {
+	case "heft":
+		return &sched.HEFT{}, nil
+	case "minmin":
+		return sched.MinMin{}, nil
+	case "maxmin":
+		return sched.MaxMin{}, nil
+	case "mct":
+		return sched.MCT{}, nil
+	case "fcfs":
+		return sched.FCFS{}, nil
+	case "rr", "roundrobin":
+		return &sched.RoundRobin{}, nil
+	case "random":
+		return &sched.Random{Seed: seed}, nil
+	case "dataaware":
+		return sched.DataAware{}, nil
+	case "cheapfirst":
+		return sched.CheapFirst{}, nil
+	case "siteaware":
+		return sched.SiteAware{}, nil
+	case "ga":
+		return &sched.GA{Seed: seed}, nil
+	case "adaptive":
+		return &sched.Adaptive{}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func printPlanSummary(plan map[string]int, fleet *cloud.Fleet) {
+	counts := make(map[int]int)
+	for _, vm := range plan {
+		counts[vm]++
+	}
+	ids := make([]int, 0, len(counts))
+	for id := range counts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var parts []string
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("vm%d(%s)=%d", id, fleet.VMs[id].Type.Name, counts[id]))
+	}
+	fmt.Printf("placement: %s\n", strings.Join(parts, " "))
+}
+
+func writePlan(path string, plan map[string]int) error {
+	ids := make([]string, 0, len(plan))
+	for id := range plan {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	b.WriteString("activation\tvm\n")
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%s\t%d\n", id, plan[id])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

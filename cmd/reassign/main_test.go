@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"reassign/internal/dax"
+	"reassign/internal/wfjson"
+)
+
+func TestLookupScheduler(t *testing.T) {
+	known := []string{
+		"heft", "minmin", "maxmin", "mct", "fcfs", "rr", "roundrobin",
+		"random", "dataaware", "cheapfirst", "siteaware", "ga",
+	}
+	for _, name := range known {
+		s, err := lookupScheduler(name, 1)
+		if err != nil {
+			t.Errorf("lookupScheduler(%q): %v", name, err)
+			continue
+		}
+		if s == nil || s.Name() == "" {
+			t.Errorf("lookupScheduler(%q) returned %v", name, s)
+		}
+	}
+	// Case-insensitive.
+	if _, err := lookupScheduler("HEFT", 1); err != nil {
+		t.Errorf("upper-case name rejected: %v", err)
+	}
+	if _, err := lookupScheduler("nope", 1); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+}
+
+func TestLoadWorkflowDefaultAndFiles(t *testing.T) {
+	w, err := loadWorkflow("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 50 {
+		t.Fatalf("default workflow has %d activations", w.Len())
+	}
+
+	dir := t.TempDir()
+	daxPath := filepath.Join(dir, "wf.dax")
+	if err := dax.WriteFile(daxPath, w); err != nil {
+		t.Fatal(err)
+	}
+	fromDax, err := loadWorkflow(daxPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromDax.Len() != 50 {
+		t.Fatalf("dax load has %d activations", fromDax.Len())
+	}
+
+	jsonPath := filepath.Join(dir, "wf.json")
+	if err := wfjson.WriteFile(jsonPath, w); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := loadWorkflow(jsonPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.Len() != 50 {
+		t.Fatalf("json load has %d activations", fromJSON.Len())
+	}
+
+	if _, err := loadWorkflow(filepath.Join(dir, "missing.dax"), 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWritePlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.tsv")
+	if err := writePlan(path, map[string]int{"b": 2, "a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "activation\tvm" || lines[1] != "a\t1" || lines[2] != "b\t2" {
+		t.Fatalf("plan file content: %v", lines)
+	}
+}

@@ -1,0 +1,96 @@
+// Algebra: define a workflow the SciCumulus way — as an algebraic
+// pipeline over relations (Map/SplitMap/Reduce/Filter) — expand it
+// into activations with exact data lineage, and schedule it with
+// ReASSIgN vs HEFT. The pipeline is shaped like SciPhy, the
+// phylogenetic-analysis workflow of the SciCumulus papers: align each
+// input sequence, test evolutionary models, build per-sequence trees,
+// and reduce everything into a consensus.
+//
+// Run with: go run ./examples/algebra
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"reassign/internal/algebra"
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/gantt"
+	"reassign/internal/metrics"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+)
+
+func main() {
+	// 1. The input relation: 16 multi-fasta sequence files across 4
+	// protein families.
+	input := algebra.Relation{Name: "fasta", Fields: []string{"id", "family"}}
+	for i := 0; i < 16; i++ {
+		input.Tuples = append(input.Tuples, algebra.Tuple{
+			"id":     fmt.Sprintf("seq%02d", i),
+			"family": fmt.Sprintf("fam%d", i%4),
+		})
+	}
+
+	// 2. The pipeline: SciPhy's five activities as algebraic operators.
+	pipeline := algebra.Pipeline{Name: "SciPhy", Activities: []algebra.Activity{
+		{Name: "mafft", Op: algebra.Map, BaseCost: 25, PerTupleCost: 5,
+			CostJitter: 0.2, BytesPerTuple: 60_000},
+		{Name: "readseq", Op: algebra.Map, BaseCost: 2, BytesPerTuple: 50_000},
+		{Name: "modelgenerator", Op: algebra.Map, BaseCost: 140,
+			CostJitter: 0.25, BytesPerTuple: 12_000},
+		{Name: "raxml", Op: algebra.SplitMap, SplitFactor: 2, BaseCost: 190,
+			CostJitter: 0.3, BytesPerTuple: 90_000},
+		{Name: "familyConsensus", Op: algebra.Reduce, GroupBy: []string{"family"},
+			BaseCost: 10, PerTupleCost: 2, BytesPerTuple: 8_000},
+	}}
+
+	w, err := pipeline.Expand(rand.New(rand.NewSource(33)), input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expanded %s: %d activations, %d edges\n", w.Name, w.Len(), w.Edges())
+	for act, n := range w.CountByActivity() {
+		fmt.Printf("  %-16s × %d\n", act, n)
+	}
+	_, cp, err := w.CriticalPath()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("critical path %.1fs, total work %.1fs\n\n", cp, w.TotalRuntime())
+
+	// 3. Schedule on the 32-vCPU fleet under fluctuation.
+	fleet, err := cloud.FleetTable1(32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fluct := cloud.DefaultFluctuation()
+	cfg := sim.Config{Fluct: &fluct, Seed: 33, DataTransfer: true}
+
+	heft := &sched.HEFT{}
+	heftRes, err := sim.Run(w, fleet, heft, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l := &core.Learner{
+		Workflow: w, Fleet: fleet,
+		Params: core.DefaultParams(), Episodes: 100, Seed: 33,
+		SimConfig: cfg,
+	}
+	lr, err := l.Learn()
+	if err != nil {
+		log.Fatal(err)
+	}
+	planRes, err := sim.Run(w, fleet, &sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan}, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("HEFT:     %s\n", metrics.FormatDuration(heftRes.Makespan))
+	fmt.Printf("ReASSIgN: %s (after %d episodes in %v)\n\n",
+		metrics.FormatDuration(planRes.Makespan), len(lr.Episodes), lr.LearningTime)
+
+	// 4. Show the ReASSIgN schedule as a timeline.
+	fmt.Print(gantt.FromResult(planRes, fleet).ASCII(90))
+}

@@ -1,0 +1,83 @@
+// Comparison: run every implemented scheduler — the classical
+// heuristics the paper's related work surveys plus ReASSIgN — across
+// all five workflow families (Montage, CyberShake, Epigenomics,
+// Inspiral, Sipht) on the 32-vCPU fleet, and report makespan and
+// dollar cost under hourly billing.
+//
+// Run with: go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/dag"
+	"reassign/internal/metrics"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+	"reassign/internal/trace"
+)
+
+func main() {
+	fleet, err := cloud.FleetTable1(32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fluct := cloud.DefaultFluctuation()
+
+	// Each scheduler is scored by the mean over several fluctuation
+	// seeds; single runs swing by ±20% and would misrank the field.
+	const reps = 8
+	mean := func(w *dag.Workflow, s sim.Scheduler) (mk, cost float64) {
+		for i := 0; i < reps; i++ {
+			res, err := sim.Run(w, fleet, s,
+				sim.Config{Fluct: &fluct, Seed: int64(100 + i), DataTransfer: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			mk += res.Makespan
+			cost += res.Cost
+		}
+		return mk / reps, cost / reps
+	}
+
+	for _, family := range trace.Families() {
+		w := trace.Named(family)(rand.New(rand.NewSource(11)), 60)
+
+		tab := metrics.NewTable(
+			fmt.Sprintf("%s (%d activations) on 32 vCPUs, mean of %d runs", w.Name, w.Len(), reps),
+			"scheduler", "makespan (s)", "cost (USD)")
+		schedulers := []sim.Scheduler{
+			sched.FCFS{},
+			&sched.RoundRobin{},
+			&sched.Random{Seed: 11},
+			sched.MCT{},
+			sched.MinMin{},
+			sched.MaxMin{},
+			sched.DataAware{},
+			sched.CheapFirst{},
+			&sched.HEFT{},
+		}
+		for _, s := range schedulers {
+			mk, cost := mean(w, s)
+			tab.AddRowF(s.Name(), mk, fmt.Sprintf("%.4f", cost))
+		}
+
+		l := &core.Learner{
+			Workflow: w, Fleet: fleet,
+			Params: core.DefaultParams(), Episodes: 100, Seed: 11,
+			SimConfig: sim.Config{Fluct: &fluct, DataTransfer: true},
+		}
+		lr, err := l.Learn()
+		if err != nil {
+			log.Fatal(err)
+		}
+		mk, cost := mean(w, &sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan})
+		tab.AddRowF("ReASSIgN", mk, fmt.Sprintf("%.4f", cost))
+
+		fmt.Println(tab.String())
+	}
+}

@@ -1,0 +1,108 @@
+// Paramsweep: reproduce the paper's learning-parameter study in
+// miniature — sweep (α, γ, ε) over {0.1, 0.5, 1.0}³ on the 16-vCPU
+// fleet. Each learned plan is scored by the mean makespan of ten
+// simulated executions (the paper reports single runs; the mean
+// removes fluctuation noise so the parameter effects show).
+//
+// The paper's Table III findings to look for: the best combination
+// has γ=1.0 and ε=0.1, and a slower learning rate α beats α=1.0.
+//
+// Run with: go run ./examples/paramsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/metrics"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+	"reassign/internal/trace"
+)
+
+type combo struct {
+	alpha, gamma, eps float64
+	makespan          float64
+	learnMS           float64
+}
+
+func main() {
+	w := trace.Montage50(rand.New(rand.NewSource(1)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fluct := cloud.DefaultFluctuation()
+	grid := []float64{0.1, 0.5, 1.0}
+
+	evalPlan := func(plan map[string]int) float64 {
+		var sum float64
+		const reps = 10
+		for i := 0; i < reps; i++ {
+			res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "plan", Assign: plan},
+				sim.Config{Fluct: &fluct, Seed: int64(5000 + i)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			sum += res.Makespan
+		}
+		return sum / reps
+	}
+
+	var combos []combo
+	for _, alpha := range grid {
+		for _, gamma := range grid {
+			for _, eps := range grid {
+				p := core.DefaultParams()
+				p.Alpha, p.Gamma, p.Epsilon = alpha, gamma, eps
+				l := &core.Learner{
+					Workflow: w, Fleet: fleet, Params: p,
+					Episodes: 100, Seed: 1,
+					SimConfig: sim.Config{Fluct: &fluct},
+				}
+				res, err := l.Learn()
+				if err != nil {
+					log.Fatal(err)
+				}
+				combos = append(combos, combo{
+					alpha: alpha, gamma: gamma, eps: eps,
+					makespan: evalPlan(res.Plan),
+					learnMS:  float64(res.LearningTime.Microseconds()) / 1000,
+				})
+			}
+		}
+	}
+
+	sort.Slice(combos, func(i, j int) bool { return combos[i].makespan < combos[j].makespan })
+	tab := metrics.NewTable("Parameter sweep on 16 vCPUs (Montage 50, 100 episodes, mean of 10 evals)",
+		"rank", "alpha", "gamma", "epsilon", "plan makespan (s)", "learning (ms)")
+	for i, c := range combos {
+		tab.AddRowF(i+1,
+			fmt.Sprintf("%.1f", c.alpha), fmt.Sprintf("%.1f", c.gamma), fmt.Sprintf("%.1f", c.eps),
+			c.makespan, fmt.Sprintf("%.1f", c.learnMS))
+	}
+	fmt.Println(tab.String())
+
+	best := combos[0]
+	fmt.Printf("best: α=%.1f γ=%.1f ε=%.1f at %.2fs\n", best.alpha, best.gamma, best.eps, best.makespan)
+	if best.gamma == 1.0 && best.eps == 0.1 {
+		fmt.Println("=> matches the paper: the winning combination has γ=1.0 and ε=0.1")
+	}
+	var slowA, fastA []float64
+	for _, c := range combos {
+		if c.alpha == 1.0 {
+			fastA = append(fastA, c.makespan)
+		} else {
+			slowA = append(slowA, c.makespan)
+		}
+	}
+	fmt.Printf("mean makespan, α<1.0 rows: %.2fs; α=1.0 rows: %.2fs\n",
+		metrics.Mean(slowA), metrics.Mean(fastA))
+	if metrics.Mean(slowA) < metrics.Mean(fastA) {
+		fmt.Println("=> matches the paper: a slower learning rate produces better plans")
+	}
+}

@@ -1,0 +1,3 @@
+module reassign
+
+go 1.22

@@ -1,0 +1,331 @@
+// Package algebra implements the data-centric workflow algebra
+// SciCumulus is built on (Ogasawara et al., VLDB 2011) — the model
+// that gives the paper its notion of *activation*: the smallest unit
+// of work consuming a specific data chunk.
+//
+// Scientific workflows are expressed as pipelines of algebraic
+// activities over relations:
+//
+//	Map      — consumes one tuple, produces one tuple
+//	SplitMap — consumes one tuple, produces many
+//	Reduce   — consumes a group of tuples (by key), produces one
+//	Filter   — consumes one tuple, produces it or nothing
+//
+// Expand instantiates a pipeline against an input relation,
+// generating one activation per consumed chunk with exact lineage
+// edges — a dag.Workflow ready for any scheduler in this repository.
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"reassign/internal/dag"
+)
+
+// Tuple is one record of a relation.
+type Tuple map[string]string
+
+// clone copies a tuple.
+func (t Tuple) clone() Tuple {
+	out := make(Tuple, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// Relation is a named set of tuples sharing a schema.
+type Relation struct {
+	Name   string
+	Fields []string
+	Tuples []Tuple
+}
+
+// Validate checks every tuple carries exactly the schema fields.
+func (r Relation) Validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("algebra: relation without a name")
+	}
+	if len(r.Fields) == 0 {
+		return fmt.Errorf("algebra: relation %q without fields", r.Name)
+	}
+	for i, t := range r.Tuples {
+		if len(t) != len(r.Fields) {
+			return fmt.Errorf("algebra: relation %q tuple %d has %d fields, want %d",
+				r.Name, i, len(t), len(r.Fields))
+		}
+		for _, f := range r.Fields {
+			if _, ok := t[f]; !ok {
+				return fmt.Errorf("algebra: relation %q tuple %d misses field %q", r.Name, i, f)
+			}
+		}
+	}
+	return nil
+}
+
+// Operator is the algebraic operator of an activity.
+type Operator int
+
+const (
+	// Map consumes one tuple and produces one tuple.
+	Map Operator = iota
+	// SplitMap consumes one tuple and produces SplitFactor tuples.
+	SplitMap
+	// Reduce consumes all tuples sharing GroupBy values and produces
+	// one tuple per group.
+	Reduce
+	// Filter consumes one tuple and keeps it iff Predicate returns
+	// true (nil keeps everything).
+	Filter
+)
+
+// String implements fmt.Stringer.
+func (o Operator) String() string {
+	switch o {
+	case Map:
+		return "Map"
+	case SplitMap:
+		return "SplitMap"
+	case Reduce:
+		return "Reduce"
+	case Filter:
+		return "Filter"
+	default:
+		return fmt.Sprintf("Operator(%d)", int(o))
+	}
+}
+
+// Activity is one algebraic step of a pipeline.
+type Activity struct {
+	// Name is the transformation name (becomes dag.Activation.Activity).
+	Name string
+	// Op is the algebraic operator.
+	Op Operator
+	// ChunkSize is the number of input tuples per activation for Map,
+	// SplitMap and Filter (default 1 — the paper's finest granularity).
+	ChunkSize int
+	// SplitFactor is the output multiplicity of SplitMap (default 2).
+	SplitFactor int
+	// GroupBy names the grouping fields of Reduce (empty groups the
+	// whole relation into one activation).
+	GroupBy []string
+	// Predicate filters tuples (Filter only; nil keeps all).
+	Predicate func(Tuple) bool
+	// BaseCost and PerTupleCost model the activation runtime:
+	// BaseCost + PerTupleCost × consumed tuples, with ±CostJitter
+	// relative uniform noise.
+	BaseCost     float64
+	PerTupleCost float64
+	CostJitter   float64
+	// BytesPerTuple sizes the produced data files.
+	BytesPerTuple int64
+}
+
+func (a Activity) chunk() int {
+	if a.ChunkSize < 1 {
+		return 1
+	}
+	return a.ChunkSize
+}
+
+func (a Activity) split() int {
+	if a.SplitFactor < 1 {
+		return 2
+	}
+	return a.SplitFactor
+}
+
+// Pipeline is a linear composition of activities: the output relation
+// of one feeds the next (the algebra's sequential expressions;
+// fan-out/fan-in emerge from the operators themselves).
+type Pipeline struct {
+	Name       string
+	Activities []Activity
+}
+
+// Validate checks the pipeline is well-formed.
+func (p Pipeline) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("algebra: pipeline without a name")
+	}
+	if len(p.Activities) == 0 {
+		return fmt.Errorf("algebra: pipeline %q has no activities", p.Name)
+	}
+	for i, a := range p.Activities {
+		if a.Name == "" {
+			return fmt.Errorf("algebra: pipeline %q activity %d without a name", p.Name, i)
+		}
+		if a.BaseCost < 0 || a.PerTupleCost < 0 || a.CostJitter < 0 {
+			return fmt.Errorf("algebra: activity %q has negative costs", a.Name)
+		}
+		if a.Op == Reduce && a.ChunkSize > 1 {
+			return fmt.Errorf("algebra: activity %q: Reduce ignores ChunkSize", a.Name)
+		}
+	}
+	return nil
+}
+
+// lineageTuple is a tuple annotated with the activation that produced
+// it (empty for input tuples).
+type lineageTuple struct {
+	t        Tuple
+	producer string // activation ID, "" for workflow inputs
+	file     dag.File
+}
+
+// Expand instantiates the pipeline against the input relation. rng
+// drives cost jitter only (nil disables jitter).
+func (p Pipeline) Expand(rng *rand.Rand, input Relation) (*dag.Workflow, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := input.Validate(); err != nil {
+		return nil, err
+	}
+	if len(input.Tuples) == 0 {
+		return nil, fmt.Errorf("algebra: input relation %q is empty", input.Name)
+	}
+	w := dag.New(p.Name)
+	next := 0
+	newID := func() string {
+		id := fmt.Sprintf("ID%05d", next)
+		next++
+		return id
+	}
+
+	cur := make([]lineageTuple, 0, len(input.Tuples))
+	for i, t := range input.Tuples {
+		cur = append(cur, lineageTuple{
+			t: t,
+			file: dag.File{
+				Name: fmt.Sprintf("%s_%d.in", input.Name, i),
+				Size: 1024,
+			},
+		})
+	}
+
+	for stage, act := range p.Activities {
+		var out []lineageTuple
+		emit := func(members []lineageTuple, produced []Tuple) error {
+			cost := act.BaseCost + act.PerTupleCost*float64(len(members))
+			if act.CostJitter > 0 && rng != nil {
+				cost *= 1 + (rng.Float64()*2-1)*act.CostJitter
+			}
+			if cost < 0 {
+				cost = 0
+			}
+			a, err := w.Add(newID(), act.Name, cost)
+			if err != nil {
+				return err
+			}
+			seen := map[string]bool{}
+			for _, m := range members {
+				a.Inputs = append(a.Inputs, m.file)
+				if m.producer != "" && !seen[m.producer] {
+					seen[m.producer] = true
+					if err := w.AddDep(m.producer, a.ID); err != nil {
+						return err
+					}
+				}
+			}
+			for j, pt := range produced {
+				f := dag.File{
+					Name: fmt.Sprintf("%s_%s_%d.out", act.Name, a.ID, j),
+					Size: act.BytesPerTuple,
+				}
+				a.Outputs = append(a.Outputs, f)
+				out = append(out, lineageTuple{t: pt, producer: a.ID, file: f})
+			}
+			return nil
+		}
+
+		switch act.Op {
+		case Map, Filter:
+			k := act.chunk()
+			for i := 0; i < len(cur); i += k {
+				end := i + k
+				if end > len(cur) {
+					end = len(cur)
+				}
+				members := cur[i:end]
+				var produced []Tuple
+				for _, m := range members {
+					if act.Op == Filter && act.Predicate != nil && !act.Predicate(m.t) {
+						continue
+					}
+					produced = append(produced, m.t.clone())
+				}
+				if err := emit(members, produced); err != nil {
+					return nil, err
+				}
+			}
+		case SplitMap:
+			k := act.chunk()
+			for i := 0; i < len(cur); i += k {
+				end := i + k
+				if end > len(cur) {
+					end = len(cur)
+				}
+				members := cur[i:end]
+				var produced []Tuple
+				for _, m := range members {
+					for s := 0; s < act.split(); s++ {
+						nt := m.t.clone()
+						nt["split"] = fmt.Sprintf("%d", s)
+						produced = append(produced, nt)
+					}
+				}
+				if err := emit(members, produced); err != nil {
+					return nil, err
+				}
+			}
+		case Reduce:
+			groups := make(map[string][]lineageTuple)
+			var order []string
+			for _, m := range cur {
+				key := groupKey(m.t, act.GroupBy)
+				if _, ok := groups[key]; !ok {
+					order = append(order, key)
+				}
+				groups[key] = append(groups[key], m)
+			}
+			sort.Strings(order)
+			for _, key := range order {
+				members := groups[key]
+				merged := members[0].t.clone()
+				merged["group"] = key
+				merged["count"] = fmt.Sprintf("%d", len(members))
+				if err := emit(members, []Tuple{merged}); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			return nil, fmt.Errorf("algebra: unknown operator %v", act.Op)
+		}
+		if len(out) == 0 && stage < len(p.Activities)-1 {
+			// A stage that filtered everything away leaves nothing for
+			// downstream activities.
+			return nil, fmt.Errorf("algebra: activity %q produced no tuples", act.Name)
+		}
+		cur = out
+	}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("algebra: expansion invalid: %w", err)
+	}
+	return w, nil
+}
+
+// groupKey renders the grouping fields of a tuple ("" groups all).
+func groupKey(t Tuple, fields []string) string {
+	if len(fields) == 0 {
+		return "all"
+	}
+	parts := make([]string, len(fields))
+	for i, f := range fields {
+		parts[i] = t[f]
+	}
+	return strings.Join(parts, "|")
+}

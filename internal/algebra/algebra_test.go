@@ -1,0 +1,347 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"reassign/internal/cloud"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+)
+
+// seqs builds an input relation of n "sequence" tuples.
+func seqs(n int) Relation {
+	r := Relation{Name: "sequences", Fields: []string{"id", "family"}}
+	for i := 0; i < n; i++ {
+		r.Tuples = append(r.Tuples, Tuple{
+			"id":     fmt.Sprintf("s%d", i),
+			"family": fmt.Sprintf("fam%d", i%3),
+		})
+	}
+	return r
+}
+
+func TestRelationValidate(t *testing.T) {
+	if err := (Relation{}).Validate(); err == nil {
+		t.Fatal("unnamed relation validated")
+	}
+	if err := (Relation{Name: "r"}).Validate(); err == nil {
+		t.Fatal("fieldless relation validated")
+	}
+	bad := Relation{Name: "r", Fields: []string{"a"}, Tuples: []Tuple{{"b": "1"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("schema mismatch validated")
+	}
+	extra := Relation{Name: "r", Fields: []string{"a"}, Tuples: []Tuple{{"a": "1", "b": "2"}}}
+	if err := extra.Validate(); err == nil {
+		t.Fatal("extra field validated")
+	}
+	if err := seqs(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineValidate(t *testing.T) {
+	if err := (Pipeline{}).Validate(); err == nil {
+		t.Fatal("unnamed pipeline validated")
+	}
+	if err := (Pipeline{Name: "p"}).Validate(); err == nil {
+		t.Fatal("empty pipeline validated")
+	}
+	p := Pipeline{Name: "p", Activities: []Activity{{Name: "", Op: Map}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("unnamed activity validated")
+	}
+	neg := Pipeline{Name: "p", Activities: []Activity{{Name: "x", BaseCost: -1}}}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative cost validated")
+	}
+	chunkedReduce := Pipeline{Name: "p", Activities: []Activity{{Name: "x", Op: Reduce, ChunkSize: 2}}}
+	if err := chunkedReduce.Validate(); err == nil {
+		t.Fatal("chunked Reduce validated")
+	}
+}
+
+func TestMapExpansion(t *testing.T) {
+	p := Pipeline{Name: "maponly", Activities: []Activity{
+		{Name: "align", Op: Map, BaseCost: 1, PerTupleCost: 2},
+	}}
+	w, err := p.Expand(nil, seqs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 (one activation per tuple)", w.Len())
+	}
+	for _, a := range w.Activations() {
+		if a.Activity != "align" {
+			t.Fatalf("activity = %q", a.Activity)
+		}
+		if a.Runtime != 3 { // 1 + 2×1
+			t.Fatalf("runtime = %v, want 3", a.Runtime)
+		}
+		if len(a.Parents()) != 0 {
+			t.Fatal("first stage has parents")
+		}
+	}
+}
+
+func TestChunkedMap(t *testing.T) {
+	p := Pipeline{Name: "chunked", Activities: []Activity{
+		{Name: "align", Op: Map, ChunkSize: 2, PerTupleCost: 1},
+	}}
+	w, err := p.Expand(nil, seqs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 3 { // ceil(5/2)
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+	// Two full chunks of cost 2, one remainder of cost 1.
+	var costs []float64
+	for _, a := range w.Activations() {
+		costs = append(costs, a.Runtime)
+	}
+	if costs[0] != 2 || costs[1] != 2 || costs[2] != 1 {
+		t.Fatalf("costs = %v", costs)
+	}
+}
+
+func TestSplitMapExpansion(t *testing.T) {
+	p := Pipeline{Name: "split", Activities: []Activity{
+		{Name: "shard", Op: SplitMap, SplitFactor: 3, BaseCost: 1},
+		{Name: "work", Op: Map, BaseCost: 1},
+	}}
+	w, err := p.Expand(nil, seqs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 shard activations, each producing 3 tuples → 6 work activations.
+	if w.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", w.Len())
+	}
+	counts := w.CountByActivity()
+	if counts["shard"] != 2 || counts["work"] != 6 {
+		t.Fatalf("counts = %v", counts)
+	}
+	// Every work activation depends on exactly one shard.
+	for _, a := range w.Activations() {
+		if a.Activity == "work" && len(a.Parents()) != 1 {
+			t.Fatalf("work parents = %d", len(a.Parents()))
+		}
+	}
+}
+
+func TestReduceGroupsByKey(t *testing.T) {
+	p := Pipeline{Name: "grouped", Activities: []Activity{
+		{Name: "align", Op: Map, BaseCost: 1},
+		{Name: "merge", Op: Reduce, GroupBy: []string{"family"}, PerTupleCost: 1},
+	}}
+	w, err := p.Expand(nil, seqs(9)) // families fam0, fam1, fam2 × 3 each
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := w.CountByActivity()
+	if counts["align"] != 9 || counts["merge"] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+	for _, a := range w.Activations() {
+		if a.Activity != "merge" {
+			continue
+		}
+		if len(a.Parents()) != 3 {
+			t.Fatalf("merge depends on %d aligns, want 3", len(a.Parents()))
+		}
+		if a.Runtime != 3 { // PerTupleCost × 3 members
+			t.Fatalf("merge runtime = %v", a.Runtime)
+		}
+	}
+}
+
+func TestReduceAllGroupsEverything(t *testing.T) {
+	p := Pipeline{Name: "all", Activities: []Activity{
+		{Name: "work", Op: Map, BaseCost: 1},
+		{Name: "final", Op: Reduce, BaseCost: 5},
+	}}
+	w, err := p.Expand(nil, seqs(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := w.Leaves()
+	if len(leaves) != 1 || leaves[0].Activity != "final" {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	if len(leaves[0].Parents()) != 7 {
+		t.Fatalf("final fan-in = %d", len(leaves[0].Parents()))
+	}
+}
+
+func TestFilterDropsTuples(t *testing.T) {
+	p := Pipeline{Name: "filtered", Activities: []Activity{
+		{Name: "keepEven", Op: Filter, BaseCost: 1, Predicate: func(t Tuple) bool {
+			n, _ := strconv.Atoi(t["id"][1:])
+			return n%2 == 0
+		}},
+		{Name: "work", Op: Map, BaseCost: 1},
+	}}
+	w, err := p.Expand(nil, seqs(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := w.CountByActivity()
+	// 6 filter activations; 3 surviving tuples → 3 work activations.
+	if counts["keepEven"] != 6 || counts["work"] != 3 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestFilterEverythingFails(t *testing.T) {
+	p := Pipeline{Name: "allgone", Activities: []Activity{
+		{Name: "dropAll", Op: Filter, Predicate: func(Tuple) bool { return false }},
+		{Name: "work", Op: Map},
+	}}
+	if _, err := p.Expand(nil, seqs(3)); err == nil {
+		t.Fatal("empty intermediate relation accepted")
+	}
+	// ... but a terminal filter may drop everything.
+	p2 := Pipeline{Name: "terminal", Activities: []Activity{
+		{Name: "dropAll", Op: Filter, Predicate: func(Tuple) bool { return false }},
+	}}
+	if _, err := p2.Expand(nil, seqs(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyInputRejected(t *testing.T) {
+	p := Pipeline{Name: "p", Activities: []Activity{{Name: "x", Op: Map}}}
+	if _, err := p.Expand(nil, Relation{Name: "r", Fields: []string{"a"}}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCostJitterDeterministic(t *testing.T) {
+	p := Pipeline{Name: "j", Activities: []Activity{
+		{Name: "x", Op: Map, BaseCost: 10, CostJitter: 0.5},
+	}}
+	w1, err := p.Expand(rand.New(rand.NewSource(5)), seqs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := p.Expand(rand.New(rand.NewSource(5)), seqs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := false
+	for i, a := range w1.Activations() {
+		b := w2.Activations()[i]
+		if a.Runtime != b.Runtime {
+			t.Fatalf("same seed diverged: %v vs %v", a.Runtime, b.Runtime)
+		}
+		if a.Runtime != 10 {
+			varied = true
+		}
+		if a.Runtime < 5 || a.Runtime > 15 {
+			t.Fatalf("jitter out of ±50%%: %v", a.Runtime)
+		}
+	}
+	if !varied {
+		t.Fatal("jitter had no effect")
+	}
+}
+
+func TestDataLineageMatchesEdges(t *testing.T) {
+	p := Pipeline{Name: "lineage", Activities: []Activity{
+		{Name: "a", Op: SplitMap, SplitFactor: 2, BytesPerTuple: 100},
+		{Name: "b", Op: Map, BytesPerTuple: 50},
+		{Name: "c", Op: Reduce, GroupBy: []string{"family"}, BytesPerTuple: 10},
+	}}
+	w, err := p.Expand(nil, seqs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges should exactly match produced/consumed files: inferring
+	// data deps adds nothing.
+	if added := w.InferDataDeps(); added != 0 {
+		t.Fatalf("InferDataDeps added %d edges", added)
+	}
+}
+
+// TestSciPhyShapedPipeline expands a SciPhy-like phylogeny pipeline
+// (the SWfMS's flagship workflow) and schedules it end to end.
+func TestSciPhyShapedPipeline(t *testing.T) {
+	p := Pipeline{Name: "SciPhy", Activities: []Activity{
+		{Name: "mafft", Op: Map, BaseCost: 30, PerTupleCost: 5, BytesPerTuple: 50_000},
+		{Name: "readseq", Op: Map, BaseCost: 2, BytesPerTuple: 40_000},
+		{Name: "modelgenerator", Op: Map, BaseCost: 120, CostJitter: 0.2, BytesPerTuple: 10_000},
+		{Name: "raxml", Op: Map, BaseCost: 200, CostJitter: 0.3, BytesPerTuple: 80_000},
+		{Name: "consensus", Op: Reduce, BaseCost: 15, PerTupleCost: 1, BytesPerTuple: 5_000},
+	}}
+	w, err := p.Expand(rand.New(rand.NewSource(1)), seqs(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 12*4+1 {
+		t.Fatalf("Len = %d, want 49", w.Len())
+	}
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(w, fleet, &sched.HEFT{}, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != sim.FinishedOK {
+		t.Fatalf("state = %v", res.State)
+	}
+}
+
+func TestOperatorString(t *testing.T) {
+	for op, want := range map[Operator]string{
+		Map: "Map", SplitMap: "SplitMap", Reduce: "Reduce", Filter: "Filter",
+	} {
+		if op.String() != want {
+			t.Fatalf("String(%d) = %q", int(op), op.String())
+		}
+	}
+	if Operator(42).String() == "" {
+		t.Fatal("unknown operator printed empty")
+	}
+}
+
+// Property: expansion of a random Map/SplitMap/Reduce pipeline always
+// yields a valid DAG whose activation count follows the operator
+// arithmetic, with a single Reduce(all) leaf when terminal.
+func TestPropertyExpansionWellFormed(t *testing.T) {
+	f := func(seed int64, nRaw, chunkRaw, splitRaw uint8) bool {
+		n := int(nRaw)%20 + 1
+		chunk := int(chunkRaw)%3 + 1
+		split := int(splitRaw)%3 + 1
+		p := Pipeline{Name: "prop", Activities: []Activity{
+			{Name: "m1", Op: Map, ChunkSize: chunk, BaseCost: 1},
+			{Name: "s", Op: SplitMap, SplitFactor: split, BaseCost: 1},
+			{Name: "r", Op: Reduce, BaseCost: 1},
+		}}
+		w, err := p.Expand(rand.New(rand.NewSource(seed)), seqs(n))
+		if err != nil {
+			return false
+		}
+		if err := w.Validate(); err != nil {
+			return false
+		}
+		counts := w.CountByActivity()
+		wantM1 := (n + chunk - 1) / chunk
+		// m1 emits n tuples; s uses the default chunk size of 1.
+		if counts["m1"] != wantM1 || counts["s"] != n || counts["r"] != 1 {
+			return false
+		}
+		leaves := w.Leaves()
+		return len(leaves) == 1 && leaves[0].Activity == "r"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

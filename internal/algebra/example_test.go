@@ -1,0 +1,35 @@
+package algebra_test
+
+import (
+	"fmt"
+
+	"reassign/internal/algebra"
+)
+
+// Example expresses a tiny map-reduce pipeline algebraically and
+// expands it into schedulable activations with lineage edges.
+func Example() {
+	input := algebra.Relation{
+		Name:   "samples",
+		Fields: []string{"id", "site"},
+		Tuples: []algebra.Tuple{
+			{"id": "s1", "site": "north"},
+			{"id": "s2", "site": "north"},
+			{"id": "s3", "site": "south"},
+		},
+	}
+	p := algebra.Pipeline{Name: "survey", Activities: []algebra.Activity{
+		{Name: "clean", Op: algebra.Map, BaseCost: 5},
+		{Name: "aggregate", Op: algebra.Reduce, GroupBy: []string{"site"}, PerTupleCost: 1},
+	}}
+
+	w, _ := p.Expand(nil, input)
+	counts := w.CountByActivity()
+	fmt.Println("clean activations:", counts["clean"])
+	fmt.Println("aggregate activations:", counts["aggregate"]) // one per site
+	fmt.Println("valid DAG:", w.Validate() == nil)
+	// Output:
+	// clean activations: 3
+	// aggregate activations: 2
+	// valid DAG: true
+}

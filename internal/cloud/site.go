@@ -1,0 +1,132 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Topology models a multi-site cloud (the multi-site scheduling
+// setting of Liu et al., cited by the paper): named sites with
+// symmetric inter-site bandwidths. Transfers within a site run at the
+// receiving VM's own bandwidth; transfers between sites are limited
+// by the (usually much lower) inter-site link.
+type Topology struct {
+	sites map[string]bool
+	bw    map[[2]string]float64 // canonical (sorted) site pair → MB/s
+	// DefaultBandwidth applies to site pairs without an explicit
+	// link (MB/s).
+	DefaultBandwidth float64
+}
+
+// NewTopology returns a topology over the given sites with the
+// default inter-site bandwidth (MB/s).
+func NewTopology(defaultMBps float64, sites ...string) *Topology {
+	t := &Topology{
+		sites:            make(map[string]bool, len(sites)),
+		bw:               make(map[[2]string]float64),
+		DefaultBandwidth: defaultMBps,
+	}
+	for _, s := range sites {
+		t.sites[s] = true
+	}
+	return t
+}
+
+// Sites returns the site names, sorted.
+func (t *Topology) Sites() []string {
+	out := make([]string, 0, len(t.sites))
+	for s := range t.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasSite reports whether the topology knows the site.
+func (t *Topology) HasSite(s string) bool { return t.sites[s] }
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// SetBandwidth sets the symmetric inter-site bandwidth in MB/s.
+func (t *Topology) SetBandwidth(a, b string, mbps float64) error {
+	if !t.sites[a] || !t.sites[b] {
+		return fmt.Errorf("cloud: unknown site in link %s-%s", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("cloud: intra-site link %s-%s", a, b)
+	}
+	if mbps <= 0 {
+		return fmt.Errorf("cloud: non-positive bandwidth %v for %s-%s", mbps, a, b)
+	}
+	t.bw[pairKey(a, b)] = mbps
+	return nil
+}
+
+// Bandwidth returns the inter-site bandwidth between a and b in MB/s.
+// Same-site queries return 0 meaning "not limited by the topology"
+// (the VM's own bandwidth applies).
+func (t *Topology) Bandwidth(a, b string) float64 {
+	if a == b {
+		return 0
+	}
+	if v, ok := t.bw[pairKey(a, b)]; ok {
+		return v
+	}
+	return t.DefaultBandwidth
+}
+
+// SiteSpec describes one site's share of a multi-site fleet.
+type SiteSpec struct {
+	Site   string
+	Types  []VMType
+	Counts []int
+}
+
+// NewMultiSiteFleet provisions a fleet spread over the topology's
+// sites. VM IDs are assigned in spec order, as in NewFleet.
+func NewMultiSiteFleet(name string, topo *Topology, specs []SiteSpec) (*Fleet, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("cloud: multi-site fleet needs a topology")
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cloud: multi-site fleet without site specs")
+	}
+	f := &Fleet{Name: name, Topology: topo}
+	id := 0
+	for _, sp := range specs {
+		if !topo.HasSite(sp.Site) {
+			return nil, fmt.Errorf("cloud: unknown site %q", sp.Site)
+		}
+		if len(sp.Types) != len(sp.Counts) {
+			return nil, fmt.Errorf("cloud: site %q: %d types but %d counts",
+				sp.Site, len(sp.Types), len(sp.Counts))
+		}
+		for i, ty := range sp.Types {
+			if sp.Counts[i] < 0 {
+				return nil, fmt.Errorf("cloud: site %q: negative count", sp.Site)
+			}
+			for j := 0; j < sp.Counts[i]; j++ {
+				f.VMs = append(f.VMs, &VM{ID: id, Type: ty, Site: sp.Site})
+				id++
+			}
+		}
+	}
+	if len(f.VMs) == 0 {
+		return nil, fmt.Errorf("cloud: empty multi-site fleet %q", name)
+	}
+	return f, nil
+}
+
+// CountBySite returns VM counts keyed by site name.
+func (f *Fleet) CountBySite() map[string]int {
+	out := make(map[string]int)
+	for _, v := range f.VMs {
+		out[v.Site]++
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package cloud
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologyBasics(t *testing.T) {
+	topo := NewTopology(5, "us-east", "eu-west", "ap-south")
+	sites := topo.Sites()
+	if len(sites) != 3 || sites[0] != "ap-south" {
+		t.Fatalf("Sites = %v", sites)
+	}
+	if !topo.HasSite("us-east") || topo.HasSite("mars") {
+		t.Fatal("HasSite wrong")
+	}
+	// Default link bandwidth.
+	if got := topo.Bandwidth("us-east", "eu-west"); got != 5 {
+		t.Fatalf("default bandwidth = %v", got)
+	}
+	// Same site: unlimited (0 sentinel).
+	if got := topo.Bandwidth("us-east", "us-east"); got != 0 {
+		t.Fatalf("same-site bandwidth = %v", got)
+	}
+	// Explicit symmetric link.
+	if err := topo.SetBandwidth("us-east", "eu-west", 12); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Bandwidth("eu-west", "us-east") != 12 {
+		t.Fatal("link not symmetric")
+	}
+}
+
+func TestTopologyErrors(t *testing.T) {
+	topo := NewTopology(5, "a", "b")
+	if err := topo.SetBandwidth("a", "ghost", 1); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if err := topo.SetBandwidth("a", "a", 1); err == nil {
+		t.Fatal("intra-site link accepted")
+	}
+	if err := topo.SetBandwidth("a", "b", 0); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestNewMultiSiteFleet(t *testing.T) {
+	topo := NewTopology(5, "east", "west")
+	f, err := NewMultiSiteFleet("ms", topo, []SiteSpec{
+		{Site: "east", Types: []VMType{T2Micro, T22XLarge}, Counts: []int{2, 1}},
+		{Site: "west", Types: []VMType{T2Micro}, Counts: []int{3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 6 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	bySite := f.CountBySite()
+	if bySite["east"] != 3 || bySite["west"] != 3 {
+		t.Fatalf("CountBySite = %v", bySite)
+	}
+	if f.VMs[0].Site != "east" || f.VMs[5].Site != "west" {
+		t.Fatalf("site assignment wrong: %v %v", f.VMs[0].Site, f.VMs[5].Site)
+	}
+	if f.Topology != topo {
+		t.Fatal("topology not attached")
+	}
+	// IDs sequential across sites.
+	for i, vm := range f.VMs {
+		if vm.ID != i {
+			t.Fatalf("VM %d has ID %d", i, vm.ID)
+		}
+	}
+}
+
+func TestNewMultiSiteFleetErrors(t *testing.T) {
+	topo := NewTopology(5, "east")
+	if _, err := NewMultiSiteFleet("ms", nil, []SiteSpec{{Site: "east"}}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	if _, err := NewMultiSiteFleet("ms", topo, nil); err == nil {
+		t.Fatal("no specs accepted")
+	}
+	if _, err := NewMultiSiteFleet("ms", topo, []SiteSpec{{Site: "ghost"}}); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if _, err := NewMultiSiteFleet("ms", topo, []SiteSpec{
+		{Site: "east", Types: []VMType{T2Micro}, Counts: []int{1, 2}},
+	}); err == nil {
+		t.Fatal("mismatched types/counts accepted")
+	}
+	if _, err := NewMultiSiteFleet("ms", topo, []SiteSpec{
+		{Site: "east", Types: []VMType{T2Micro}, Counts: []int{-1}},
+	}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := NewMultiSiteFleet("ms", topo, []SiteSpec{
+		{Site: "east", Types: []VMType{T2Micro}, Counts: []int{0}},
+	}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+}
+
+// Property: Bandwidth is symmetric and positive for distinct sites.
+func TestPropertyBandwidthSymmetric(t *testing.T) {
+	sites := []string{"a", "b", "c", "d"}
+	f := func(links []uint8) bool {
+		topo := NewTopology(7, sites...)
+		for i, l := range links {
+			a := sites[i%len(sites)]
+			b := sites[(i+1+int(l))%len(sites)]
+			if a == b {
+				continue
+			}
+			if err := topo.SetBandwidth(a, b, float64(l%50)+1); err != nil {
+				return false
+			}
+		}
+		for _, a := range sites {
+			for _, b := range sites {
+				if a == b {
+					if topo.Bandwidth(a, b) != 0 {
+						return false
+					}
+					continue
+				}
+				if topo.Bandwidth(a, b) != topo.Bandwidth(b, a) || topo.Bandwidth(a, b) <= 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

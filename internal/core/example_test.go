@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/sim"
+	"reassign/internal/trace"
+)
+
+// Example runs the paper's pipeline end to end: learn a schedule for
+// the 50-activation Montage workflow over 100 episodes, then inspect
+// the extracted plan.
+func Example() {
+	w := trace.Montage50(rand.New(rand.NewSource(1)))
+	fleet, _ := cloud.FleetTable1(16)
+	fluct := cloud.DefaultFluctuation()
+
+	l := &core.Learner{
+		Workflow: w,
+		Fleet:    fleet,
+		Params:   core.DefaultParams(), // α=0.5, γ=1.0, ε=0.1, μ=0.5
+		Episodes: 100,
+		Seed:     1,
+		SimConfig: sim.Config{
+			Fluct: &fluct, // learn from a fluctuating environment
+		},
+	}
+	res, _ := l.Learn()
+
+	onBigVM := 0
+	for _, vmID := range res.Plan {
+		if fleet.VMs[vmID].Type.Name == "t2.2xlarge" {
+			onBigVM++
+		}
+	}
+	fmt.Println("plan covers all activations:", len(res.Plan) == w.Len())
+	fmt.Println("prefers the robust VM:", onBigVM > w.Len()/2)
+	// Output:
+	// plan covers all activations: true
+	// prefers the robust VM: true
+}
+
+// ExamplePerfIndex shows the reward ingredients of Eq. 4-6.
+func ExamplePerfIndex() {
+	mu := 0.5 // the paper's balance between execution and queue time
+	vmIndex := core.PerfIndex(12.0, 4.0, mu)
+	globalIndex := core.PerfIndex(10.0, 2.0, mu)
+	stdv := 1.0
+
+	fmt.Printf("Pi_j=%.1f Pw=%.1f\n", vmIndex, globalIndex)
+	fmt.Println("crisp reward:", core.CrispReward(vmIndex, globalIndex, stdv))
+	fmt.Println("smoothed:", core.SmoothReward(0, core.CrispReward(vmIndex, globalIndex, stdv), 0.5))
+	// Output:
+	// Pi_j=8.0 Pw=6.0
+	// crisp reward: -1
+	// smoothed: -0.5
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/rl"
+	"reassign/internal/sim"
+)
+
+// Learner drives the two-stage pipeline of §III.D: stage one runs
+// Episodes simulated executions of the workflow, each an RL episode
+// updating a shared Q table; stage two extracts the final scheduling
+// plan greedily from the learned table. The plan is then handed to
+// the execution engine (package engine) for the "real" run.
+type Learner struct {
+	Workflow *dag.Workflow
+	Fleet    *cloud.Fleet
+	Params   Params
+	// Episodes is the number of learning episodes (the paper uses 100).
+	Episodes int
+	// SimConfig configures the learning simulator (WorkflowSim stage).
+	SimConfig sim.Config
+	// Seed drives Q initialisation and exploration.
+	Seed int64
+	// Table, when non-nil, continues learning from a previous run
+	// (the paper's provenance-backed cross-execution learning).
+	Table *rl.Table
+	// AlphaSchedule and EpsilonSchedule, when non-nil, override the
+	// fixed α and ε per episode (e.g. rl.ExpDecay to explore early and
+	// exploit late — an extension over the paper's constants).
+	AlphaSchedule   rl.Schedule
+	EpsilonSchedule rl.Schedule
+
+	// tableB is the DoubleQ second table, persisted across this
+	// learner's episodes.
+	tableB *rl.Table
+}
+
+// EpisodeStats records one learning episode.
+type EpisodeStats struct {
+	Episode  int
+	Makespan float64
+	Reward   float64 // accumulated crisp reward
+	State    sim.WorkflowState
+}
+
+// Result is the outcome of Learn.
+type Result struct {
+	// Table is the learned Q table (shared with the Learner).
+	Table *rl.Table
+	// Episodes holds per-episode diagnostics, in order.
+	Episodes []EpisodeStats
+	// LearningTime is the wall-clock duration of the episode loop —
+	// the quantity in the paper's Table II.
+	LearningTime time.Duration
+	// Plan is the final activation→VM scheduling plan extracted
+	// greedily from the learned table.
+	Plan map[string]int
+	// PlanMakespan is the simulated execution time of the final plan
+	// — the quantity in the paper's Table III.
+	PlanMakespan float64
+	// BestEpisodeMakespan is the best makespan observed while
+	// learning.
+	BestEpisodeMakespan float64
+}
+
+// Learn runs the episode loop and extracts the final plan.
+func (l *Learner) Learn() (*Result, error) {
+	if l.Workflow == nil || l.Fleet == nil {
+		return nil, fmt.Errorf("core: learner needs a workflow and a fleet")
+	}
+	if err := l.Params.Validate(); err != nil {
+		return nil, err
+	}
+	episodes := l.Episodes
+	if episodes <= 0 {
+		episodes = 100
+	}
+	rng := rand.New(rand.NewSource(l.Seed))
+	table := l.Table
+	if table == nil {
+		// Algorithm 2: "Start Q(s,a) at random".
+		table = rl.NewTable(rand.New(rand.NewSource(rng.Int63())), 1.0)
+	}
+
+	res := &Result{Table: table, BestEpisodeMakespan: math.Inf(1)}
+	start := time.Now()
+	for ep := 0; ep < episodes; ep++ {
+		params := l.Params
+		if l.AlphaSchedule != nil {
+			params.Alpha = l.AlphaSchedule.At(ep)
+		}
+		// The ε schedule feeds the default ε-greedy policy; an explicit
+		// Params.Policy takes precedence and ignores it.
+		if l.EpsilonSchedule != nil && params.Policy == nil {
+			params.Epsilon = l.EpsilonSchedule.At(ep)
+		}
+		agent, err := NewScheduler(params, table, rand.New(rand.NewSource(rng.Int63())))
+		if err != nil {
+			return nil, err
+		}
+		if params.Rule == DoubleQ {
+			if l.tableB == nil {
+				l.tableB = rl.NewTable(rand.New(rand.NewSource(rng.Int63())), 1.0)
+			}
+			agent.WithSecondTable(l.tableB)
+		}
+		cfg := l.SimConfig
+		cfg.Seed = rng.Int63()
+		simRes, err := sim.Run(l.Workflow, l.Fleet, agent, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: episode %d: %w", ep, err)
+		}
+		res.Episodes = append(res.Episodes, EpisodeStats{
+			Episode:  ep,
+			Makespan: simRes.Makespan,
+			Reward:   agent.EpisodeReward(),
+			State:    simRes.State,
+		})
+		if simRes.State == sim.FinishedOK && simRes.Makespan < res.BestEpisodeMakespan {
+			res.BestEpisodeMakespan = simRes.Makespan
+		}
+	}
+	res.LearningTime = time.Since(start)
+
+	plan, makespan, err := l.ExtractPlan(table)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = plan
+	res.PlanMakespan = makespan
+	return res, nil
+}
+
+// ExtractPlan runs one greedy (pure-exploitation, no-update) episode
+// against the table and returns the resulting activation→VM plan and
+// its simulated makespan.
+func (l *Learner) ExtractPlan(table *rl.Table) (map[string]int, float64, error) {
+	agent, err := NewPlanExtractor(l.Params, table)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg := l.SimConfig
+	cfg.Seed = l.Seed
+	simRes, err := sim.Run(l.Workflow, l.Fleet, agent, cfg)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: plan extraction: %w", err)
+	}
+	if simRes.State != sim.FinishedOK {
+		return nil, 0, fmt.Errorf("core: plan extraction ended in state %v", simRes.State)
+	}
+	return simRes.Plan, simRes.Makespan, nil
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/rl"
+	"reassign/internal/sim"
+)
+
+// BootstrapScope selects the action set behind Algorithm 2's
+// max_a' Q(s', a'): the paper's prose ("all values of Q for each
+// schedule action") suggests the whole remaining table, while a
+// strict MDP reading would only admit actions available in s'.
+// AllPending reproduces the paper's Table III shape (γ=1.0, ε=0.1
+// dominating) and is the default; AvailableOnly is the ablation.
+type BootstrapScope int
+
+const (
+	// AllPending maximises over every unfinished activation × every
+	// VM.
+	AllPending BootstrapScope = iota
+	// AvailableOnly maximises over dependency-free, unscheduled
+	// activations × idle VMs, bootstrapping 0 in "unavailable" states.
+	AvailableOnly
+)
+
+// UpdateRule selects the temporal-difference target.
+type UpdateRule int
+
+const (
+	// QLearning bootstraps on max_a' Q(s', a') — the paper's rule.
+	QLearning UpdateRule = iota
+	// SARSA bootstraps on the Q value of a policy-sampled next action
+	// (on-policy ablation).
+	SARSA
+	// DoubleQ maintains two tables and cross-evaluates the argmax
+	// (van Hasselt's Double Q-learning), correcting the maximisation
+	// bias that inflates Q under the paper's rule.
+	DoubleQ
+)
+
+// Params are the learning parameters of Algorithm 2.
+type Params struct {
+	Alpha   float64 // learning rate α
+	Gamma   float64 // discount γ
+	Epsilon float64 // exploitation probability ε (paper convention)
+	Mu      float64 // exec-vs-queue balance μ in the performance index
+	Rho     float64 // reward smoothing ρ
+
+	// GammaPowerT applies the discount as γ^t with t the per-episode
+	// decision counter, as written in Algorithm 2. False uses the
+	// conventional constant γ (ablation).
+	GammaPowerT bool
+	// Scope selects which schedule actions the TD target maximises
+	// over (Algorithm 2's max_a' Q(s', a') leaves this ambiguous).
+	Scope BootstrapScope
+	// CostWeight blends a monetary objective into the reward (the
+	// paper's future-work direction): 0 = pure performance (the
+	// paper's reward), 1 = pure cost. The cost term rewards cheap
+	// slot-seconds: 1 − 2·(slot price / max slot price).
+	CostWeight float64
+	// Rule selects Q-learning (default) or SARSA bootstrapping.
+	Rule UpdateRule
+	// Policy overrides the paper's ε-greedy exploration when non-nil.
+	Policy rl.Policy
+}
+
+// DefaultParams returns the paper's fixed settings (μ=0.5) with the
+// best-performing learning parameters from Table III (α=0.5, γ=1.0,
+// ε=0.1) and ρ=0.5.
+func DefaultParams() Params {
+	return Params{Alpha: 0.5, Gamma: 1.0, Epsilon: 0.1, Mu: 0.5, Rho: 0.5, GammaPowerT: true}
+}
+
+// Validate checks parameter ranges.
+func (p Params) Validate() error {
+	check := func(name string, v, lo, hi float64) error {
+		if math.IsNaN(v) || v < lo || v > hi {
+			return fmt.Errorf("core: %s = %v outside [%v, %v]", name, v, lo, hi)
+		}
+		return nil
+	}
+	if err := check("alpha", p.Alpha, 0, 1); err != nil {
+		return err
+	}
+	if err := check("gamma", p.Gamma, 0, 1); err != nil {
+		return err
+	}
+	if err := check("epsilon", p.Epsilon, 0, 1); err != nil {
+		return err
+	}
+	if err := check("mu", p.Mu, 0, 1); err != nil {
+		return err
+	}
+	if err := check("rho", p.Rho, 0, 1); err != nil {
+		return err
+	}
+	return check("costWeight", p.CostWeight, 0, 1)
+}
+
+// Scheduler is the ReASSIgN agent for one episode: it explores with
+// the ε policy during Pick and updates the shared Q table from
+// measured execution and queue times on every completion.
+//
+// Construct it with NewScheduler; the same Table may (and should) be
+// shared across episodes — that is how learning progresses.
+type Scheduler struct {
+	params Params
+	table  *rl.Table
+	rng    *rand.Rand
+	policy rl.Policy
+	frozen bool // plan-extraction mode: greedy, no updates
+
+	w            *dag.Workflow
+	pending      map[int]bool // activation indices not yet succeeded
+	inflight     map[int]bool // activation indices currently assigned/running
+	maxSlotPrice float64      // most expensive slot-hour in the fleet
+	tableB       *rl.Table    // second table for DoubleQ (nil otherwise)
+	rewardT      float64      // r^{t-1}, the running smoothed reward
+	step         int          // t, the per-episode decision counter
+	episodeR     float64      // Σ crisp rewards this episode (diagnostics)
+}
+
+var _ sim.Scheduler = (*Scheduler)(nil)
+var _ sim.CompletionObserver = (*Scheduler)(nil)
+
+// NewScheduler returns an episode agent sharing the given Q table.
+// rng drives exploration (pass a distinct stream per episode for
+// reproducibility).
+func NewScheduler(params Params, table *rl.Table, rng *rand.Rand) (*Scheduler, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if table == nil {
+		return nil, fmt.Errorf("core: nil Q table")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	pol := params.Policy
+	if pol == nil {
+		pol = rl.EpsilonGreedy{Epsilon: params.Epsilon}
+	}
+	return &Scheduler{params: params, table: table, rng: rng, policy: pol}, nil
+}
+
+// NewPlanExtractor returns a frozen agent that always exploits the
+// table greedily and performs no updates — used to extract and
+// evaluate the final scheduling plan.
+func NewPlanExtractor(params Params, table *rl.Table) (*Scheduler, error) {
+	s, err := NewScheduler(params, table, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return nil, err
+	}
+	s.policy = rl.Greedy{}
+	s.frozen = true
+	return s, nil
+}
+
+// WithSecondTable attaches the second Q table required by the DoubleQ
+// rule (shared across episodes like the primary one) and returns the
+// scheduler for chaining.
+func (s *Scheduler) WithSecondTable(t *rl.Table) *Scheduler {
+	s.tableB = t
+	return s
+}
+
+// Name implements sim.Scheduler.
+func (s *Scheduler) Name() string { return "ReASSIgN" }
+
+// Prepare implements sim.Scheduler: it resets per-episode state (the
+// Q table persists).
+func (s *Scheduler) Prepare(w *dag.Workflow, fleet *cloud.Fleet, _ *sim.Env) error {
+	s.w = w
+	s.maxSlotPrice = 0
+	for _, vm := range fleet.VMs {
+		if p := slotPrice(vm); p > s.maxSlotPrice {
+			s.maxSlotPrice = p
+		}
+	}
+	s.pending = make(map[int]bool, w.Len())
+	s.inflight = make(map[int]bool)
+	for _, a := range w.Activations() {
+		s.pending[a.Index] = true
+	}
+	s.rewardT = 0
+	s.step = 1
+	s.episodeR = 0
+	return nil
+}
+
+// Pick implements sim.Scheduler: ε-greedy VM selection for each ready
+// activation, respecting slot budgets within the round.
+func (s *Scheduler) Pick(ctx *sim.Context) []sim.Assignment {
+	free := make(map[int]*sim.VMState, len(ctx.IdleVMs))
+	budget := make(map[int]int, len(ctx.IdleVMs))
+	for _, v := range ctx.IdleVMs {
+		free[v.VM.ID] = v
+		budget[v.VM.ID] = v.FreeSlots()
+	}
+	var out []sim.Assignment
+	for _, t := range ctx.Ready {
+		var open []int
+		for _, v := range ctx.IdleVMs {
+			if budget[v.VM.ID] > 0 {
+				open = append(open, v.VM.ID)
+			}
+		}
+		if len(open) == 0 {
+			break
+		}
+		vmID := s.policy.Select(s.table, t.Act.Index, open, s.rng)
+		budget[vmID]--
+		out = append(out, sim.Assignment{Task: t, VM: free[vmID]})
+		s.inflight[t.Act.Index] = true
+		s.step++
+	}
+	return out
+}
+
+// OnTaskComplete implements sim.CompletionObserver: it computes the
+// reward of the finished activation's schedule action from measured
+// times (Eq. 4-6) and applies the TD update of Algorithm 2.
+func (s *Scheduler) OnTaskComplete(t *sim.Task, env *sim.Env) {
+	delete(s.pending, t.Act.Index)
+	delete(s.inflight, t.Act.Index)
+	if s.frozen {
+		return
+	}
+
+	// Locate the executing VM's aggregate stats.
+	var vmStats sim.VMStats
+	for _, v := range env.VMStates() {
+		if v.VM.ID == t.VM.ID {
+			vmStats = v.Stats()
+			break
+		}
+	}
+	mu := s.params.Mu
+	pi := VMPerfIndex(vmStats, mu)
+	pw := GlobalPerfIndex(env.GlobalStats(), mu)
+	stdv := PerfStdDev(env.VMStates(), mu)
+	crisp := CrispReward(pi, pw, stdv)
+	if cw := s.params.CostWeight; cw > 0 && s.maxSlotPrice > 0 {
+		costTerm := 1 - 2*slotPrice(t.VM)/s.maxSlotPrice
+		crisp = (1-cw)*crisp + cw*costTerm
+	}
+	s.episodeR += crisp
+	s.rewardT = SmoothReward(s.rewardT, crisp, s.params.Rho)
+
+	// Discount: γ^t per Algorithm 2, or constant γ.
+	gamma := s.params.Gamma
+	if s.params.GammaPowerT {
+		gamma = math.Pow(s.params.Gamma, float64(s.step))
+	}
+
+	k := rl.Key{Task: t.Act.Index, VM: t.VM.ID}
+	if s.params.Rule == DoubleQ && s.tableB != nil {
+		// Flip a coin; the chosen table picks the argmax, the other
+		// evaluates it.
+		selT, evalT := s.table, s.tableB
+		if s.rng.Intn(2) == 1 {
+			selT, evalT = s.tableB, s.table
+		}
+		next := s.doubleBootstrap(env, selT, evalT)
+		selT.TDUpdate(k, s.params.Alpha, s.rewardT, gamma, next)
+		return
+	}
+	next := s.bootstrap(env)
+	s.table.TDUpdate(k, s.params.Alpha, s.rewardT, gamma, next)
+}
+
+// doubleBootstrap picks the best next action with selT and returns
+// its value under evalT (Double Q-learning's cross-evaluation).
+func (s *Scheduler) doubleBootstrap(env *sim.Env, selT, evalT *rl.Table) float64 {
+	ready, idle := s.nextActions(env)
+	if len(ready) == 0 || len(idle) == 0 {
+		return 0
+	}
+	bestKey := rl.Key{Task: ready[0], VM: idle[0]}
+	bestV := math.Inf(-1)
+	for _, task := range ready {
+		for _, vm := range idle {
+			k := rl.Key{Task: task, VM: vm}
+			if v := selT.Value(k); v > bestV {
+				bestV, bestKey = v, k
+			}
+		}
+	}
+	return evalT.Value(bestKey)
+}
+
+// bootstrap estimates the value of the successor state s': the best
+// (or policy-sampled, for SARSA) Q value over the schedule actions
+// *available in s'* — activations whose dependencies have all
+// finished, paired with currently idle VMs. Terminal states (and
+// states with no available action, the paper's "unavailable")
+// bootstrap to 0.
+func (s *Scheduler) bootstrap(env *sim.Env) float64 {
+	ready, idle := s.nextActions(env)
+	if len(ready) == 0 || len(idle) == 0 {
+		return 0 // the "unavailable" state: only do-nothing is possible
+	}
+	switch s.params.Rule {
+	case SARSA:
+		// Take the lowest-index available activation and apply the
+		// behaviour policy to pick its VM (on-policy bootstrap).
+		vm := s.policy.Select(s.table, ready[0], idle, s.rng)
+		return s.table.Value(rl.Key{Task: ready[0], VM: vm})
+	default: // QLearning
+		best := math.Inf(-1)
+		for _, task := range ready {
+			for _, vm := range idle {
+				if q := s.table.Value(rl.Key{Task: task, VM: vm}); q > best {
+					best = q
+				}
+			}
+		}
+		return best
+	}
+}
+
+// nextActions enumerates the candidate schedule actions of the
+// successor state under the configured Scope, in index order (Value
+// materialises random initial entries, so the access order must be
+// deterministic).
+func (s *Scheduler) nextActions(env *sim.Env) (ready, idle []int) {
+	if len(s.pending) == 0 {
+		return nil, nil
+	}
+	switch s.params.Scope {
+	case AvailableOnly:
+		for i := 0; i < s.w.Len(); i++ {
+			if !s.pending[i] || s.inflight[i] {
+				continue
+			}
+			blocked := false
+			for _, p := range s.w.ByIndex(i).Parents() {
+				if s.pending[p.Index] {
+					blocked = true
+					break
+				}
+			}
+			if !blocked {
+				ready = append(ready, i)
+			}
+		}
+		for _, v := range env.VMStates() {
+			if v.Idle() {
+				idle = append(idle, v.VM.ID)
+			}
+		}
+	default: // AllPending
+		for i := 0; i < s.w.Len(); i++ {
+			if s.pending[i] {
+				ready = append(ready, i)
+			}
+		}
+		for _, v := range env.VMStates() {
+			idle = append(idle, v.VM.ID)
+		}
+	}
+	return ready, idle
+}
+
+// EpisodeReward returns the accumulated crisp reward of the episode
+// so far (diagnostic).
+func (s *Scheduler) EpisodeReward() float64 { return s.episodeR }
+
+// slotPrice is a VM's hourly price per execution slot — the unit the
+// cost-aware reward compares.
+func slotPrice(vm *cloud.VM) float64 {
+	return vm.Type.PricePerHour / float64(vm.Type.VCPUs)
+}

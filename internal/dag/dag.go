@@ -1,0 +1,357 @@
+// Package dag models scientific workflows as directed acyclic graphs
+// of activations, following the formalism of the paper: a workflow
+// W(A, Dep) whose nodes are activities, instantiated into activations
+// (the smallest units of work schedulable in parallel), with data
+// dependencies derived from produced/consumed files.
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// File is a data artifact consumed or produced by an activation.
+type File struct {
+	Name string
+	Size int64 // bytes
+}
+
+// Activation is one schedulable unit of work (a task). Each
+// activation belongs to an activity (its transformation / program
+// name, e.g. "mProjectPP" in Montage).
+type Activation struct {
+	ID       string  // unique within the workflow (DAX style, e.g. "ID00007")
+	Index    int     // dense index assigned by the workflow, 0..N-1
+	Activity string  // activity / transformation name
+	Runtime  float64 // reference execution time in seconds on a 1.0-speed VM
+	Inputs   []File
+	Outputs  []File
+
+	parents  []*Activation
+	children []*Activation
+}
+
+// Parents returns the activations this one depends on. The returned
+// slice is shared; callers must not mutate it.
+func (a *Activation) Parents() []*Activation { return a.parents }
+
+// Children returns the activations depending on this one. The
+// returned slice is shared; callers must not mutate it.
+func (a *Activation) Children() []*Activation { return a.children }
+
+// InputBytes returns the total size of the activation's input files.
+func (a *Activation) InputBytes() int64 {
+	var n int64
+	for _, f := range a.Inputs {
+		n += f.Size
+	}
+	return n
+}
+
+// OutputBytes returns the total size of the activation's output files.
+func (a *Activation) OutputBytes() int64 {
+	var n int64
+	for _, f := range a.Outputs {
+		n += f.Size
+	}
+	return n
+}
+
+func (a *Activation) String() string {
+	return fmt.Sprintf("%s(%s)", a.ID, a.Activity)
+}
+
+// Workflow is a DAG of activations.
+type Workflow struct {
+	Name string
+
+	acts []*Activation
+	byID map[string]*Activation
+}
+
+// New returns an empty workflow with the given name.
+func New(name string) *Workflow {
+	return &Workflow{Name: name, byID: make(map[string]*Activation)}
+}
+
+// Len returns the number of activations.
+func (w *Workflow) Len() int { return len(w.acts) }
+
+// Activations returns all activations in insertion (index) order.
+// The returned slice is shared; callers must not mutate it.
+func (w *Workflow) Activations() []*Activation { return w.acts }
+
+// Get returns the activation with the given ID, or nil.
+func (w *Workflow) Get(id string) *Activation { return w.byID[id] }
+
+// ByIndex returns the activation with the given dense index.
+func (w *Workflow) ByIndex(i int) *Activation { return w.acts[i] }
+
+// Add creates and inserts a new activation. It returns an error if
+// the ID is already taken or the runtime is negative.
+func (w *Workflow) Add(id, activity string, runtime float64) (*Activation, error) {
+	if id == "" {
+		return nil, fmt.Errorf("dag: empty activation ID")
+	}
+	if _, dup := w.byID[id]; dup {
+		return nil, fmt.Errorf("dag: duplicate activation ID %q", id)
+	}
+	if runtime < 0 {
+		return nil, fmt.Errorf("dag: activation %q has negative runtime %v", id, runtime)
+	}
+	a := &Activation{ID: id, Index: len(w.acts), Activity: activity, Runtime: runtime}
+	w.acts = append(w.acts, a)
+	w.byID[id] = a
+	return a, nil
+}
+
+// MustAdd is Add that panics on error, for generators and tests.
+func (w *Workflow) MustAdd(id, activity string, runtime float64) *Activation {
+	a, err := w.Add(id, activity, runtime)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AddDep records that child depends on parent (parent must finish
+// before child may start). Self-dependencies and unknown IDs are
+// errors; duplicate edges are ignored.
+func (w *Workflow) AddDep(parentID, childID string) error {
+	p, ok := w.byID[parentID]
+	if !ok {
+		return fmt.Errorf("dag: unknown parent %q", parentID)
+	}
+	c, ok := w.byID[childID]
+	if !ok {
+		return fmt.Errorf("dag: unknown child %q", childID)
+	}
+	if p == c {
+		return fmt.Errorf("dag: self-dependency on %q", parentID)
+	}
+	for _, existing := range p.children {
+		if existing == c {
+			return nil
+		}
+	}
+	p.children = append(p.children, c)
+	c.parents = append(c.parents, p)
+	return nil
+}
+
+// MustDep is AddDep that panics on error.
+func (w *Workflow) MustDep(parentID, childID string) {
+	if err := w.AddDep(parentID, childID); err != nil {
+		panic(err)
+	}
+}
+
+// HasDep reports whether a direct edge parent->child exists.
+func (w *Workflow) HasDep(parentID, childID string) bool {
+	p, ok := w.byID[parentID]
+	if !ok {
+		return false
+	}
+	for _, c := range p.children {
+		if c.ID == childID {
+			return true
+		}
+	}
+	return false
+}
+
+// Roots returns activations with no parents, in index order.
+func (w *Workflow) Roots() []*Activation {
+	var out []*Activation
+	for _, a := range w.acts {
+		if len(a.parents) == 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Leaves returns activations with no children, in index order.
+func (w *Workflow) Leaves() []*Activation {
+	var out []*Activation
+	for _, a := range w.acts {
+		if len(a.children) == 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Edges returns the number of dependency edges.
+func (w *Workflow) Edges() int {
+	n := 0
+	for _, a := range w.acts {
+		n += len(a.children)
+	}
+	return n
+}
+
+// TotalRuntime returns the sum of all activation reference runtimes
+// (the sequential makespan on a 1.0-speed machine).
+func (w *Workflow) TotalRuntime() float64 {
+	var s float64
+	for _, a := range w.acts {
+		s += a.Runtime
+	}
+	return s
+}
+
+// Validate checks structural invariants: at least one activation,
+// consistent parent/child symmetry, and acyclicity.
+func (w *Workflow) Validate() error {
+	if len(w.acts) == 0 {
+		return fmt.Errorf("dag: workflow %q has no activations", w.Name)
+	}
+	for _, a := range w.acts {
+		for _, c := range a.children {
+			if !contains(c.parents, a) {
+				return fmt.Errorf("dag: asymmetric edge %s->%s", a.ID, c.ID)
+			}
+		}
+		for _, p := range a.parents {
+			if !contains(p.children, a) {
+				return fmt.Errorf("dag: asymmetric edge %s->%s", p.ID, a.ID)
+			}
+		}
+	}
+	if _, err := w.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func contains(list []*Activation, a *Activation) bool {
+	for _, x := range list {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// TopoOrder returns the activations in a deterministic topological
+// order (Kahn's algorithm, ready set kept sorted by index). It
+// returns an error naming a cycle member if the graph is cyclic.
+func (w *Workflow) TopoOrder() ([]*Activation, error) {
+	indeg := make([]int, len(w.acts))
+	for _, a := range w.acts {
+		indeg[a.Index] = len(a.parents)
+	}
+	var ready []*Activation
+	for _, a := range w.acts {
+		if indeg[a.Index] == 0 {
+			ready = append(ready, a)
+		}
+	}
+	var order []*Activation
+	for len(ready) > 0 {
+		// Pop the lowest-index ready activation for determinism.
+		sort.Slice(ready, func(i, j int) bool { return ready[i].Index < ready[j].Index })
+		a := ready[0]
+		ready = ready[1:]
+		order = append(order, a)
+		for _, c := range a.children {
+			indeg[c.Index]--
+			if indeg[c.Index] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	if len(order) != len(w.acts) {
+		for _, a := range w.acts {
+			if indeg[a.Index] > 0 {
+				return nil, fmt.Errorf("dag: cycle detected involving %s", a.ID)
+			}
+		}
+	}
+	return order, nil
+}
+
+// InferDataDeps adds a dependency edge a->b wherever an output file of
+// a is an input file of b, per the paper's dep(ac_i, ac_j) definition.
+// It returns the number of edges added.
+func (w *Workflow) InferDataDeps() int {
+	producer := make(map[string]*Activation)
+	for _, a := range w.acts {
+		for _, f := range a.Outputs {
+			producer[f.Name] = a
+		}
+	}
+	added := 0
+	for _, b := range w.acts {
+		for _, f := range b.Inputs {
+			a, ok := producer[f.Name]
+			if !ok || a == b {
+				continue
+			}
+			if !w.HasDep(a.ID, b.ID) {
+				if err := w.AddDep(a.ID, b.ID); err == nil {
+					added++
+				}
+			}
+		}
+	}
+	return added
+}
+
+// Clone returns a deep copy of the workflow (files are copied by
+// value; the graphs are independent).
+func (w *Workflow) Clone() *Workflow {
+	out := New(w.Name)
+	for _, a := range w.acts {
+		na := out.MustAdd(a.ID, a.Activity, a.Runtime)
+		na.Inputs = append([]File(nil), a.Inputs...)
+		na.Outputs = append([]File(nil), a.Outputs...)
+	}
+	for _, a := range w.acts {
+		for _, c := range a.children {
+			out.MustDep(a.ID, c.ID)
+		}
+	}
+	return out
+}
+
+// Merge combines several workflows into one ensemble DAG, prefixing
+// every activation ID with its workflow's name (and index, to stay
+// unique) — the shape used to schedule a batch of workflows onto one
+// shared fleet. The inputs are not modified.
+func Merge(name string, ws ...*Workflow) (*Workflow, error) {
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("dag: merge of zero workflows")
+	}
+	out := New(name)
+	for i, w := range ws {
+		prefix := fmt.Sprintf("%s#%d/", w.Name, i)
+		for _, a := range w.Activations() {
+			na, err := out.Add(prefix+a.ID, a.Activity, a.Runtime)
+			if err != nil {
+				return nil, err
+			}
+			na.Inputs = prefixFiles(prefix, a.Inputs)
+			na.Outputs = prefixFiles(prefix, a.Outputs)
+		}
+		for _, a := range w.Activations() {
+			for _, c := range a.Children() {
+				if err := out.AddDep(prefix+a.ID, prefix+c.ID); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// prefixFiles namespaces file names so identically named files of
+// different ensemble members stay distinct.
+func prefixFiles(prefix string, fs []File) []File {
+	out := make([]File, len(fs))
+	for i, f := range fs {
+		out[i] = File{Name: prefix + f.Name, Size: f.Size}
+	}
+	return out
+}

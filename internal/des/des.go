@@ -1,0 +1,253 @@
+// Package des implements a small deterministic discrete-event
+// simulation kernel: a virtual clock and a future-event list.
+//
+// The kernel is the substrate for the WorkflowSim-equivalent cloud
+// simulator (package sim). It is intentionally minimal: events are
+// closures scheduled at absolute virtual times; ties are broken first
+// by an integer priority and then by insertion order, so a simulation
+// driven only by a seeded random source is bit-for-bit reproducible.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Handler is the body of a scheduled event. It runs with the
+// simulation clock set to the event's time and may schedule further
+// events.
+type Handler func()
+
+// ErrHorizon is returned by Run when the simulation stops because the
+// configured time horizon was reached while events remained pending.
+var ErrHorizon = errors.New("des: time horizon reached with pending events")
+
+// event is one entry in the future-event list.
+type event struct {
+	time     float64
+	priority int   // lower runs first among equal times
+	seq      int64 // insertion order; breaks remaining ties
+	fn       Handler
+	canceled bool
+}
+
+// eventQueue is a min-heap over (time, priority, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	if q[i].priority != q[j].priority {
+		return q[i].priority < q[j].priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// EventRef identifies a scheduled event so it can be canceled.
+type EventRef struct{ ev *event }
+
+// Cancel marks the referenced event so it will not run. Canceling an
+// already-run or already-canceled event is a no-op. Cancel reports
+// whether the event was still pending.
+func (r EventRef) Cancel() bool {
+	if r.ev == nil || r.ev.canceled {
+		return false
+	}
+	r.ev.canceled = true
+	return true
+}
+
+// Simulator owns the virtual clock and the future-event list.
+// The zero value is not usable; call New.
+type Simulator struct {
+	now     float64
+	queue   eventQueue
+	seq     int64
+	horizon float64 // 0 means unbounded
+	steps   int64   // events executed
+	running bool
+}
+
+// New returns an empty simulator with the clock at zero and no
+// horizon.
+func New() *Simulator {
+	return &Simulator{horizon: math.Inf(1)}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() int64 { return s.steps }
+
+// Pending returns the number of events still scheduled (including
+// canceled events not yet discarded).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// SetHorizon bounds Run: the simulation stops (with ErrHorizon) before
+// executing any event strictly later than t. A non-positive t removes
+// the bound.
+func (s *Simulator) SetHorizon(t float64) {
+	if t <= 0 {
+		s.horizon = math.Inf(1)
+		return
+	}
+	s.horizon = t
+}
+
+// At schedules fn at absolute virtual time t with priority 0.
+// Scheduling in the past panics: it is always a logic error in a
+// discrete-event model.
+func (s *Simulator) At(t float64, fn Handler) EventRef {
+	return s.AtPriority(t, 0, fn)
+}
+
+// AtPriority schedules fn at absolute time t. Among events with equal
+// time, lower priority runs first; equal priorities run in insertion
+// order.
+func (s *Simulator) AtPriority(t float64, priority int, fn Handler) EventRef {
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("des: schedule at NaN")
+	}
+	s.seq++
+	ev := &event{time: t, priority: priority, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, ev)
+	return EventRef{ev: ev}
+}
+
+// After schedules fn delay time units from now (priority 0).
+func (s *Simulator) After(delay float64, fn Handler) EventRef {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Step executes the earliest pending event, advancing the clock.
+// It reports whether an event was executed (false when the queue is
+// empty or only canceled events remain).
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		s.now = ev.time
+		s.steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the horizon is hit.
+// It returns nil on a drained queue and ErrHorizon otherwise.
+func (s *Simulator) Run() error {
+	if s.running {
+		panic("des: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 {
+		// Peek without popping so a horizon stop leaves the event
+		// pending.
+		next := s.queue[0]
+		if next.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.time > s.horizon {
+			return ErrHorizon
+		}
+		s.Step()
+	}
+	return nil
+}
+
+// RunUntil executes events with time <= t, then advances the clock to
+// exactly t (even if no event was pending there). Events after t stay
+// queued.
+func (s *Simulator) RunUntil(t float64) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: RunUntil(%v) before now %v", t, s.now))
+	}
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if next.time > t {
+			break
+		}
+		s.Step()
+	}
+	s.now = t
+}
+
+// Reset empties the queue and rewinds the clock to zero. Event
+// references from before the reset become stale no-ops.
+func (s *Simulator) Reset() {
+	s.queue = nil
+	s.now = 0
+	s.seq = 0
+	s.steps = 0
+}
+
+// Ticker is a periodic event series created by Every.
+type Ticker struct {
+	stopped bool
+	next    EventRef
+}
+
+// Stop ends the series; the pending occurrence is canceled. Stopping
+// twice is a no-op.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.next.Cancel()
+}
+
+// Every schedules fn at now+interval, now+2·interval, … until fn
+// returns false, the ticker is stopped, or the simulation drains.
+func (s *Simulator) Every(interval float64, fn func() bool) *Ticker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("des: non-positive interval %v", interval))
+	}
+	if fn == nil {
+		panic("des: nil handler")
+	}
+	t := &Ticker{}
+	var tick Handler
+	tick = func() {
+		if t.stopped || !fn() {
+			return
+		}
+		t.next = s.After(interval, tick)
+	}
+	t.next = s.After(interval, tick)
+	return t
+}

@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/provenance"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+	"reassign/internal/trace"
+)
+
+// planAllOn returns a plan mapping every activation to one VM.
+func planAllOn(w *dag.Workflow, vm int) map[string]int {
+	p := make(map[string]int, w.Len())
+	for _, a := range w.Activations() {
+		p[a.ID] = vm
+	}
+	return p
+}
+
+func TestExecuteChainRespectsOrder(t *testing.T) {
+	w := dag.New("chain")
+	w.MustAdd("a", "x", 10)
+	w.MustAdd("b", "x", 10)
+	w.MustDep("a", "b")
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T22XLarge}, []int{1})
+	e := &Engine{Workflow: w, Fleet: fleet, Plan: planAllOn(w, 0), TimeScale: 1e-3}
+	rep, err := e.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tasks) != 2 {
+		t.Fatalf("tasks = %d", len(rep.Tasks))
+	}
+	var aFin, bStart float64
+	for _, tr := range rep.Tasks {
+		if tr.TaskID == "a" {
+			aFin = tr.FinishAt
+		}
+		if tr.TaskID == "b" {
+			bStart = tr.StartAt
+		}
+	}
+	if bStart < aFin-1 { // 1 virtual second of scheduling slack
+		t.Fatalf("b started at %v before a finished at %v", bStart, aFin)
+	}
+	// 20 virtual seconds nominal; allow generous overhead.
+	if rep.Makespan < 19 || rep.Makespan > 60 {
+		t.Fatalf("makespan = %v, want ≈20", rep.Makespan)
+	}
+	if rep.PerVM[0] != 2 {
+		t.Fatalf("PerVM = %v", rep.PerVM)
+	}
+}
+
+func TestExecuteParallelOverlaps(t *testing.T) {
+	// 8 independent 10s tasks on one 8-slot VM: ≈10s, not 80.
+	w := dag.New("par")
+	for i := 0; i < 8; i++ {
+		w.MustAdd(string(rune('a'+i)), "x", 10)
+	}
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T22XLarge}, []int{1})
+	e := &Engine{Workflow: w, Fleet: fleet, Plan: planAllOn(w, 0), TimeScale: 1e-3}
+	rep, err := e.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan > 40 {
+		t.Fatalf("makespan = %v; tasks did not overlap", rep.Makespan)
+	}
+}
+
+func TestExecuteSerialisesOnSingleSlot(t *testing.T) {
+	w := dag.New("par")
+	for i := 0; i < 4; i++ {
+		w.MustAdd(string(rune('a'+i)), "x", 10)
+	}
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T2Micro}, []int{1})
+	e := &Engine{Workflow: w, Fleet: fleet, Plan: planAllOn(w, 0), TimeScale: 1e-3}
+	rep, err := e.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan < 39 {
+		t.Fatalf("makespan = %v; 4 tasks on 1 slot must serialise to ≈40", rep.Makespan)
+	}
+}
+
+func TestExecutePlanValidation(t *testing.T) {
+	w := dag.New("w")
+	w.MustAdd("a", "x", 1)
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T2Micro}, []int{1})
+	if _, err := (&Engine{Workflow: w, Fleet: fleet, Plan: map[string]int{}}).Execute(context.Background()); err == nil {
+		t.Fatal("incomplete plan accepted")
+	}
+	if _, err := (&Engine{Workflow: w, Fleet: fleet, Plan: map[string]int{"a": 9}}).Execute(context.Background()); err == nil {
+		t.Fatal("unknown VM accepted")
+	}
+	if _, err := (&Engine{}).Execute(context.Background()); err == nil {
+		t.Fatal("nil workflow accepted")
+	}
+}
+
+func TestExecuteRecordsProvenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := trace.Montage(rng, 4, 2)
+	fleet, _ := cloud.FleetTable1(16)
+	res, err := sim.Run(w, fleet, &sched.HEFT{}, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := provenance.NewStore()
+	e := &Engine{
+		Workflow: w, Fleet: fleet, Plan: res.Plan,
+		TimeScale: 1e-5, Store: store, RunID: "test-run",
+	}
+	rep, err := e.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tasks) != w.Len() {
+		t.Fatalf("executed %d of %d", len(rep.Tasks), w.Len())
+	}
+	if store.Len() != w.Len() {
+		t.Fatalf("provenance has %d records", store.Len())
+	}
+	recs := store.ByRun("test-run")
+	if len(recs) != w.Len() {
+		t.Fatalf("ByRun = %d", len(recs))
+	}
+	for _, r := range recs {
+		if !r.Success || r.VMType == "" {
+			t.Fatalf("bad record %+v", r)
+		}
+	}
+	if store.Makespan("test-run") <= 0 {
+		t.Fatal("provenance makespan not positive")
+	}
+}
+
+func TestExecuteWithFluctuationThrottlesMicro(t *testing.T) {
+	// A plan running everything on a micro VM under full throttling
+	// takes ≈ factor× the unthrottled plan.
+	w := dag.New("w")
+	w.MustAdd("a", "x", 20)
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T2Micro}, []int{1})
+	fl := cloud.FluctuationModel{MicroThrottleProb: 1, ThrottleFactor: 3}
+	e := &Engine{Workflow: w, Fleet: fleet, Plan: planAllOn(w, 0), Fluct: &fl, TimeScale: 1e-4}
+	rep, err := e.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan < 55 {
+		t.Fatalf("makespan = %v, want ≈60 under 3x throttle", rep.Makespan)
+	}
+}
+
+func TestExecuteCancellation(t *testing.T) {
+	w := dag.New("w")
+	w.MustAdd("a", "x", 1000)
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T2Micro}, []int{1})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	e := &Engine{Workflow: w, Fleet: fleet, Plan: planAllOn(w, 0), TimeScale: 1}
+	if _, err := e.Execute(ctx); err == nil {
+		t.Fatal("canceled run reported success")
+	}
+}
+
+func TestExecuteFullPipeline(t *testing.T) {
+	// Learn (simulator) → extract plan → execute (engine), the
+	// SciCumulus-RL two-stage pipeline end to end.
+	rng := rand.New(rand.NewSource(2))
+	w := trace.Montage50(rng)
+	fleet, _ := cloud.FleetTable1(32)
+	h := &sched.HEFT{}
+	res, err := sim.Run(w, fleet, h, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := cloud.DefaultFluctuation()
+	e := &Engine{Workflow: w, Fleet: fleet, Plan: res.Plan, Fluct: &fl, Seed: 3, TimeScale: 1e-5}
+	rep, err := e.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tasks) != 50 {
+		t.Fatalf("tasks = %d", len(rep.Tasks))
+	}
+	// Dependencies hold in wall-clock order too.
+	fin := make(map[string]float64)
+	st := make(map[string]float64)
+	for _, tr := range rep.Tasks {
+		fin[tr.TaskID] = tr.FinishAt
+		st[tr.TaskID] = tr.StartAt
+	}
+	for _, a := range w.Activations() {
+		for _, c := range a.Children() {
+			if st[c.ID] < fin[a.ID]-1 {
+				t.Fatalf("%s started before parent %s finished", c.ID, a.ID)
+			}
+		}
+	}
+}
+
+func TestSleepRunnerHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := SleepRunner{}.Run(ctx, nil, nil, time.Hour)
+	if err == nil {
+		t.Fatal("canceled sleep returned nil")
+	}
+	if err := (SleepRunner{}).Run(context.Background(), nil, nil, 0); err != nil {
+		t.Fatalf("zero-duration run: %v", err)
+	}
+}
+
+func BenchmarkExecuteMontage50(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w := trace.Montage50(rng)
+	fleet, _ := cloud.FleetTable1(16)
+	res, err := sim.Run(w, fleet, &sched.HEFT{}, sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fl := cloud.DefaultFluctuation()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &Engine{Workflow: w, Fleet: fleet, Plan: res.Plan, Fluct: &fl, Seed: int64(i), TimeScale: 1e-6}
+		if _, err := e.Execute(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestReportUtilisation(t *testing.T) {
+	w := dag.New("u")
+	for i := 0; i < 4; i++ {
+		w.MustAdd(string(rune('a'+i)), "x", 25)
+	}
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T2Micro}, []int{1})
+	e := &Engine{Workflow: w, Fleet: fleet, Plan: planAllOn(w, 0), TimeScale: 1e-3}
+	rep, err := e.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := rep.Utilisation(fleet)
+	// Serial chain on one slot: near-full utilisation (overhead only).
+	if u[0] < 0.8 || u[0] > 1.01 {
+		t.Fatalf("utilisation = %v, want ≈1", u[0])
+	}
+	// Empty report yields empty map.
+	if got := (&Report{}).Utilisation(fleet); len(got) != 0 {
+		t.Fatalf("empty report utilisation = %v", got)
+	}
+}
+
+// Property: for random Montage instances and plans, the concurrent
+// engine completes every activation exactly once with dependencies
+// honoured in wall-clock order.
+func TestPropertyEngineHonoursDependencies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns many goroutines")
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := trace.MontageN(rng, 30)
+		fleet, err := cloud.FleetTable1(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(w, fleet, &sched.Random{Seed: seed}, sim.Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl := cloud.DefaultFluctuation()
+		e := &Engine{Workflow: w, Fleet: fleet, Plan: res.Plan, Fluct: &fl, Seed: seed, TimeScale: 1e-5}
+		rep, err := e.Execute(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Tasks) != w.Len() {
+			t.Fatalf("seed %d: %d of %d tasks", seed, len(rep.Tasks), w.Len())
+		}
+		seen := map[string]bool{}
+		fin := map[string]float64{}
+		st := map[string]float64{}
+		for _, tr := range rep.Tasks {
+			if seen[tr.TaskID] {
+				t.Fatalf("seed %d: %s executed twice", seed, tr.TaskID)
+			}
+			seen[tr.TaskID] = true
+			fin[tr.TaskID] = tr.FinishAt
+			st[tr.TaskID] = tr.StartAt
+		}
+		for _, a := range w.Activations() {
+			for _, c := range a.Children() {
+				if st[c.ID] < fin[a.ID]-1 {
+					t.Fatalf("seed %d: %s started before parent %s finished", seed, c.ID, a.ID)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/engine"
+)
+
+// Example executes a two-step plan with real goroutine concurrency,
+// compressed 1000× in time.
+func Example() {
+	w := dag.New("demo")
+	w.MustAdd("build", "compile", 30)
+	w.MustAdd("test", "verify", 20)
+	w.MustDep("build", "test")
+
+	fleet := cloud.MustFleet("ci", []cloud.VMType{cloud.T2Large}, []int{1})
+	e := &engine.Engine{
+		Workflow:  w,
+		Fleet:     fleet,
+		Plan:      map[string]int{"build": 0, "test": 0},
+		TimeScale: 1e-3, // 1 virtual second = 1 ms wall clock
+	}
+	rep, _ := e.Execute(context.Background())
+	fmt.Println("tasks executed:", len(rep.Tasks))
+	fmt.Println("finished last:", rep.Tasks[len(rep.Tasks)-1].TaskID)
+	fmt.Println("makespan ≈ 50s:", rep.Makespan > 49 && rep.Makespan < 60)
+	// Output:
+	// tasks executed: 2
+	// finished last: test
+	// makespan ≈ 50s: true
+}

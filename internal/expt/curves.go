@@ -1,0 +1,92 @@
+package expt
+
+import (
+	"fmt"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/gantt"
+	"reassign/internal/plot"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+)
+
+// LearningCurves produces the figure the paper's evaluation implies
+// but never shows: per-episode makespan trajectories on the 16-vCPU
+// fleet for representative (α, γ, ε) configurations — the best
+// scenario family (γ=1.0, ε=0.1), the pure-exploitation pathology
+// (ε=1.0) and the fast-α degradation. Curves are smoothed with a
+// centred window of ±smooth episodes (raw curves are ±20 % noise).
+func LearningCurves(o Options, smooth int) (*plot.Chart, error) {
+	o = o.withDefaults()
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		name                  string
+		alpha, gamma, epsilon float64
+	}{
+		{"α=0.5 γ=1.0 ε=0.1 (best)", 0.5, 1.0, 0.1},
+		{"α=0.1 γ=1.0 ε=0.1", 0.1, 1.0, 0.1},
+		{"α=1.0 γ=1.0 ε=0.1 (fast α)", 1.0, 1.0, 0.1},
+		{"α=0.5 γ=1.0 ε=1.0 (pure exploit)", 0.5, 1.0, 1.0},
+	}
+	chart := &plot.Chart{
+		Title:  fmt.Sprintf("ReASSIgN learning curves — %s, 16 vCPUs, %d episodes", o.Workflow.Name, o.Episodes),
+		XLabel: "episode",
+		YLabel: "episode makespan (s)",
+	}
+	for _, cfg := range configs {
+		p := core.DefaultParams()
+		p.Alpha, p.Gamma, p.Epsilon = cfg.alpha, cfg.gamma, cfg.epsilon
+		l := &core.Learner{
+			Workflow: o.Workflow, Fleet: fleet, Params: p,
+			Episodes: o.Episodes, Seed: o.Seed,
+			SimConfig: sim.Config{Fluct: o.TrainFluct},
+		}
+		res, err := l.Learn()
+		if err != nil {
+			return nil, err
+		}
+		xs := make([]float64, len(res.Episodes))
+		ys := make([]float64, len(res.Episodes))
+		for i, ep := range res.Episodes {
+			xs[i] = float64(ep.Episode)
+			ys[i] = ep.Makespan
+		}
+		chart.Series = append(chart.Series, plot.Series{
+			Name: cfg.name, X: xs, Y: plot.Smooth(ys, smooth),
+		})
+	}
+	return chart, nil
+}
+
+// ScheduleCharts builds Gantt charts of the HEFT plan and the learned
+// ReASSIgN plan (α=0.5, γ=1.0, ε=0.1) replayed under the training
+// fluctuation model on the 16-vCPU fleet.
+func ScheduleCharts(o Options) ([]*gantt.Chart, error) {
+	o = o.withDefaults()
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{Fluct: o.TrainFluct, Seed: o.Seed}
+	h := &sched.HEFT{}
+	heftRes, err := sim.Run(o.Workflow, fleet, h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	lr, err := learn(o, fleet, 0.5, 1.0, 0.1)
+	if err != nil {
+		return nil, err
+	}
+	planRes, err := sim.Run(o.Workflow, fleet, &sched.Plan{PlanName: "ReASSIgN (learned)", Assign: lr.Plan}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*gantt.Chart{
+		gantt.FromResult(heftRes, fleet),
+		gantt.FromResult(planRes, fleet),
+	}, nil
+}

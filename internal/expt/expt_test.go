@@ -1,0 +1,375 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"reassign/internal/cloud"
+)
+
+// smallOpts keeps harness tests fast: few episodes, two fleets.
+func smallOpts() Options {
+	return Options{Seed: 1, Episodes: 5, VCPUs: []int{16, 32}, TimeScale: 1e-5}
+}
+
+func TestGridIs27(t *testing.T) {
+	g := grid()
+	if len(g) != 27 {
+		t.Fatalf("grid = %d combos, want 27", len(g))
+	}
+	seen := make(map[comboKey]bool)
+	for _, c := range g {
+		if seen[c] {
+			t.Fatalf("duplicate combo %v", c)
+		}
+		seen[c] = true
+	}
+	// Paper row order: first row is (0.1, 0.1, 0.1), last is (1,1,1).
+	if g[0] != (comboKey{0.1, 0.1, 0.1}) || g[26] != (comboKey{1, 1, 1}) {
+		t.Fatalf("order: first %v last %v", g[0], g[26])
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	sc := Scenarios()
+	if len(sc) != 3 || sc[0].Name != "C1" || sc[0].Alpha != 1.0 ||
+		sc[1].Alpha != 0.5 || sc[2].Alpha != 0.1 {
+		t.Fatalf("Scenarios = %+v", sc)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	tab := Table1()
+	s := tab.String()
+	for _, want := range []string{"9", "11", "15", "16", "32", "64"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, s)
+		}
+	}
+	if tab.Rows() != 3 {
+		t.Fatalf("rows = %d", tab.Rows())
+	}
+}
+
+func TestSweepAndTables2and3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	o := smallOpts()
+	s, err := RunSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.LearnMillis) != 27 {
+		t.Fatalf("sweep combos = %d", len(s.LearnMillis))
+	}
+	for combo, byV := range s.PlanMakespan {
+		for _, v := range o.VCPUs {
+			if byV[v] <= 0 {
+				t.Fatalf("combo %v on %d vCPUs: makespan %v", combo, v, byV[v])
+			}
+			// Options left Workflow nil, so the sweep used the
+			// default Montage 50; plans must cover it.
+			if len(s.Plans[combo][v]) != 50 {
+				t.Fatalf("combo %v: plan size %d", combo, len(s.Plans[combo][v]))
+			}
+		}
+	}
+	t2 := Table2(s)
+	if t2.Rows() != 27 {
+		t.Fatalf("Table II rows = %d", t2.Rows())
+	}
+	t3 := Table3(s)
+	if t3.Rows() != 27 {
+		t.Fatalf("Table III rows = %d", t3.Rows())
+	}
+	if !strings.Contains(t3.String(), "Simulated execution time") {
+		t.Fatal("Table III title missing")
+	}
+}
+
+func TestTable4ShapeAndFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 4 is slow")
+	}
+	o := smallOpts()
+	rows, err := RunTable4(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 rows (HEFT + 3 scenarios) per fleet.
+	if len(rows) != 4*len(o.VCPUs) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	perV := map[int]int{}
+	heftSeen := map[int]bool{}
+	for _, r := range rows {
+		if r.Makespan <= 0 {
+			t.Fatalf("row %+v has non-positive makespan", r)
+		}
+		perV[r.VCPUs]++
+		if r.Algorithm == "HEFT" {
+			heftSeen[r.VCPUs] = true
+		}
+	}
+	for _, v := range o.VCPUs {
+		if perV[v] != 4 || !heftSeen[v] {
+			t.Fatalf("fleet %d: %d rows, heft=%v", v, perV[v], heftSeen[v])
+		}
+	}
+	tab := Table4(rows)
+	s := tab.String()
+	if !strings.Contains(s, "HEFT") || !strings.Contains(s, "ReASSIgN") {
+		t.Fatalf("Table IV rendering:\n%s", s)
+	}
+	// Durations use the paper's HH:MM:SS.mmm format.
+	if !strings.Contains(s, ":") {
+		t.Fatalf("Table IV durations not formatted:\n%s", s)
+	}
+}
+
+func TestTable5CoversAllActivations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 5 is slow")
+	}
+	o := smallOpts()
+	tab, err := Table5(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 50 {
+		t.Fatalf("Table V rows = %d, want 50", tab.Rows())
+	}
+	tsv := tab.TSV()
+	lines := strings.Split(strings.TrimSpace(tsv), "\n")
+	if len(lines) != 51 {
+		t.Fatalf("TSV lines = %d", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if len(strings.Split(l, "\t")) != 5 {
+			t.Fatalf("bad TSV row %q", l)
+		}
+	}
+}
+
+func TestTable5BigVMShareShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := Options{Seed: 3, Episodes: 30, VCPUs: []int{16}}
+	share, err := Table5BigVMShare(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's qualitative Table V finding: ReASSIgN concentrates
+	// activations on the robust (t2.2xlarge) VM more than HEFT does.
+	for _, sc := range Scenarios() {
+		if share[sc.Name] <= share["HEFT"] {
+			t.Errorf("%s big-VM share %.2f not above HEFT %.2f", sc.Name, share[sc.Name], share["HEFT"])
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	o := Options{Seed: 2, Episodes: 3, VCPUs: []int{16}}
+	cases := map[string]func() (int, error){
+		"rho": func() (int, error) {
+			tab, err := AblationRho(o)
+			if err != nil {
+				return 0, err
+			}
+			return tab.Rows(), nil
+		},
+		"mu": func() (int, error) {
+			tab, err := AblationMu(o)
+			if err != nil {
+				return 0, err
+			}
+			return tab.Rows(), nil
+		},
+		"policy": func() (int, error) {
+			tab, err := AblationPolicy(o)
+			if err != nil {
+				return 0, err
+			}
+			return tab.Rows(), nil
+		},
+		"episodes": func() (int, error) {
+			tab, err := AblationEpisodes(o)
+			if err != nil {
+				return 0, err
+			}
+			return tab.Rows(), nil
+		},
+		"rule": func() (int, error) {
+			tab, err := AblationRule(o)
+			if err != nil {
+				return 0, err
+			}
+			return tab.Rows(), nil
+		},
+		"discount": func() (int, error) {
+			tab, err := AblationDiscount(o)
+			if err != nil {
+				return 0, err
+			}
+			return tab.Rows(), nil
+		},
+		"bootstrap": func() (int, error) {
+			tab, err := AblationBootstrap(o)
+			if err != nil {
+				return 0, err
+			}
+			return tab.Rows(), nil
+		},
+		"costweight": func() (int, error) {
+			tab, err := AblationCostWeight(o)
+			if err != nil {
+				return 0, err
+			}
+			return tab.Rows(), nil
+		},
+		"schedules": func() (int, error) {
+			tab, err := AblationSchedules(o)
+			if err != nil {
+				return 0, err
+			}
+			return tab.Rows(), nil
+		},
+		"clustering": func() (int, error) {
+			tab, err := AblationClustering(o)
+			if err != nil {
+				return 0, err
+			}
+			return tab.Rows(), nil
+		},
+	}
+	for name, run := range cases {
+		rows, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rows < 2 {
+			t.Fatalf("%s: only %d rows", name, rows)
+		}
+	}
+}
+
+func TestBaselineComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := Options{Seed: 2, Episodes: 3}
+	tab, err := BaselineComparison(o, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, want := range []string{"FCFS", "HEFT", "MinMin", "ReASSIgN"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("baseline table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Episodes != 100 {
+		t.Fatalf("episodes = %d", o.Episodes)
+	}
+	if len(o.VCPUs) != 3 {
+		t.Fatalf("vcpus = %v", o.VCPUs)
+	}
+	if o.Workflow == nil || o.Workflow.Len() != 50 {
+		t.Fatal("default workflow not Montage 50")
+	}
+	if o.TrainFluct == nil || o.ExecFluct == nil {
+		t.Fatal("fluctuation defaults missing")
+	}
+	if o.TimeScale <= 0 {
+		t.Fatal("timescale default missing")
+	}
+	if _, err := cloud.FleetTable1(o.VCPUs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearningCurves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	chart, err := LearningCurves(Options{Seed: 1, Episodes: 8}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chart.Series) != 4 {
+		t.Fatalf("series = %d", len(chart.Series))
+	}
+	for _, s := range chart.Series {
+		if len(s.X) != 8 || len(s.Y) != 8 {
+			t.Fatalf("series %q has %d/%d points", s.Name, len(s.X), len(s.Y))
+		}
+	}
+	svg := chart.SVG()
+	if !strings.Contains(svg, "learning curves") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestStudies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := Options{Seed: 2, Episodes: 3}
+	el, err := StudyElasticity(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el.Rows() != 4 {
+		t.Fatalf("elasticity rows = %d", el.Rows())
+	}
+	sp, err := StudySpot(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Rows() != 4 {
+		t.Fatalf("spot rows = %d", sp.Rows())
+	}
+}
+
+func TestStudyScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab, err := StudyScaling(Options{Seed: 2, Episodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 4 {
+		t.Fatalf("rows = %d", tab.Rows())
+	}
+}
+
+func TestScheduleCharts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	charts, err := ScheduleCharts(Options{Seed: 1, Episodes: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(charts) != 2 {
+		t.Fatalf("charts = %d", len(charts))
+	}
+	for _, c := range charts {
+		if len(c.Spans) != 50 {
+			t.Fatalf("chart %q has %d spans", c.Title, len(c.Spans))
+		}
+		if c.Makespan() <= 0 {
+			t.Fatalf("chart %q empty", c.Title)
+		}
+	}
+}

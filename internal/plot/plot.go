@@ -1,0 +1,181 @@
+// Package plot renders simple SVG line charts with the standard
+// library only — used for ReASSIgN learning curves and parameter
+// sweeps. It is deliberately small: numeric X/Y series, linear axes
+// with tick labels, a legend, and nothing else.
+package plot
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a set of series over shared axes.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// seriesColor assigns stable colours by index.
+func seriesColor(i int) string {
+	palette := []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+	return palette[i%len(palette)]
+}
+
+// bounds computes the data range across all series.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64, ok bool) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			if s.X[i] < xmin {
+				xmin = s.X[i]
+			}
+			if s.X[i] > xmax {
+				xmax = s.X[i]
+			}
+			if s.Y[i] < ymin {
+				ymin = s.Y[i]
+			}
+			if s.Y[i] > ymax {
+				ymax = s.Y[i]
+			}
+			ok = true
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, ok
+}
+
+// SVG renders the chart as a standalone SVG document.
+func (c *Chart) SVG() string {
+	const (
+		width   = 720.0
+		height  = 400.0
+		left    = 70.0
+		right   = 20.0
+		top     = 36.0
+		bottom  = 50.0
+		plotW   = width - left - right
+		plotH   = height - top - bottom
+		nTicks  = 5
+		tickLen = 5.0
+	)
+	xmin, xmax, ymin, ymax, ok := c.bounds()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="sans-serif" font-size="12">`+"\n",
+		width, height)
+	fmt.Fprintf(&b, `<text x="%.0f" y="20" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		width/2, html.EscapeString(c.Title))
+	if !ok {
+		b.WriteString(`<text x="60" y="200">no data</text></svg>` + "\n")
+		return b.String()
+	}
+	xOf := func(x float64) float64 { return left + (x-xmin)/(xmax-xmin)*plotW }
+	yOf := func(y float64) float64 { return top + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	// Frame and ticks.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#999"/>`+"\n",
+		left, top, plotW, plotH)
+	for i := 0; i <= nTicks; i++ {
+		fx := xmin + (xmax-xmin)*float64(i)/nTicks
+		px := xOf(fx)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999"/>`+"\n",
+			px, top+plotH, px, top+plotH+tickLen)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			px, top+plotH+18, formatTick(fx))
+		fy := ymin + (ymax-ymin)*float64(i)/nTicks
+		py := yOf(fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999"/>`+"\n",
+			left-tickLen, py, left, py)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			left-8, py+4, formatTick(fy))
+	}
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.0f" text-anchor="middle">%s</text>`+"\n",
+		left+plotW/2, height-10, html.EscapeString(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.0f" text-anchor="middle" transform="rotate(-90 16 %.0f)">%s</text>`+"\n",
+		top+plotH/2, top+plotH/2, html.EscapeString(c.YLabel))
+
+	// Series polylines + legend.
+	for si, s := range c.Series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		if n == 0 {
+			continue
+		}
+		var pts []string
+		for i := 0; i < n; i++ {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xOf(s.X[i]), yOf(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+			strings.Join(pts, " "), seriesColor(si))
+		ly := top + 14 + float64(si)*16
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			left+plotW-110, ly-4, left+plotW-90, ly-4, seriesColor(si))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f">%s</text>`+"\n",
+			left+plotW-85, ly, html.EscapeString(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case av >= 100 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Smooth returns a centred moving average of ys with the given
+// half-window (window = 2h+1), shrinking at the edges — handy for
+// noisy learning curves.
+func Smooth(ys []float64, h int) []float64 {
+	if h <= 0 || len(ys) == 0 {
+		return append([]float64(nil), ys...)
+	}
+	out := make([]float64, len(ys))
+	for i := range ys {
+		lo, hi := i-h, i+h
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(ys) {
+			hi = len(ys) - 1
+		}
+		var sum float64
+		for j := lo; j <= hi; j++ {
+			sum += ys[j]
+		}
+		out[i] = sum / float64(hi-lo+1)
+	}
+	return out
+}

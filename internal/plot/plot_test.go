@@ -1,0 +1,183 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func wellFormed(t testing.TB, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		tok, err := dec.Token()
+		if tok == nil {
+			return
+		}
+		if err != nil {
+			t.Fatalf("svg not well-formed: %v", err)
+		}
+	}
+}
+
+func TestSVGBasics(t *testing.T) {
+	c := &Chart{
+		Title:  "learning curve",
+		XLabel: "episode",
+		YLabel: "makespan (s)",
+		Series: []Series{
+			{Name: "raw", X: []float64{0, 1, 2, 3}, Y: []float64{800, 700, 650, 640}},
+			{Name: "smooth", X: []float64{0, 1, 2, 3}, Y: []float64{780, 720, 660, 645}},
+		},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	for _, want := range []string{"learning curve", "episode", "makespan", "raw", "smooth", "polyline"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+}
+
+func TestSVGEmptyChart(t *testing.T) {
+	svg := (&Chart{Title: "empty"}).SVG()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "no data") {
+		t.Fatal("empty chart not flagged")
+	}
+}
+
+func TestSVGEscapesContent(t *testing.T) {
+	c := &Chart{
+		Title:  `<script>&`,
+		Series: []Series{{Name: "<s>", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	// Degenerate ranges (all-equal X or Y) must not divide by zero.
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}}}
+	svg := c.SVG()
+	wellFormed(t, svg)
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate range produced NaN/Inf coordinates")
+	}
+}
+
+func TestMismatchedSeriesLengths(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "odd", X: []float64{0, 1, 2}, Y: []float64{1, 2}}}}
+	svg := c.SVG()
+	wellFormed(t, svg)
+}
+
+func TestSmooth(t *testing.T) {
+	ys := []float64{0, 10, 0, 10, 0}
+	out := Smooth(ys, 1)
+	if len(out) != len(ys) {
+		t.Fatalf("len = %d", len(out))
+	}
+	// Middle points average their neighbours.
+	if math.Abs(out[2]-20.0/3) > 1e-9 {
+		t.Fatalf("out[2] = %v", out[2])
+	}
+	// h=0 copies.
+	same := Smooth(ys, 0)
+	for i := range ys {
+		if same[i] != ys[i] {
+			t.Fatal("h=0 changed values")
+		}
+	}
+	// The copy is independent.
+	same[0] = 99
+	if ys[0] == 99 {
+		t.Fatal("Smooth returned aliased slice")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000: "2.5M",
+		50_000:    "50k",
+		123:       "123",
+		5:         "5",
+		0.25:      "0.25",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// Property: any finite data renders well-formed SVG without NaN/Inf.
+func TestPropertyRendersFiniteData(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Series
+		for i := 0; i < int(n)%64; i++ {
+			s.X = append(s.X, rng.NormFloat64()*1e4)
+			s.Y = append(s.Y, rng.NormFloat64()*1e4)
+		}
+		s.Name = "series"
+		svg := (&Chart{Title: "p", Series: []Series{s}}).SVG()
+		if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+			return false
+		}
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			tok, err := dec.Token()
+			if tok == nil {
+				return true
+			}
+			if err != nil {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Smooth preserves length, bounds, and the mean within
+// tolerance for interior-heavy windows.
+func TestPropertySmoothBounded(t *testing.T) {
+	f := func(seed int64, n, hRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ys := make([]float64, int(n)%50+1)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range ys {
+			ys[i] = rng.Float64() * 100
+			if ys[i] < lo {
+				lo = ys[i]
+			}
+			if ys[i] > hi {
+				hi = ys[i]
+			}
+		}
+		out := Smooth(ys, int(hRaw)%5)
+		if len(out) != len(ys) {
+			return false
+		}
+		for _, v := range out {
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,298 @@
+// Package provenance is the execution-history store of the
+// SciCumulus-RL pipeline (Figure 1's provenance database, rebuilt on
+// JSON files instead of PostgreSQL). It records every activation
+// execution — VM, queue/start/finish times, status — and answers the
+// aggregate queries the reward function and the experiment tables
+// need. Stored histories seed future ReASSIgN runs, the paper's
+// cross-execution learning loop.
+package provenance
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Execution is one provenance record.
+type Execution struct {
+	WorkflowName string  `json:"workflow"`
+	RunID        string  `json:"run_id"`
+	TaskID       string  `json:"task_id"`
+	Activity     string  `json:"activity"`
+	VMID         int     `json:"vm_id"`
+	VMType       string  `json:"vm_type"`
+	ReadyAt      float64 `json:"ready_at"`
+	StartAt      float64 `json:"start_at"`
+	FinishAt     float64 `json:"finish_at"`
+	Attempts     int     `json:"attempts"`
+	Success      bool    `json:"success"`
+	// Wall records when the record was stored (RFC 3339).
+	Wall string `json:"wall,omitempty"`
+}
+
+// QueueTime returns tf_i for the record.
+func (e Execution) QueueTime() float64 { return e.StartAt - e.ReadyAt }
+
+// ExecTime returns te_i for the record.
+func (e Execution) ExecTime() float64 { return e.FinishAt - e.StartAt }
+
+// Store is an in-memory provenance database, safe for concurrent use
+// (the execution engine appends from worker goroutines).
+type Store struct {
+	mu   sync.RWMutex
+	recs []Execution
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add appends one record, stamping Wall if unset.
+func (s *Store) Add(e Execution) {
+	if e.Wall == "" {
+		e.Wall = time.Now().UTC().Format(time.RFC3339)
+	}
+	s.mu.Lock()
+	s.recs = append(s.recs, e)
+	s.mu.Unlock()
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.recs)
+}
+
+// All returns a copy of every record, in insertion order.
+func (s *Store) All() []Execution {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Execution(nil), s.recs...)
+}
+
+// ByRun returns the records of one run, in insertion order.
+func (s *Store) ByRun(runID string) []Execution {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Execution
+	for _, e := range s.recs {
+		if e.RunID == runID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Runs returns the distinct run IDs, sorted.
+func (s *Store) Runs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, e := range s.recs {
+		set[e.RunID] = true
+	}
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VMAggregate summarises executions on one VM.
+type VMAggregate struct {
+	VMID     int
+	VMType   string
+	N        int
+	MeanExec float64
+	MeanWait float64
+}
+
+// AggregateByVM computes per-VM mean execution and queue times over
+// successful records of one run ("" = all runs) — the inputs to the
+// paper's Eq. 4.
+func (s *Store) AggregateByVM(runID string) []VMAggregate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type acc struct {
+		n      int
+		te, tf float64
+		vmType string
+	}
+	byVM := make(map[int]*acc)
+	for _, e := range s.recs {
+		if !e.Success || (runID != "" && e.RunID != runID) {
+			continue
+		}
+		a, ok := byVM[e.VMID]
+		if !ok {
+			a = &acc{vmType: e.VMType}
+			byVM[e.VMID] = a
+		}
+		a.n++
+		a.te += e.ExecTime()
+		a.tf += e.QueueTime()
+	}
+	ids := make([]int, 0, len(byVM))
+	for id := range byVM {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]VMAggregate, 0, len(ids))
+	for _, id := range ids {
+		a := byVM[id]
+		out = append(out, VMAggregate{
+			VMID: id, VMType: a.vmType, N: a.n,
+			MeanExec: a.te / float64(a.n),
+			MeanWait: a.tf / float64(a.n),
+		})
+	}
+	return out
+}
+
+// ActivityAggregate summarises executions of one activity.
+type ActivityAggregate struct {
+	Activity string
+	N        int
+	MeanExec float64
+}
+
+// AggregateByActivity computes per-activity mean execution times over
+// successful records — used for performance profiling and estimation.
+func (s *Store) AggregateByActivity(runID string) []ActivityAggregate {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type acc struct {
+		n  int
+		te float64
+	}
+	byAct := make(map[string]*acc)
+	for _, e := range s.recs {
+		if !e.Success || (runID != "" && e.RunID != runID) {
+			continue
+		}
+		a, ok := byAct[e.Activity]
+		if !ok {
+			a = &acc{}
+			byAct[e.Activity] = a
+		}
+		a.n++
+		a.te += e.ExecTime()
+	}
+	names := make([]string, 0, len(byAct))
+	for n := range byAct {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]ActivityAggregate, 0, len(names))
+	for _, n := range names {
+		a := byAct[n]
+		out = append(out, ActivityAggregate{Activity: n, N: a.n, MeanExec: a.te / float64(a.n)})
+	}
+	return out
+}
+
+// Makespan returns the span from the earliest ready time to the
+// latest finish time of a run's successful records, or 0 when empty.
+func (s *Store) Makespan(runID string) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	first, last := 0.0, 0.0
+	seen := false
+	for _, e := range s.recs {
+		if runID != "" && e.RunID != runID {
+			continue
+		}
+		if !seen || e.ReadyAt < first {
+			first = e.ReadyAt
+		}
+		if !seen || e.FinishAt > last {
+			last = e.FinishAt
+		}
+		seen = true
+	}
+	if !seen {
+		return 0
+	}
+	return last - first
+}
+
+// Save writes the store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(s.recs)
+}
+
+// Load replaces the store contents from JSON.
+func (s *Store) Load(r io.Reader) error {
+	var recs []Execution
+	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+		return fmt.Errorf("provenance: load: %w", err)
+	}
+	s.mu.Lock()
+	s.recs = recs
+	s.mu.Unlock()
+	return nil
+}
+
+// SaveFile writes the store to a JSON file.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a store previously written by SaveFile.
+func (s *Store) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Load(f)
+}
+
+// CSV writes the store as comma-separated values with a header row —
+// the exchange format for spreadsheets and notebooks.
+func (s *Store) CSV(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"workflow", "run_id", "task_id", "activity", "vm_id", "vm_type",
+		"ready_at", "start_at", "finish_at", "attempts", "success",
+	}); err != nil {
+		return err
+	}
+	for _, e := range s.recs {
+		rec := []string{
+			e.WorkflowName, e.RunID, e.TaskID, e.Activity,
+			strconv.Itoa(e.VMID), e.VMType,
+			strconv.FormatFloat(e.ReadyAt, 'f', -1, 64),
+			strconv.FormatFloat(e.StartAt, 'f', -1, 64),
+			strconv.FormatFloat(e.FinishAt, 'f', -1, 64),
+			strconv.Itoa(e.Attempts),
+			strconv.FormatBool(e.Success),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,139 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Policy selects a VM for a task given the current Q table.
+type Policy interface {
+	// Select returns one of vms for the task. vms must be non-empty.
+	Select(t *Table, task int, vms []int, rng *rand.Rand) int
+}
+
+// EpsilonGreedy implements the paper's exploration convention
+// (§II.a): *with probability ε the best action is taken*; otherwise a
+// VM is chosen uniformly at random. Note this inverts the textbook
+// ε-greedy convention — the paper's Table III results (ε=0.1 best)
+// only make sense under the paper's wording, so we follow it.
+// Set Textbook to true for the conventional reading (explore with
+// probability ε) in ablations.
+type EpsilonGreedy struct {
+	Epsilon  float64
+	Textbook bool
+}
+
+// Select implements Policy.
+func (p EpsilonGreedy) Select(t *Table, task int, vms []int, rng *rand.Rand) int {
+	if len(vms) == 0 {
+		panic("rl: Select with no candidate VMs")
+	}
+	exploit := rng.Float64() < p.Epsilon
+	if p.Textbook {
+		exploit = !exploit
+	}
+	if exploit {
+		vm, _ := t.Best(task, vms)
+		return vm
+	}
+	return vms[rng.Intn(len(vms))]
+}
+
+// Boltzmann selects VMs with probability proportional to
+// exp(Q/Temperature) — a softer exploration strategy used in
+// ablations. Temperature must be positive.
+type Boltzmann struct {
+	Temperature float64
+}
+
+// Select implements Policy.
+func (p Boltzmann) Select(t *Table, task int, vms []int, rng *rand.Rand) int {
+	if len(vms) == 0 {
+		panic("rl: Select with no candidate VMs")
+	}
+	temp := p.Temperature
+	if temp <= 0 {
+		temp = 1e-6
+	}
+	// Shift by the max for numerical stability.
+	maxQ := math.Inf(-1)
+	qs := make([]float64, len(vms))
+	for i, id := range vms {
+		qs[i] = t.Value(Key{Task: task, VM: id})
+		if qs[i] > maxQ {
+			maxQ = qs[i]
+		}
+	}
+	var sum float64
+	ws := make([]float64, len(vms))
+	for i, q := range qs {
+		ws[i] = math.Exp((q - maxQ) / temp)
+		sum += ws[i]
+	}
+	x := rng.Float64() * sum
+	for i, w := range ws {
+		x -= w
+		if x <= 0 {
+			return vms[i]
+		}
+	}
+	return vms[len(vms)-1]
+}
+
+// Greedy always exploits: the policy used when extracting the final
+// scheduling plan from a learned table.
+type Greedy struct{}
+
+// Select implements Policy.
+func (Greedy) Select(t *Table, task int, vms []int, rng *rand.Rand) int {
+	vm, _ := t.Best(task, vms)
+	return vm
+}
+
+// Schedule yields a parameter value per episode, for decaying α or ε.
+type Schedule interface {
+	At(episode int) float64
+}
+
+// Const is a constant schedule.
+type Const float64
+
+// At implements Schedule.
+func (c Const) At(int) float64 { return float64(c) }
+
+// LinearDecay interpolates from Start at episode 0 to End at episode
+// Over-1, then stays at End.
+type LinearDecay struct {
+	Start, End float64
+	Over       int
+}
+
+// At implements Schedule.
+func (d LinearDecay) At(episode int) float64 {
+	if d.Over <= 1 || episode >= d.Over-1 {
+		return d.End
+	}
+	if episode < 0 {
+		episode = 0
+	}
+	f := float64(episode) / float64(d.Over-1)
+	return d.Start + (d.End-d.Start)*f
+}
+
+// ExpDecay multiplies Start by Rate each episode, never dropping
+// below Floor.
+type ExpDecay struct {
+	Start, Rate, Floor float64
+}
+
+// At implements Schedule.
+func (d ExpDecay) At(episode int) float64 {
+	if episode < 0 {
+		episode = 0
+	}
+	v := d.Start * math.Pow(d.Rate, float64(episode))
+	if v < d.Floor {
+		return d.Floor
+	}
+	return v
+}

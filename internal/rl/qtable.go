@@ -1,0 +1,195 @@
+// Package rl provides the tabular reinforcement-learning machinery
+// ReASSIgN builds on: a Q table over (activation, VM) schedule
+// actions, exploration policies (the paper's ε convention and
+// Boltzmann softmax for ablation), parameter schedules, and episode
+// persistence so learning progresses across workflow executions.
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+)
+
+// Key identifies one schedule action: "run activation Task on VM".
+// Task is the activation's dense index within its workflow; VM is the
+// fleet VM ID.
+type Key struct {
+	Task int `json:"task"`
+	VM   int `json:"vm"`
+}
+
+// Table is the evaluation table Q: schedule-action → expected reward.
+// Per the paper's Algorithm 2 it is initialised at random; entries
+// materialise lazily on first access so the table never stores
+// untouched pairs.
+type Table struct {
+	values map[Key]float64
+	rng    *rand.Rand
+	// InitSpan scales random initialisation: new entries are uniform
+	// in [0, InitSpan). Zero yields zero-initialised entries.
+	initSpan float64
+}
+
+// NewTable returns a table whose unseen entries initialise uniformly
+// in [0, initSpan) using the given source.
+func NewTable(rng *rand.Rand, initSpan float64) *Table {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Table{values: make(map[Key]float64), rng: rng, initSpan: initSpan}
+}
+
+// Value returns Q(k), materialising a random initial value on first
+// access.
+func (t *Table) Value(k Key) float64 {
+	if v, ok := t.values[k]; ok {
+		return v
+	}
+	v := 0.0
+	if t.initSpan > 0 {
+		v = t.rng.Float64() * t.initSpan
+	}
+	t.values[k] = v
+	return v
+}
+
+// Peek returns Q(k) without materialising it; ok is false for unseen
+// entries.
+func (t *Table) Peek(k Key) (v float64, ok bool) {
+	v, ok = t.values[k]
+	return v, ok
+}
+
+// Set overwrites Q(k).
+func (t *Table) Set(k Key, v float64) { t.values[k] = v }
+
+// Add increments Q(k) by delta (materialising first).
+func (t *Table) Add(k Key, delta float64) { t.values[k] = t.Value(k) + delta }
+
+// Len returns the number of materialised entries.
+func (t *Table) Len() int { return len(t.values) }
+
+// Best returns the VM with the highest Q value for the task among the
+// candidates, ties broken by lowest VM ID for determinism. It panics
+// on an empty candidate list.
+func (t *Table) Best(task int, vms []int) (vm int, value float64) {
+	if len(vms) == 0 {
+		panic("rl: Best with no candidate VMs")
+	}
+	best, bestV := -1, math.Inf(-1)
+	for _, id := range vms {
+		v := t.Value(Key{Task: task, VM: id})
+		if v > bestV || (v == bestV && (best == -1 || id < best)) {
+			best, bestV = id, v
+		}
+	}
+	return best, bestV
+}
+
+// MaxOver returns the maximum Q value over the given keys, or 0 when
+// keys is empty (the terminal-state convention).
+func (t *Table) MaxOver(keys []Key) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	best := math.Inf(-1)
+	for _, k := range keys {
+		if v := t.Value(k); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Mean returns the mean of materialised values (0 when empty).
+func (t *Table) Mean() float64 {
+	if len(t.values) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range t.values {
+		s += v
+	}
+	return s / float64(len(t.values))
+}
+
+// Snapshot returns a deterministic (sorted) copy of the table
+// contents.
+func (t *Table) Snapshot() []Entry {
+	out := make([]Entry, 0, len(t.values))
+	for k, v := range t.values {
+		out = append(out, Entry{Key: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Task != out[j].Key.Task {
+			return out[i].Key.Task < out[j].Key.Task
+		}
+		return out[i].Key.VM < out[j].Key.VM
+	})
+	return out
+}
+
+// Entry is one (key, value) pair of the table.
+type Entry struct {
+	Key   Key     `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// Save writes the table as JSON, preserving learned values across
+// episodes and processes (the paper's cross-episode learning state).
+func (t *Table) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.Snapshot())
+}
+
+// Load replaces the table contents with a previously saved snapshot.
+func (t *Table) Load(r io.Reader) error {
+	var entries []Entry
+	if err := json.NewDecoder(r).Decode(&entries); err != nil {
+		return fmt.Errorf("rl: load table: %w", err)
+	}
+	t.values = make(map[Key]float64, len(entries))
+	for _, e := range entries {
+		t.values[e.Key] = e.Value
+	}
+	return nil
+}
+
+// SaveFile writes the table to a JSON file.
+func (t *Table) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a table previously written by SaveFile.
+func (t *Table) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.Load(f)
+}
+
+// TDUpdate applies the temporal-difference update
+// Q(k) ← Q(k) + α·(reward + γ·next − Q(k)) and returns the new value.
+// It is the single update rule behind Algorithm 2 (next is
+// max_a' Q(s', a') for Q-learning, a policy sample for SARSA).
+func (t *Table) TDUpdate(k Key, alpha, reward, gamma, next float64) float64 {
+	delta := reward + gamma*next - t.Value(k)
+	t.Add(k, alpha*delta)
+	return t.values[k]
+}

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/sim"
+)
+
+// Deadline is a least-laxity-first scheduler for deadline-constrained
+// runs (the budget/deadline setting of the paper's related work):
+// each ready activation's slack is the time remaining until the
+// deadline minus its bottom level (the runtime-weighted longest path
+// to a leaf). Activations with the least slack dispatch first, each
+// to the idle VM with the smallest estimated execution time. Negative
+// slack means the deadline is already unreachable; the scheduler
+// keeps going (reporting is the caller's job via Result.Makespan).
+type Deadline struct {
+	// Deadline is the target makespan in virtual seconds.
+	Deadline float64
+
+	bottom []float64
+}
+
+// Name implements sim.Scheduler.
+func (*Deadline) Name() string { return "Deadline" }
+
+// Prepare implements sim.Scheduler.
+func (d *Deadline) Prepare(w *dag.Workflow, _ *cloud.Fleet, _ *sim.Env) error {
+	if d.Deadline <= 0 {
+		return fmt.Errorf("sched: non-positive deadline %v", d.Deadline)
+	}
+	bl, err := w.BottomLevel()
+	if err != nil {
+		return err
+	}
+	d.bottom = bl
+	return nil
+}
+
+// Slack returns an activation's laxity at the given time.
+func (d *Deadline) Slack(a *dag.Activation, now float64) float64 {
+	return d.Deadline - now - d.bottom[a.Index]
+}
+
+// Pick implements sim.Scheduler.
+func (d *Deadline) Pick(ctx *sim.Context) []sim.Assignment {
+	ready := append([]*sim.Task(nil), ctx.Ready...)
+	sort.SliceStable(ready, func(i, j int) bool {
+		si := d.Slack(ready[i].Act, ctx.Now)
+		sj := d.Slack(ready[j].Act, ctx.Now)
+		if si != sj {
+			return si < sj
+		}
+		return ready[i].Act.Index < ready[j].Act.Index
+	})
+	free := freeSlots(ctx.IdleVMs)
+	var out []sim.Assignment
+	for _, t := range ready {
+		best, _ := pickMinVM(ctx, t, free)
+		if best == nil {
+			break
+		}
+		free[best]--
+		out = append(out, sim.Assignment{Task: t, VM: best})
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/trace"
+)
+
+// wideWorkflow builds n independent equal tasks.
+func wideWorkflow(n int, rt float64) *dag.Workflow {
+	w := dag.New("wide")
+	for i := 0; i < n; i++ {
+		w.MustAdd(string(rune('a'+i%26))+string(rune('0'+i/26)), "x", rt)
+	}
+	return w
+}
+
+func TestAutoscaleGrowsUnderBacklog(t *testing.T) {
+	// 16 × 100s tasks on 1 initial slot: without elasticity that is
+	// 1600s. With scale-out to 4 VMs it must be far faster.
+	w := wideWorkflow(16, 100)
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T2Micro}, []int{1})
+
+	base, err := Run(w, fleet, &greedyFirst{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(base.Makespan-1600) > 1e-9 {
+		t.Fatalf("static makespan = %v, want 1600", base.Makespan)
+	}
+
+	scaled, err := Run(w, fleet, &greedyFirst{}, Config{
+		Autoscale: &Autoscale{
+			Type:      cloud.T2Micro,
+			MaxVMs:    4,
+			BootDelay: 10,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled.Elasticity == nil {
+		t.Fatal("no elasticity report")
+	}
+	if scaled.Elasticity.Acquired != 3 {
+		t.Fatalf("acquired %d VMs, want 3", scaled.Elasticity.Acquired)
+	}
+	if scaled.Makespan >= base.Makespan/2 {
+		t.Fatalf("scaled makespan %v not clearly below static %v", scaled.Makespan, base.Makespan)
+	}
+	if scaled.Elasticity.PeakVMs != 4 {
+		t.Fatalf("peak VMs = %d, want 4", scaled.Elasticity.PeakVMs)
+	}
+	// Acquired VMs cost money.
+	if scaled.Cost <= fleet.Cost(scaled.Makespan) {
+		t.Fatalf("cost %v does not include acquired VMs (fleet alone %v)",
+			scaled.Cost, fleet.Cost(scaled.Makespan))
+	}
+}
+
+func TestAutoscaleRespectsMax(t *testing.T) {
+	w := wideWorkflow(30, 50)
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T2Micro}, []int{1})
+	res, err := Run(w, fleet, &greedyFirst{}, Config{
+		Autoscale: &Autoscale{Type: cloud.T2Micro, MaxVMs: 3, BootDelay: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elasticity.Acquired != 2 {
+		t.Fatalf("acquired %d, want 2 (max 3 total)", res.Elasticity.Acquired)
+	}
+}
+
+func TestAutoscaleReleasesIdleVMs(t *testing.T) {
+	// A wide burst followed by a long serial tail: acquired VMs go
+	// idle during the tail and must be released.
+	w := dag.New("burst")
+	prev := ""
+	for i := 0; i < 4; i++ {
+		id := "tail" + string(rune('0'+i))
+		w.MustAdd(id, "tail", 100)
+		if prev != "" {
+			w.MustDep(prev, id)
+		}
+		prev = id
+	}
+	for i := 0; i < 8; i++ {
+		id := string(rune('a' + i))
+		w.MustAdd(id, "burst", 50)
+		w.MustDep(id, "tail0")
+	}
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T2Micro}, []int{1})
+	res, err := Run(w, fleet, &greedyFirst{}, Config{
+		Autoscale: &Autoscale{
+			Type:        cloud.T2Micro,
+			MaxVMs:      4,
+			BootDelay:   5,
+			IdleTimeout: 30,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elasticity.Acquired == 0 {
+		t.Fatal("no VMs acquired during the burst")
+	}
+	if res.Elasticity.Released == 0 {
+		t.Fatal("idle acquired VMs not released during the tail")
+	}
+	if res.State != FinishedOK {
+		t.Fatalf("state = %v", res.State)
+	}
+}
+
+func TestAutoscalePinnedFleetNeverReleased(t *testing.T) {
+	// Even with an aggressive idle timeout, the initial fleet stays.
+	w := chain(10, 10, 10)
+	fleet := cloud.MustFleet("two", []cloud.VMType{cloud.T2Micro}, []int{2})
+	res, err := Run(w, fleet, &greedyFirst{}, Config{
+		Autoscale: &Autoscale{Type: cloud.T2Micro, MaxVMs: 2, IdleTimeout: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// vm1 idles the whole chain but is pinned.
+	if res.Elasticity.Released != 0 {
+		t.Fatalf("released %d pinned VMs", res.Elasticity.Released)
+	}
+	if res.State != FinishedOK {
+		t.Fatalf("state = %v", res.State)
+	}
+}
+
+func TestAutoscaleValidation(t *testing.T) {
+	w := chain(1)
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T2Micro}, []int{1})
+	bad := []*Autoscale{
+		{MaxVMs: -1},
+		{MaxVMs: 2, BootDelay: -1, Type: cloud.T2Micro},
+		{MaxVMs: 2, Type: cloud.VMType{Name: "broken", VCPUs: 0}},
+	}
+	for i, a := range bad {
+		if _, err := Run(w, fleet, &greedyFirst{}, Config{Autoscale: a}); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+	// MaxVMs 0 disables scale-out but is valid.
+	res, err := Run(w, fleet, &greedyFirst{}, Config{Autoscale: &Autoscale{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elasticity.Acquired != 0 {
+		t.Fatal("disabled policy acquired VMs")
+	}
+}
+
+func TestAutoscaleDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := trace.Montage50(rng)
+	fleet := cloud.MustFleet("two", []cloud.VMType{cloud.T2Micro}, []int{2})
+	run := func() *Result {
+		fl := cloud.DefaultFluctuation()
+		res, err := Run(w, fleet, &greedyFirst{}, Config{
+			Seed: 5, Fluct: &fl,
+			Autoscale: &Autoscale{Type: cloud.T2Large, MaxVMs: 6, BootDelay: 20, IdleTimeout: 60, Cooldown: 10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan || a.Elasticity.Acquired != b.Elasticity.Acquired {
+		t.Fatalf("autoscale not deterministic: %v/%d vs %v/%d",
+			a.Makespan, a.Elasticity.Acquired, b.Makespan, b.Elasticity.Acquired)
+	}
+	if a.Elasticity.Acquired == 0 {
+		t.Fatal("expected scale-out on the montage burst")
+	}
+}

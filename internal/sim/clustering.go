@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"reassign/internal/dag"
+)
+
+// Clustering mirrors WorkflowSim's clustering engine: it coarsens a
+// workflow by merging activations before scheduling, trading
+// parallelism for lower per-task overhead.
+type Clustering struct {
+	// Horizontal merges up to GroupSize same-activity activations on
+	// the same level into one clustered activation.
+	Horizontal bool
+	GroupSize  int
+	// Vertical merges single-parent/single-child chains of the same
+	// activity into one activation.
+	Vertical bool
+}
+
+// ClusteredWorkflow is the result of applying Clustering: the merged
+// workflow plus the mapping from clustered activation IDs back to the
+// original member IDs.
+type ClusteredWorkflow struct {
+	Workflow *dag.Workflow
+	// Members maps each clustered activation ID to the original
+	// activation IDs it contains (singletons included).
+	Members map[string][]string
+}
+
+// Expand translates a plan on the clustered workflow (activation ID →
+// VM ID) back to a plan on the original workflow.
+func (c *ClusteredWorkflow) Expand(plan map[string]int) map[string]int {
+	out := make(map[string]int, len(plan))
+	for cid, vm := range plan {
+		for _, id := range c.Members[cid] {
+			out[id] = vm
+		}
+	}
+	return out
+}
+
+// Apply clusters the workflow. The input is not modified.
+func (c Clustering) Apply(w *dag.Workflow) (*ClusteredWorkflow, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: clustering: %w", err)
+	}
+	// Start with the identity grouping.
+	groups := make(map[string][]string) // leader ID -> member IDs
+	leaderOf := make(map[string]string) // member ID -> leader ID
+	for _, a := range w.Activations() {
+		groups[a.ID] = []string{a.ID}
+		leaderOf[a.ID] = a.ID
+	}
+
+	if c.Horizontal {
+		size := c.GroupSize
+		if size < 2 {
+			size = 2
+		}
+		levels, err := w.Levels()
+		if err != nil {
+			return nil, err
+		}
+		for _, level := range levels {
+			// Bucket by activity, keep deterministic order.
+			byAct := make(map[string][]*dag.Activation)
+			var acts []string
+			for _, a := range level {
+				if _, seen := byAct[a.Activity]; !seen {
+					acts = append(acts, a.Activity)
+				}
+				byAct[a.Activity] = append(byAct[a.Activity], a)
+			}
+			sort.Strings(acts)
+			for _, act := range acts {
+				bucket := byAct[act]
+				for i := 0; i < len(bucket); i += size {
+					end := i + size
+					if end > len(bucket) {
+						end = len(bucket)
+					}
+					leader := bucket[i].ID
+					for _, m := range bucket[i+1 : end] {
+						groups[leader] = append(groups[leader], m.ID)
+						leaderOf[m.ID] = leader
+						delete(groups, m.ID)
+					}
+				}
+			}
+		}
+	}
+
+	if c.Vertical {
+		// Merge a->b when a has exactly one child b, b has exactly one
+		// parent a, and they share the activity. Union-find style over
+		// current leaders.
+		find := func(id string) string {
+			for leaderOf[id] != id {
+				id = leaderOf[id]
+			}
+			return id
+		}
+		for _, a := range w.Activations() {
+			if len(a.Children()) != 1 {
+				continue
+			}
+			b := a.Children()[0]
+			if len(b.Parents()) != 1 || b.Activity != a.Activity {
+				continue
+			}
+			la, lb := find(a.ID), find(b.ID)
+			if la == lb {
+				continue
+			}
+			groups[la] = append(groups[la], groups[lb]...)
+			for _, m := range groups[lb] {
+				leaderOf[m] = la
+			}
+			delete(groups, lb)
+		}
+	}
+
+	// Build the clustered workflow: one activation per group, runtime
+	// summed (members run serially within the cluster), files unioned.
+	cw := dag.New(w.Name + "_clustered")
+	members := make(map[string][]string, len(groups))
+	// Deterministic creation order: by minimum member index.
+	type g struct {
+		leader string
+		minIdx int
+	}
+	var ordered []g
+	for leader, ms := range groups {
+		min := w.Len()
+		for _, id := range ms {
+			if idx := w.Get(id).Index; idx < min {
+				min = idx
+			}
+		}
+		ordered = append(ordered, g{leader, min})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].minIdx < ordered[j].minIdx })
+	resolve := func(id string) string {
+		for leaderOf[id] != id {
+			id = leaderOf[id]
+		}
+		return id
+	}
+	for _, grp := range ordered {
+		ms := groups[grp.leader]
+		sort.Slice(ms, func(i, j int) bool { return w.Get(ms[i]).Index < w.Get(ms[j]).Index })
+		var runtime float64
+		var ins, outs []dag.File
+		activity := w.Get(grp.leader).Activity
+		for _, id := range ms {
+			a := w.Get(id)
+			runtime += a.Runtime
+			ins = append(ins, a.Inputs...)
+			outs = append(outs, a.Outputs...)
+		}
+		ca, err := cw.Add(grp.leader, activity, runtime)
+		if err != nil {
+			return nil, err
+		}
+		ca.Inputs, ca.Outputs = ins, outs
+		members[grp.leader] = ms
+	}
+	// Edges between distinct groups.
+	for _, a := range w.Activations() {
+		la := resolve(a.ID)
+		for _, ch := range a.Children() {
+			lb := resolve(ch.ID)
+			if la != lb {
+				if err := cw.AddDep(la, lb); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := cw.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: clustering produced invalid workflow: %w", err)
+	}
+	return &ClusteredWorkflow{Workflow: cw, Members: members}, nil
+}

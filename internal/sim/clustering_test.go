@@ -1,0 +1,276 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/trace"
+)
+
+func TestHorizontalClusteringMergesSameActivityLevels(t *testing.T) {
+	// 4 parallel same-activity tasks fed by one root: k=2 gives 2
+	// clusters of 2.
+	w := dag.New("h")
+	w.MustAdd("root", "load", 1)
+	for _, id := range []string{"p0", "p1", "p2", "p3"} {
+		w.MustAdd(id, "proc", 2)
+		w.MustDep("root", id)
+	}
+	cw, err := Clustering{Horizontal: true, GroupSize: 2}.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Workflow.Len() != 3 { // root + 2 clusters
+		t.Fatalf("clustered Len = %d, want 3", cw.Workflow.Len())
+	}
+	// Each cluster carries the summed runtime of its members.
+	var clusterRuntimes []float64
+	for _, a := range cw.Workflow.Activations() {
+		if a.Activity == "proc" {
+			clusterRuntimes = append(clusterRuntimes, a.Runtime)
+			if len(cw.Members[a.ID]) != 2 {
+				t.Fatalf("cluster %s has %d members", a.ID, len(cw.Members[a.ID]))
+			}
+		}
+	}
+	for _, rt := range clusterRuntimes {
+		if rt != 4 {
+			t.Fatalf("cluster runtime = %v, want 4 (2+2)", rt)
+		}
+	}
+	// Total work is preserved.
+	if cw.Workflow.TotalRuntime() != w.TotalRuntime() {
+		t.Fatalf("total runtime changed: %v vs %v", cw.Workflow.TotalRuntime(), w.TotalRuntime())
+	}
+}
+
+func TestHorizontalClusteringKeepsDistinctActivitiesApart(t *testing.T) {
+	w := dag.New("h2")
+	w.MustAdd("a0", "alpha", 1)
+	w.MustAdd("a1", "alpha", 1)
+	w.MustAdd("b0", "beta", 1)
+	w.MustAdd("b1", "beta", 1)
+	cw, err := Clustering{Horizontal: true, GroupSize: 4}.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Workflow.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (one per activity)", cw.Workflow.Len())
+	}
+	for _, a := range cw.Workflow.Activations() {
+		for _, m := range cw.Members[a.ID] {
+			if w.Get(m).Activity != a.Activity {
+				t.Fatalf("cluster %s mixes activities", a.ID)
+			}
+		}
+	}
+}
+
+func TestVerticalClusteringMergesChains(t *testing.T) {
+	// a -> b -> c, all same activity with single parent/child: one
+	// cluster. d hangs off c with a different activity: untouched.
+	w := dag.New("v")
+	w.MustAdd("a", "x", 1)
+	w.MustAdd("b", "x", 2)
+	w.MustAdd("c", "x", 3)
+	w.MustAdd("d", "y", 4)
+	w.MustDep("a", "b")
+	w.MustDep("b", "c")
+	w.MustDep("c", "d")
+	cw, err := Clustering{Vertical: true}.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Workflow.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", cw.Workflow.Len())
+	}
+	var chain *dag.Activation
+	for _, a := range cw.Workflow.Activations() {
+		if a.Activity == "x" {
+			chain = a
+		}
+	}
+	if chain == nil || chain.Runtime != 6 {
+		t.Fatalf("chain cluster = %v", chain)
+	}
+	if len(cw.Members[chain.ID]) != 3 {
+		t.Fatalf("chain members = %v", cw.Members[chain.ID])
+	}
+	// The y task still depends on the chain cluster.
+	if !cw.Workflow.HasDep(chain.ID, "d") {
+		t.Fatal("dependency chain->d lost")
+	}
+}
+
+func TestVerticalClusteringStopsAtFanOut(t *testing.T) {
+	// a has two children: no vertical merge across the fan-out.
+	w := dag.New("v2")
+	w.MustAdd("a", "x", 1)
+	w.MustAdd("b", "x", 1)
+	w.MustAdd("c", "x", 1)
+	w.MustDep("a", "b")
+	w.MustDep("a", "c")
+	cw, err := Clustering{Vertical: true}.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Workflow.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (no merges)", cw.Workflow.Len())
+	}
+}
+
+func TestClusteringExpandPlan(t *testing.T) {
+	w := dag.New("e")
+	w.MustAdd("p0", "proc", 1)
+	w.MustAdd("p1", "proc", 1)
+	cw, err := Clustering{Horizontal: true, GroupSize: 2}.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Workflow.Len() != 1 {
+		t.Fatalf("Len = %d", cw.Workflow.Len())
+	}
+	leader := cw.Workflow.Activations()[0].ID
+	expanded := cw.Expand(map[string]int{leader: 5})
+	if len(expanded) != 2 || expanded["p0"] != 5 || expanded["p1"] != 5 {
+		t.Fatalf("Expand = %v", expanded)
+	}
+}
+
+func TestClusteringGroupSizeClamp(t *testing.T) {
+	w := dag.New("c")
+	w.MustAdd("p0", "proc", 1)
+	w.MustAdd("p1", "proc", 1)
+	w.MustAdd("p2", "proc", 1)
+	// GroupSize below 2 clamps to 2.
+	cw, err := Clustering{Horizontal: true, GroupSize: 0}.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Workflow.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (groups of 2 then 1)", cw.Workflow.Len())
+	}
+}
+
+func TestClusteringInvalidWorkflow(t *testing.T) {
+	if _, err := (Clustering{Horizontal: true}).Apply(dag.New("empty")); err == nil {
+		t.Fatal("empty workflow clustered")
+	}
+}
+
+func TestClusteringMontageRunsAndExpands(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := trace.Montage50(rng)
+	cw, err := Clustering{Horizontal: true, GroupSize: 3, Vertical: true}.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Workflow.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cw.Workflow.Len() >= w.Len() {
+		t.Fatalf("clustering did not shrink: %d vs %d", cw.Workflow.Len(), w.Len())
+	}
+	// Members partition the original activation set.
+	seen := make(map[string]bool)
+	for _, ms := range cw.Members {
+		for _, id := range ms {
+			if seen[id] {
+				t.Fatalf("activation %s in two clusters", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != w.Len() {
+		t.Fatalf("members cover %d of %d", len(seen), w.Len())
+	}
+	// A plan over the clustered workflow expands to a full plan.
+	plan := make(map[string]int)
+	for i, a := range cw.Workflow.Activations() {
+		plan[a.ID] = i % 3
+	}
+	full := cw.Expand(plan)
+	if len(full) != w.Len() {
+		t.Fatalf("expanded plan covers %d of %d", len(full), w.Len())
+	}
+}
+
+// Property: clustering any generated workflow preserves total runtime,
+// yields a valid DAG, and partitions the activation set.
+func TestPropertyClusteringInvariants(t *testing.T) {
+	fams := trace.Families()
+	f := func(seed int64, famIdx, size uint8, horizontal, vertical bool, groupRaw uint8) bool {
+		if !horizontal && !vertical {
+			horizontal = true
+		}
+		fam := fams[int(famIdx)%len(fams)]
+		rng := rand.New(rand.NewSource(seed))
+		w := trace.Named(fam)(rng, int(size)%60+10)
+		cl := Clustering{Horizontal: horizontal, Vertical: vertical, GroupSize: int(groupRaw)%5 + 2}
+		cw, err := cl.Apply(w)
+		if err != nil {
+			return false
+		}
+		if err := cw.Workflow.Validate(); err != nil {
+			return false
+		}
+		if diff := cw.Workflow.TotalRuntime() - w.TotalRuntime(); diff > 1e-6 || diff < -1e-6 {
+			return false
+		}
+		seen := make(map[string]bool)
+		for _, ms := range cw.Members {
+			for _, id := range ms {
+				if seen[id] || w.Get(id) == nil {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return len(seen) == w.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a clustered workflow still simulates to completion, and
+// its makespan is at least the original critical path (members run
+// serially inside clusters).
+func TestPropertyClusteredSimulates(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := trace.MontageN(rng, int(size)%40+15)
+		cw, err := Clustering{Horizontal: true, GroupSize: 3}.Apply(w)
+		if err != nil {
+			return false
+		}
+		fleet := testFleet16()
+		res, err := Run(cw.Workflow, fleet, &greedyFirst{}, Config{Seed: seed})
+		if err != nil {
+			return false
+		}
+		if res.State != FinishedOK {
+			return false
+		}
+		_, cp, err := w.CriticalPath()
+		if err != nil {
+			return false
+		}
+		return res.Makespan >= cp-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testFleet16 builds the paper's 16-vCPU fleet for clustering tests.
+func testFleet16() *cloud.Fleet {
+	f, err := cloud.FleetTable1(16)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,564 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/des"
+)
+
+// Assignment is one scheduling decision: run Task on VM.
+type Assignment struct {
+	Task *Task
+	VM   *VMState
+}
+
+// Context is the scheduler's view at one decision point: the workflow
+// is Available, Ready and IdleVMs are non-empty.
+type Context struct {
+	Now     float64
+	Ready   []*Task    // ready, unassigned, sorted by (ReadyAt, Index)
+	IdleVMs []*VMState // VMs with ≥1 free slot, sorted by ID
+	AllVMs  []*VMState // every VM, sorted by ID
+	Env     *Env
+}
+
+// Scheduler matches ready activations to idle VMs. Implementations
+// may keep state across calls within one simulation; Prepare resets
+// it.
+type Scheduler interface {
+	// Name identifies the algorithm in results and tables.
+	Name() string
+	// Prepare is called once before the simulation starts. Static
+	// planners (HEFT) compute their full plan here.
+	Prepare(w *dag.Workflow, fleet *cloud.Fleet, env *Env) error
+	// Pick returns zero or more assignments for the current decision
+	// point. Returning no assignments parks the workflow in the
+	// Unavailable-by-choice state until the next completion event.
+	// Each returned VM must be idle and each task ready; assignments
+	// beyond a VM's free slots are rejected by the engine.
+	Pick(ctx *Context) []Assignment
+}
+
+// CompletionObserver is an optional extension: schedulers that learn
+// online (ReASSIgN) receive every completion with its measured times.
+type CompletionObserver interface {
+	OnTaskComplete(t *Task, env *Env)
+}
+
+// Config tunes the simulation.
+type Config struct {
+	// DataTransfer adds input-staging time for files produced on a
+	// different VM, at the receiving VM's bandwidth.
+	DataTransfer bool
+	// EngineDelay is the workflow-engine overhead added before a task
+	// becomes ready after its dependencies clear (WorkflowSim's WED).
+	EngineDelay float64
+	// QueueDelay is the dispatch overhead between assignment and
+	// execution start (WorkflowSim's queue delay).
+	QueueDelay float64
+	// PostScriptDelay is added after execution before the task counts
+	// as finished (WorkflowSim's post-script delay).
+	PostScriptDelay float64
+	// Failure injects per-execution task failures.
+	Failure cloud.FailureModel
+	// FailureByActivity overrides Failure.Rate for specific activity
+	// names (WorkflowSim's per-job-type failure rates).
+	FailureByActivity map[string]float64
+	// MaxRetries bounds re-executions after failure; a task failing
+	// MaxRetries+1 times fails the workflow.
+	MaxRetries int
+	// Fluct, when non-nil, perturbs actual (not estimated) runtimes.
+	Fluct *cloud.FluctuationModel
+	// ProvisionDelay makes VMs accept work only after this many
+	// virtual seconds (SCStarter's deployment phase); ProvisionJitter
+	// adds a per-VM uniform extra in [0, ProvisionJitter).
+	ProvisionDelay  float64
+	ProvisionJitter float64
+	// Autoscale, when non-nil, lets the fleet grow under backlog and
+	// shrink when acquired VMs idle (cloud elasticity).
+	Autoscale *Autoscale
+	// Spot, when non-nil, revokes eligible VMs at random times,
+	// aborting and requeueing their running activations.
+	Spot *SpotPolicy
+	// Seed drives all randomness in the run.
+	Seed int64
+	// Horizon aborts runaway simulations (virtual seconds; 0 = none).
+	Horizon float64
+}
+
+// Env provides estimation helpers and live aggregates to schedulers.
+type Env struct {
+	cfg      Config
+	fleet    *cloud.Fleet
+	workflow *dag.Workflow
+	vms      []*VMState
+	rng      *rand.Rand
+
+	// Global aggregates across all finished activations (Eq. 5).
+	global VMStats
+}
+
+// EstimateExec returns the scheduler-visible nominal execution time
+// of an activation on a VM: runtime scaled by core speed, plus full
+// input staging if data transfer is enabled. It deliberately ignores
+// fluctuation — that is the unmodelled part of the environment.
+func (e *Env) EstimateExec(a *dag.Activation, vm *cloud.VM) float64 {
+	d := a.Runtime / vm.Type.Speed
+	if e.cfg.DataTransfer && vm.Type.NetMBps > 0 {
+		d += float64(a.InputBytes()) / (vm.Type.NetMBps * 1e6)
+	}
+	return d
+}
+
+// DataTransferEnabled reports whether input staging costs time in
+// this simulation (planners include communication costs only then).
+func (e *Env) DataTransferEnabled() bool { return e.cfg.DataTransfer }
+
+// Workflow returns the workflow being simulated.
+func (e *Env) Workflow() *dag.Workflow { return e.workflow }
+
+// Fleet returns the fleet being simulated.
+func (e *Env) Fleet() *cloud.Fleet { return e.fleet }
+
+// VMStates returns all VM states sorted by ID.
+func (e *Env) VMStates() []*VMState { return e.vms }
+
+// GlobalStats returns aggregates over all finished activations.
+func (e *Env) GlobalStats() VMStats { return e.global }
+
+// Result summarises one simulation run.
+type Result struct {
+	Scheduler string
+	State     WorkflowState
+	Makespan  float64
+	Cost      float64 // fleet cost for the makespan, hourly billing
+	// BusyCost charges only busy slot-seconds, pro-rata per VM — the
+	// work-based cost a per-second-billing or serverless deployment
+	// would pay. Placement changes BusyCost (expensive VMs cost more
+	// per busy second) while Cost only depends on the makespan.
+	BusyCost float64
+	Records  []Record
+	// Plan maps activation ID to the VM ID that ran it (successfully).
+	Plan map[string]int
+	// PerVM aggregates keyed by VM ID.
+	PerVM map[int]VMStats
+	// Decisions counts scheduler invocations; Events counts DES steps.
+	Decisions int
+	Events    int64
+	// Elasticity is set when Config.Autoscale was active.
+	Elasticity *ElasticityReport
+	// Revocations counts spot VMs revoked during the run.
+	Revocations int
+}
+
+// Run simulates the workflow on the fleet under the scheduler.
+func Run(w *dag.Workflow, fleet *cloud.Fleet, sched Scheduler, cfg Config) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if fleet == nil || fleet.Len() == 0 {
+		return nil, fmt.Errorf("sim: empty fleet")
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("sim: negative MaxRetries")
+	}
+	if cfg.ProvisionDelay < 0 || cfg.ProvisionJitter < 0 {
+		return nil, fmt.Errorf("sim: negative provisioning delay")
+	}
+	if cfg.Autoscale != nil {
+		if err := cfg.Autoscale.validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Spot != nil {
+		if err := cfg.Spot.validate(); err != nil {
+			return nil, err
+		}
+	}
+	eng := &engine{
+		w:     w,
+		fleet: fleet,
+		sched: sched,
+		cfg:   cfg,
+		sim:   des.New(),
+	}
+	return eng.run()
+}
+
+type engine struct {
+	w     *dag.Workflow
+	fleet *cloud.Fleet
+	sched Scheduler
+	cfg   Config
+	sim   *des.Simulator
+
+	env    *Env
+	tasks  []*Task // by activation index
+	ready  []*Task
+	vms    []*VMState
+	result *Result
+
+	remaining   int  // tasks not yet finished
+	anyFailed   bool // a task exhausted retries
+	cyclePosted bool // a scheduling pass is already queued
+	scaler      *scaler
+	peakBooted  int
+	// running maps in-flight tasks to their completion event and VM,
+	// so spot revocations can abort them.
+	running map[*Task]runningTask
+
+	// fileHome records which VM produced each output file, for
+	// site-aware transfer costs in multi-site fleets.
+	fileHome map[string]*VMState
+}
+
+func (g *engine) run() (*Result, error) {
+	if g.cfg.Horizon > 0 {
+		g.sim.SetHorizon(g.cfg.Horizon)
+	}
+	rng := rand.New(rand.NewSource(g.cfg.Seed))
+	g.vms = make([]*VMState, 0, g.fleet.Len())
+	for _, vm := range g.fleet.VMs {
+		g.vms = append(g.vms, newVMState(vm))
+	}
+	g.env = &Env{cfg: g.cfg, fleet: g.fleet, workflow: g.w, vms: g.vms, rng: rng}
+	g.fileHome = make(map[string]*VMState)
+	if g.cfg.Autoscale != nil {
+		g.scaler = newScaler(g.cfg.Autoscale, g.fleet.Len())
+	}
+	g.running = make(map[*Task]runningTask)
+	g.scheduleRevocations()
+	g.tasks = make([]*Task, g.w.Len())
+	for _, a := range g.w.Activations() {
+		g.tasks[a.Index] = &Task{Act: a, State: Locked, waitingOn: len(a.Parents())}
+	}
+	g.remaining = len(g.tasks)
+	g.result = &Result{
+		Scheduler: g.sched.Name(),
+		Plan:      make(map[string]int),
+		PerVM:     make(map[int]VMStats),
+	}
+	if err := g.sched.Prepare(g.w, g.fleet, g.env); err != nil {
+		return nil, fmt.Errorf("sim: scheduler %s: %w", g.sched.Name(), err)
+	}
+
+	// Provision the VMs (SCStarter): until a VM's boot completes it
+	// is not idle and receives no work.
+	if g.cfg.ProvisionDelay > 0 || g.cfg.ProvisionJitter > 0 {
+		for _, v := range g.vms {
+			v.booted = false
+			bootAt := g.cfg.ProvisionDelay
+			if g.cfg.ProvisionJitter > 0 {
+				bootAt += rng.Float64() * g.cfg.ProvisionJitter
+			}
+			v := v
+			g.sim.At(bootAt, func() {
+				v.booted = true
+				g.postCycle()
+			})
+		}
+	}
+
+	// Release the roots.
+	for _, t := range g.tasks {
+		if t.waitingOn == 0 {
+			g.release(t)
+		}
+	}
+	if err := g.sim.Run(); err != nil {
+		return nil, fmt.Errorf("sim: %w (makespan so far %.2f)", err, g.sim.Now())
+	}
+
+	// Makespan is the last activation completion — not the DES clock,
+	// which trailing events (e.g. autoscaler boots racing a finished
+	// workflow) can push further.
+	for _, r := range g.result.Records {
+		if r.FinishAt > g.result.Makespan {
+			g.result.Makespan = r.FinishAt
+		}
+	}
+	g.result.Cost = g.fleet.Cost(g.result.Makespan)
+	g.result.Events = g.sim.Steps()
+	if g.anyFailed {
+		g.result.State = FinishedFailed
+	} else if g.remaining == 0 {
+		g.result.State = FinishedOK
+	} else {
+		// Scheduler refused to place remaining ready tasks: deadlock.
+		return nil, fmt.Errorf("sim: scheduler %s stalled with %d tasks unfinished at t=%.2f",
+			g.sched.Name(), g.remaining, g.sim.Now())
+	}
+	for _, v := range g.vms {
+		g.result.PerVM[v.VM.ID] = v.stats
+		// Pro-rata: price is per VM-hour; one busy slot-second costs
+		// price / (3600 × slots).
+		g.result.BusyCost += v.stats.Busy * v.VM.Type.PricePerHour / (3600 * float64(v.Slots))
+	}
+	if g.scaler != nil {
+		sc := g.scaler
+		g.result.Elasticity = &ElasticityReport{
+			Acquired: sc.acquired,
+			Released: len(sc.retired),
+			PeakVMs:  g.peakBooted,
+		}
+		// Acquired VMs bill hourly from acquisition to release (or the
+		// end of the run).
+		for v, bootAt := range sc.acquireTime {
+			end := g.result.Makespan
+			if t, ok := sc.releaseTime[v]; ok {
+				end = t
+			}
+			if end > bootAt {
+				g.result.Cost += math.Ceil((end-bootAt)/3600) * v.VM.Type.PricePerHour
+			}
+		}
+	}
+	return g.result, nil
+}
+
+// release moves a task into the ready queue after the engine delay.
+func (g *engine) release(t *Task) {
+	releaseAt := g.sim.Now() + g.cfg.EngineDelay
+	g.sim.At(releaseAt, func() {
+		t.State = Ready
+		t.ReadyAt = g.sim.Now()
+		g.ready = append(g.ready, t)
+		g.postCycle()
+	})
+}
+
+// postCycle queues a scheduling pass if none is pending. Priority 1
+// runs it after all same-time completions/releases have settled.
+func (g *engine) postCycle() {
+	if g.cyclePosted {
+		return
+	}
+	g.cyclePosted = true
+	g.sim.AtPriority(g.sim.Now(), 1, func() {
+		g.cyclePosted = false
+		g.cycle()
+	})
+}
+
+// workflowState computes the paper's four-valued workflow state.
+func (g *engine) workflowState() WorkflowState {
+	if g.remaining == 0 {
+		if g.anyFailed {
+			return FinishedFailed
+		}
+		return FinishedOK
+	}
+	if len(g.ready) == 0 {
+		return Unavailable
+	}
+	for _, v := range g.vms {
+		if v.Idle() {
+			return Available
+		}
+	}
+	return Unavailable
+}
+
+// cycle invokes the scheduler while the workflow stays Available and
+// the scheduler keeps making progress.
+func (g *engine) cycle() {
+	g.autoscaleStep()
+	if booted := g.bootedCount(); booted > g.peakBooted {
+		g.peakBooted = booted
+	}
+	for g.workflowState() == Available {
+		ctx := g.buildContext()
+		g.result.Decisions++
+		assigns := g.sched.Pick(ctx)
+		if len(assigns) == 0 {
+			return // scheduler chose "do nothing"
+		}
+		progressed := false
+		for _, as := range assigns {
+			if g.start(as) {
+				progressed = true
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// bootedCount counts usable (booted, not retired) VMs.
+func (g *engine) bootedCount() int {
+	n := 0
+	for _, v := range g.vms {
+		if v.booted {
+			n++
+		}
+	}
+	return n
+}
+
+func (g *engine) buildContext() *Context {
+	ready := make([]*Task, 0, len(g.ready))
+	ready = append(ready, g.ready...)
+	sort.Slice(ready, func(i, j int) bool {
+		if ready[i].ReadyAt != ready[j].ReadyAt {
+			return ready[i].ReadyAt < ready[j].ReadyAt
+		}
+		return ready[i].Act.Index < ready[j].Act.Index
+	})
+	var idle []*VMState
+	for _, v := range g.vms {
+		if v.Idle() {
+			idle = append(idle, v)
+		}
+	}
+	return &Context{Now: g.sim.Now(), Ready: ready, IdleVMs: idle, AllVMs: g.vms, Env: g.env}
+}
+
+// start validates and executes one assignment. It returns false for
+// invalid assignments (task not ready, VM full), which are skipped.
+func (g *engine) start(as Assignment) bool {
+	t, v := as.Task, as.VM
+	if t == nil || v == nil || t.State != Ready || !v.Idle() {
+		return false
+	}
+	// Remove from the ready queue.
+	for i, rt := range g.ready {
+		if rt == t {
+			g.ready = append(g.ready[:i], g.ready[i+1:]...)
+			break
+		}
+	}
+	v.acquire()
+	t.State = Running
+	t.VM = v.VM
+	t.Attempts++
+	start := g.sim.Now() + g.cfg.QueueDelay
+	dur := g.duration(t, v)
+	t.StartAt = start
+	fin := start + dur + g.cfg.PostScriptDelay
+	ref := g.sim.At(fin, func() { g.complete(t, v) })
+	g.running[t] = runningTask{ref: ref, vm: v}
+	return true
+}
+
+// duration computes the actual execution time of t on v, including
+// data staging for remote inputs (at the inter-site link rate when
+// the producer lives on another site of a multi-site fleet) and
+// optional fluctuation.
+func (g *engine) duration(t *Task, v *VMState) float64 {
+	d := t.Act.Runtime / v.VM.Type.Speed
+	if g.cfg.DataTransfer && v.VM.Type.NetMBps > 0 {
+		topo := g.fleet.Topology
+		for _, f := range t.Act.Inputs {
+			if v.HasFile(f.Name) {
+				continue
+			}
+			rate := v.VM.Type.NetMBps
+			if topo != nil {
+				if home, ok := g.fileHome[f.Name]; ok && home.VM.Site != v.VM.Site {
+					if link := topo.Bandwidth(home.VM.Site, v.VM.Site); link > 0 && link < rate {
+						rate = link
+					}
+				}
+			}
+			d += float64(f.Size) / (rate * 1e6)
+		}
+	}
+	if g.cfg.Fluct != nil {
+		d = g.cfg.Fluct.Apply(g.env.rng, v.VM, d)
+	}
+	return d
+}
+
+func (g *engine) complete(t *Task, v *VMState) {
+	delete(g.running, t)
+	v.release()
+	t.FinishAt = g.sim.Now()
+
+	fm := g.cfg.Failure
+	if rate, ok := g.cfg.FailureByActivity[t.Act.Activity]; ok {
+		fm = cloud.FailureModel{Rate: rate}
+	}
+	failed := fm.Fails(g.env.rng)
+	if failed && t.Attempts <= g.cfg.MaxRetries {
+		// Retry: back to ready.
+		t.State = Ready
+		t.ReadyAt = g.sim.Now()
+		g.ready = append(g.ready, t)
+		g.record(t, v, false)
+		g.postCycle()
+		return
+	}
+
+	g.record(t, v, !failed)
+	g.remaining--
+	if failed {
+		t.State = Failed
+		g.anyFailed = true
+		g.cancelDescendants(t)
+	} else {
+		t.State = Succeeded
+		g.result.Plan[t.Act.ID] = v.VM.ID
+		for _, f := range t.Act.Outputs {
+			v.fileAt[f.Name] = true
+			g.fileHome[f.Name] = v
+		}
+		exec, wait := t.ExecTime(), t.QueueTime()
+		v.stats.add(exec, wait)
+		g.env.global.add(exec, wait)
+		if obs, ok := g.sched.(CompletionObserver); ok {
+			obs.OnTaskComplete(t, g.env)
+		}
+		for _, c := range t.Act.Children() {
+			ct := g.tasks[c.Index]
+			ct.waitingOn--
+			if ct.waitingOn == 0 && ct.State == Locked {
+				g.release(ct)
+			}
+		}
+	}
+	g.postCycle()
+}
+
+// runningTask pairs an in-flight task's completion event with its VM.
+type runningTask struct {
+	ref des.EventRef
+	vm  *VMState
+}
+
+// cancelDescendants marks every still-locked descendant of a
+// terminally failed task as Failed: they can never run, so the
+// workflow reaches the paper's "finished with failure" terminal state
+// once in-flight work drains.
+func (g *engine) cancelDescendants(t *Task) {
+	desc, err := g.w.Descendants(t.Act.ID)
+	if err != nil {
+		return
+	}
+	for _, a := range desc {
+		dt := g.tasks[a.Index]
+		if dt.State == Locked {
+			dt.State = Failed
+			g.remaining--
+		}
+	}
+}
+
+func (g *engine) record(t *Task, v *VMState, success bool) {
+	g.result.Records = append(g.result.Records, Record{
+		TaskID:   t.Act.ID,
+		Activity: t.Act.Activity,
+		VMID:     v.VM.ID,
+		VMType:   v.VM.Type.Name,
+		ReadyAt:  t.ReadyAt,
+		StartAt:  t.StartAt,
+		FinishAt: t.FinishAt,
+		Attempts: t.Attempts,
+		Success:  success,
+	})
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"reassign/internal/dag"
+)
+
+// Mapper is WorkflowSim's remaining layer: it turns an *abstract*
+// workflow into a *concrete* one by inserting data-staging
+// activations, the way Pegasus plans stage-in/stage-out transfer
+// jobs. External inputs (files no activation produces) gain a
+// stage_in activation; final outputs (files no activation consumes)
+// gain a stage_out activation.
+type Mapper struct {
+	// StageRate converts bytes to staging runtime (seconds per MB at
+	// the shared-storage link; default 0.1 s/MB ≈ 10 MB/s).
+	StageRate float64
+	// Batch merges all external inputs into one stage_in (and all
+	// final outputs into one stage_out) instead of one per file.
+	Batch bool
+}
+
+// stageActivity names used by the mapper.
+const (
+	StageIn  = "stage_in"
+	StageOut = "stage_out"
+)
+
+// Apply returns a concrete workflow with staging activations. The
+// input workflow is not modified.
+func (m Mapper) Apply(w *dag.Workflow) (*dag.Workflow, error) {
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: mapper: %w", err)
+	}
+	rate := m.StageRate
+	if rate <= 0 {
+		rate = 0.1
+	}
+	out := w.Clone()
+	out.Name = w.Name + "_concrete"
+
+	produced := make(map[string]bool)
+	consumed := make(map[string]bool)
+	for _, a := range w.Activations() {
+		for _, f := range a.Outputs {
+			produced[f.Name] = true
+		}
+		for _, f := range a.Inputs {
+			consumed[f.Name] = true
+		}
+	}
+
+	// External inputs per consumer, deterministic order.
+	type need struct {
+		consumer string
+		file     dag.File
+	}
+	var ins []need
+	for _, a := range w.Activations() {
+		for _, f := range a.Inputs {
+			if !produced[f.Name] {
+				ins = append(ins, need{a.ID, f})
+			}
+		}
+	}
+	var outs []need
+	for _, a := range w.Activations() {
+		for _, f := range a.Outputs {
+			if !consumed[f.Name] {
+				outs = append(outs, need{a.ID, f})
+			}
+		}
+	}
+
+	cost := func(bytes int64) float64 { return float64(bytes) / 1e6 * rate }
+
+	if m.Batch {
+		if len(ins) > 0 {
+			var total int64
+			for _, n := range ins {
+				total += n.file.Size
+			}
+			si, err := out.Add(StageIn+"_all", StageIn, cost(total))
+			if err != nil {
+				return nil, err
+			}
+			seen := map[string]bool{}
+			for _, n := range ins {
+				if !seen[n.file.Name] {
+					seen[n.file.Name] = true
+					si.Outputs = append(si.Outputs, n.file)
+				}
+				if !out.HasDep(si.ID, n.consumer) {
+					if err := out.AddDep(si.ID, n.consumer); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if len(outs) > 0 {
+			var total int64
+			for _, n := range outs {
+				total += n.file.Size
+			}
+			so, err := out.Add(StageOut+"_all", StageOut, cost(total))
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range outs {
+				so.Inputs = append(so.Inputs, n.file)
+				if !out.HasDep(n.consumer, so.ID) {
+					if err := out.AddDep(n.consumer, so.ID); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	} else {
+		// One staging activation per distinct external file.
+		inFiles := map[string][]string{} // file -> consumers
+		sizes := map[string]int64{}
+		for _, n := range ins {
+			inFiles[n.file.Name] = append(inFiles[n.file.Name], n.consumer)
+			sizes[n.file.Name] = n.file.Size
+		}
+		names := make([]string, 0, len(inFiles))
+		for f := range inFiles {
+			names = append(names, f)
+		}
+		sort.Strings(names)
+		for i, f := range names {
+			si, err := out.Add(fmt.Sprintf("%s_%03d", StageIn, i), StageIn, cost(sizes[f]))
+			if err != nil {
+				return nil, err
+			}
+			si.Outputs = []dag.File{{Name: f, Size: sizes[f]}}
+			for _, c := range inFiles[f] {
+				if !out.HasDep(si.ID, c) {
+					if err := out.AddDep(si.ID, c); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		for i, n := range outs {
+			so, err := out.Add(fmt.Sprintf("%s_%03d", StageOut, i), StageOut, cost(n.file.Size))
+			if err != nil {
+				return nil, err
+			}
+			so.Inputs = []dag.File{n.file}
+			if err := out.AddDep(n.consumer, so.ID); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: mapper produced invalid workflow: %w", err)
+	}
+	return out, nil
+}

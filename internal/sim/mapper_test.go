@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/trace"
+)
+
+func TestMapperInsertsStaging(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := trace.Montage(rng, 4, 2) // roots read raw_*.fits; mJPEG writes a final jpg
+	concrete, err := Mapper{}.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := concrete.CountByActivity()
+	// One stage_in per raw image, one stage_out for the final jpeg and
+	// any other unconsumed outputs.
+	if counts[StageIn] != 4 {
+		t.Fatalf("stage_in = %d, want 4", counts[StageIn])
+	}
+	if counts[StageOut] == 0 {
+		t.Fatal("no stage_out inserted")
+	}
+	// Former roots now depend on their stage_in.
+	for _, a := range concrete.Activations() {
+		if a.Activity == "mProjectPP" && len(a.Parents()) == 0 {
+			t.Fatalf("projection %s has no stage_in parent", a.ID)
+		}
+	}
+	// The original is untouched.
+	if w.CountByActivity()[StageIn] != 0 {
+		t.Fatal("mapper mutated its input")
+	}
+}
+
+func TestMapperBatchMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := trace.Montage(rng, 6, 2)
+	concrete, err := Mapper{Batch: true}.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := concrete.CountByActivity()
+	if counts[StageIn] != 1 || counts[StageOut] != 1 {
+		t.Fatalf("batch staging = %d in / %d out, want 1/1", counts[StageIn], counts[StageOut])
+	}
+	// The batched stage_in precedes every projection.
+	si := concrete.Get(StageIn + "_all")
+	if len(si.Children()) != 6 {
+		t.Fatalf("stage_in_all feeds %d activations, want 6", len(si.Children()))
+	}
+}
+
+func TestMapperStageRate(t *testing.T) {
+	w := dag.New("w")
+	a := w.MustAdd("a", "x", 1)
+	a.Inputs = []dag.File{{Name: "in.dat", Size: 50_000_000}} // 50 MB
+	concrete, err := Mapper{StageRate: 0.2}.Apply(w)          // 0.2 s/MB
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := concrete.Get("stage_in_000")
+	if si == nil {
+		t.Fatal("stage_in missing")
+	}
+	if si.Runtime != 10 { // 50 MB × 0.2 s/MB
+		t.Fatalf("stage_in runtime = %v, want 10", si.Runtime)
+	}
+}
+
+func TestMapperNoExternalFiles(t *testing.T) {
+	// A workflow whose files are all internal gains no staging.
+	w := dag.New("internal")
+	a := w.MustAdd("a", "x", 1)
+	b := w.MustAdd("b", "x", 1)
+	a.Outputs = []dag.File{{Name: "mid", Size: 1}}
+	b.Inputs = a.Outputs
+	w.MustDep("a", "b")
+	// b's output is unconsumed -> one stage_out; a has no inputs -> no
+	// stage_in.
+	b.Outputs = nil
+	concrete, err := Mapper{}.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := concrete.CountByActivity()
+	if counts[StageIn] != 0 || counts[StageOut] != 0 {
+		t.Fatalf("unexpected staging: %v", counts)
+	}
+}
+
+func TestMapperConcreteWorkflowSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := trace.Montage50(rng)
+	concrete, err := Mapper{}.Apply(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, _ := cloud.FleetTable1(16)
+	res, err := Run(concrete, fleet, &greedyFirst{}, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != FinishedOK {
+		t.Fatalf("state = %v", res.State)
+	}
+	if err := res.Verify(concrete, fleet); err != nil {
+		t.Fatal(err)
+	}
+	// Staging adds runtime: concrete makespan > abstract makespan.
+	abs, err := Run(w, fleet, &greedyFirst{}, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= abs.Makespan {
+		t.Fatalf("concrete %v not above abstract %v", res.Makespan, abs.Makespan)
+	}
+}
+
+// Property: mapping preserves the original activations and adds only
+// staging; the result is always a valid schedulable DAG.
+func TestPropertyMapperWellFormed(t *testing.T) {
+	fams := trace.Families()
+	f := func(seed int64, famIdx, size uint8, batch bool) bool {
+		fam := fams[int(famIdx)%len(fams)]
+		rng := rand.New(rand.NewSource(seed))
+		w := trace.Named(fam)(rng, int(size)%50+10)
+		concrete, err := Mapper{Batch: batch}.Apply(w)
+		if err != nil {
+			return false
+		}
+		if err := concrete.Validate(); err != nil {
+			return false
+		}
+		counts := concrete.CountByActivity()
+		extra := counts[StageIn] + counts[StageOut]
+		if concrete.Len() != w.Len()+extra {
+			return false
+		}
+		for _, a := range w.Activations() {
+			ca := concrete.Get(a.ID)
+			if ca == nil || ca.Runtime != a.Runtime {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

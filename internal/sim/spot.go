@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SpotPolicy models spot/preemptible instances: eligible VMs are
+// revoked at exponentially distributed times, killing whatever runs
+// on them. Killed activations return to the ready queue and are
+// rescheduled elsewhere (their aborted attempt appears as a failed
+// record). A revoked VM never comes back.
+//
+// Static plan replays (sched.Plan, HEFT, GA) deadlock if a planned VM
+// is revoked — the run ends with a stall error, which is the honest
+// outcome of pinning work to a vanished machine. Dynamic schedulers
+// (MCT, ReASSIgN, …) reroute transparently.
+type SpotPolicy struct {
+	// MeanLifetime is the expected time until revocation per eligible
+	// VM, in virtual seconds.
+	MeanLifetime float64
+	// EligibleType restricts revocation to one VM type name
+	// ("" = every VM is a spot instance).
+	EligibleType string
+	// KeepOne protects the lowest-ID eligible VM from revocation so a
+	// fully-spot fleet cannot strand the workflow.
+	KeepOne bool
+}
+
+func (p *SpotPolicy) validate() error {
+	if p.MeanLifetime <= 0 {
+		return fmt.Errorf("sim: spot MeanLifetime must be positive")
+	}
+	return nil
+}
+
+// scheduleRevocations draws one revocation time per eligible VM.
+func (g *engine) scheduleRevocations() {
+	p := g.cfg.Spot
+	if p == nil {
+		return
+	}
+	kept := false
+	for _, v := range g.vms {
+		if p.EligibleType != "" && !strings.EqualFold(v.VM.Type.Name, p.EligibleType) {
+			continue
+		}
+		if p.KeepOne && !kept {
+			kept = true
+			continue
+		}
+		v := v
+		at := g.env.rng.ExpFloat64() * p.MeanLifetime
+		g.sim.At(at, func() { g.revoke(v) })
+	}
+}
+
+// revoke kills a VM: running activations are aborted back to the
+// ready queue, the VM never accepts work again.
+func (g *engine) revoke(v *VMState) {
+	if g.remaining == 0 || !v.booted {
+		return
+	}
+	v.booted = false
+	g.result.Revocations++
+	// Abort everything running on v.
+	for t, run := range g.running {
+		if run.vm != v {
+			continue
+		}
+		run.ref.Cancel()
+		v.release()
+		delete(g.running, t)
+		// The aborted attempt shows up as an unsuccessful record
+		// ending at the revocation instant.
+		t.FinishAt = g.sim.Now()
+		g.record(t, v, false)
+		t.State = Ready
+		t.ReadyAt = g.sim.Now()
+		g.ready = append(g.ready, t)
+	}
+	g.postCycle()
+}

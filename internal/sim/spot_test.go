@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"reassign/internal/cloud"
+	"reassign/internal/trace"
+)
+
+func TestSpotValidation(t *testing.T) {
+	w := chain(1)
+	fleet := singleVMFleet()
+	if _, err := Run(w, fleet, &greedyFirst{}, Config{Spot: &SpotPolicy{}}); err == nil {
+		t.Fatal("zero MeanLifetime accepted")
+	}
+}
+
+func TestSpotRevocationRequeuesWork(t *testing.T) {
+	// Two VMs, aggressive revocation on all but one (KeepOne): the
+	// workflow must still finish, with revocations observed and
+	// aborted attempts recorded.
+	rng := rand.New(rand.NewSource(3))
+	w := trace.Montage50(rng)
+	fleet := cloud.MustFleet("two", []cloud.VMType{cloud.T2Large}, []int{2})
+	res, err := Run(w, fleet, &greedyFirst{}, Config{
+		Seed: 3,
+		Spot: &SpotPolicy{MeanLifetime: 200, KeepOne: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != FinishedOK {
+		t.Fatalf("state = %v", res.State)
+	}
+	if res.Revocations != 1 {
+		t.Fatalf("revocations = %d, want 1 (one eligible VM)", res.Revocations)
+	}
+	// Every activation still succeeded exactly once.
+	if err := res.Verify(w, fleet); err != nil {
+		t.Fatal(err)
+	}
+	// Aborted attempts appear as unsuccessful records.
+	aborted := 0
+	for _, r := range res.Records {
+		if !r.Success {
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		t.Log("revocation hit an idle moment; no aborted attempts (acceptable)")
+	}
+}
+
+func TestSpotKeepOneGuaranteesCompletion(t *testing.T) {
+	// All VMs spot with tiny lifetimes: KeepOne must still finish the
+	// workflow on the protected VM.
+	rng := rand.New(rand.NewSource(4))
+	w := trace.Montage(rng, 4, 2)
+	fleet := cloud.MustFleet("four", []cloud.VMType{cloud.T2Large}, []int{4})
+	res, err := Run(w, fleet, &greedyFirst{}, Config{
+		Seed: 4,
+		Spot: &SpotPolicy{MeanLifetime: 10, KeepOne: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != FinishedOK {
+		t.Fatalf("state = %v", res.State)
+	}
+	if res.Revocations != 3 {
+		t.Fatalf("revocations = %d, want 3", res.Revocations)
+	}
+}
+
+func TestSpotEligibleTypeOnly(t *testing.T) {
+	// Only micro instances are spot; the 2xlarge must survive.
+	rng := rand.New(rand.NewSource(5))
+	w := trace.Montage(rng, 5, 2)
+	fleet, _ := cloud.FleetTable1(16)
+	res, err := Run(w, fleet, &greedyFirst{}, Config{
+		Seed: 5,
+		Spot: &SpotPolicy{MeanLifetime: 50, EligibleType: "t2.micro"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != FinishedOK {
+		t.Fatalf("state = %v", res.State)
+	}
+	if res.Revocations == 0 {
+		t.Fatal("no micro revoked despite tiny lifetime")
+	}
+	// Post-revocation work lands on the surviving 2xlarge (ID 8):
+	// later successful records cluster there.
+	lastOnBig := false
+	var lastFinish float64
+	var lastVM int
+	for _, r := range res.Records {
+		if r.Success && r.FinishAt > lastFinish {
+			lastFinish = r.FinishAt
+			lastVM = r.VMID
+		}
+	}
+	lastOnBig = lastVM == 8
+	if !lastOnBig {
+		t.Logf("last task ran on vm%d (2xlarge not required but typical)", lastVM)
+	}
+}
+
+func TestSpotRevocationDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := trace.Montage(rng, 6, 3)
+	fleet := cloud.MustFleet("three", []cloud.VMType{cloud.T2Large}, []int{3})
+	run := func() *Result {
+		res, err := Run(w, fleet, &greedyFirst{}, Config{
+			Seed: 6,
+			Spot: &SpotPolicy{MeanLifetime: 150, KeepOne: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan || a.Revocations != b.Revocations || len(a.Records) != len(b.Records) {
+		t.Fatal("spot runs not deterministic")
+	}
+}
+
+// Property: under KeepOne spot churn, dynamic scheduling always
+// completes every activation exactly once (successfully).
+func TestPropertySpotAlwaysCompletes(t *testing.T) {
+	f := func(seed int64, lifeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := trace.MontageN(rng, 25)
+		fleet := cloud.MustFleet("pool", []cloud.VMType{cloud.T2Large}, []int{3})
+		life := float64(int(lifeRaw)%400) + 20
+		res, err := Run(w, fleet, &greedyFirst{}, Config{
+			Seed: seed,
+			Spot: &SpotPolicy{MeanLifetime: life, KeepOne: true},
+		})
+		if err != nil {
+			return false
+		}
+		if res.State != FinishedOK {
+			return false
+		}
+		return res.Verify(w, fleet) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reassign/internal/dag"
+)
+
+// Montage activity runtime/data profiles. Means follow the spread
+// reported in the Pegasus workflow profiling literature (Juve et al.):
+// mConcatFit/mBgModel/mAdd dominate; the wide fan-out stages
+// (mProjectPP, mDiffFit, mBackground) are short and numerous. The
+// absolute scale only matters relative to VM speeds.
+var montageProfiles = map[string]activityProfile{
+	"mProjectPP": {name: "mProjectPP", meanRt: 13.6, cvRt: 0.25, outBytes: 8_400_000},
+	"mDiffFit":   {name: "mDiffFit", meanRt: 10.9, cvRt: 0.25, outBytes: 300_000},
+	"mConcatFit": {name: "mConcatFit", meanRt: 143.0, cvRt: 0.10, outBytes: 1_200_000},
+	"mBgModel":   {name: "mBgModel", meanRt: 222.0, cvRt: 0.10, outBytes: 110_000},
+	"mBackground": {name: "mBackground", meanRt: 11.2, cvRt: 0.25,
+		outBytes: 8_400_000},
+	"mImgtbl": {name: "mImgtbl", meanRt: 7.0, cvRt: 0.15, outBytes: 400_000},
+	"mAdd":    {name: "mAdd", meanRt: 61.0, cvRt: 0.15, outBytes: 25_000_000},
+	"mShrink": {name: "mShrink", meanRt: 5.3, cvRt: 0.20, outBytes: 4_200_000},
+	"mJPEG":   {name: "mJPEG", meanRt: 1.0, cvRt: 0.20, outBytes: 900_000},
+}
+
+const fitsInputBytes = 4_200_000 // raw 2MASS FITS tile
+
+// Montage generates a Montage mosaic workflow for nImages input sky
+// tiles, with the canonical nine-stage structure:
+//
+//	mProjectPP (×images) → mDiffFit (×overlaps) → mConcatFit →
+//	mBgModel → mBackground (×images) → mImgtbl → mAdd →
+//	mShrink (×shrinks) → mJPEG
+//
+// nShrink controls the number of mShrink activations (the public
+// 50-node trace uses 8; larger traces use 1-2 per mosaic tile).
+func Montage(rng *rand.Rand, nImages, nShrink int) *dag.Workflow {
+	if nImages < 2 {
+		nImages = 2
+	}
+	if nShrink < 1 {
+		nShrink = 1
+	}
+	w := dag.New(fmt.Sprintf("Montage_%d", nImages))
+	var g idGen
+
+	newAct := func(activity string) *dag.Activation {
+		p := montageProfiles[activity]
+		a := w.MustAdd(g.id(), activity, p.sample(rng))
+		return a
+	}
+	outFile := func(a *dag.Activation, tag string) dag.File {
+		p := montageProfiles[a.Activity]
+		f := dag.File{
+			Name: fmt.Sprintf("%s_%s.out", a.ID, tag),
+			Size: jitterBytes(rng, p.outBytes),
+		}
+		a.Outputs = append(a.Outputs, f)
+		return f
+	}
+	consume := func(a *dag.Activation, f dag.File) {
+		a.Inputs = append(a.Inputs, f)
+	}
+
+	// Stage 1: mProjectPP, one per image, each reading a raw FITS tile.
+	projs := make([]*dag.Activation, nImages)
+	projOut := make([]dag.File, nImages)
+	for i := range projs {
+		a := newAct("mProjectPP")
+		a.Inputs = append(a.Inputs, dag.File{
+			Name: fmt.Sprintf("raw_%d.fits", i),
+			Size: jitterBytes(rng, fitsInputBytes),
+		})
+		projOut[i] = outFile(a, "proj")
+		projs[i] = a
+	}
+
+	// Stage 2: mDiffFit, one per overlapping pair. Adjacent tiles in a
+	// strip overlap with their neighbours; the public traces have
+	// roughly 1.7 diffs per image. We pair (i, i+1) and, where
+	// available, (i, i+2) until the target count is met.
+	nDiff := (nImages*17 + 5) / 10 // ≈1.7 per image, rounded
+	type pair struct{ a, b int }
+	var pairs []pair
+	for i := 0; i+1 < nImages; i++ {
+		pairs = append(pairs, pair{i, i + 1})
+	}
+	for i := 0; i+2 < nImages && len(pairs) < nDiff; i++ {
+		pairs = append(pairs, pair{i, i + 2})
+	}
+	for i := 0; i+3 < nImages && len(pairs) < nDiff; i++ {
+		pairs = append(pairs, pair{i, i + 3})
+	}
+	if len(pairs) > nDiff {
+		pairs = pairs[:nDiff]
+	}
+	diffs := make([]*dag.Activation, 0, len(pairs))
+	diffOut := make([]dag.File, 0, len(pairs))
+	for _, pr := range pairs {
+		a := newAct("mDiffFit")
+		consume(a, projOut[pr.a])
+		consume(a, projOut[pr.b])
+		w.MustDep(projs[pr.a].ID, a.ID)
+		w.MustDep(projs[pr.b].ID, a.ID)
+		diffOut = append(diffOut, outFile(a, "diff"))
+		diffs = append(diffs, a)
+	}
+
+	// Stage 3: mConcatFit aggregates every diff.
+	concat := newAct("mConcatFit")
+	for i, d := range diffs {
+		consume(concat, diffOut[i])
+		w.MustDep(d.ID, concat.ID)
+	}
+	concatOut := outFile(concat, "fits")
+
+	// Stage 4: mBgModel.
+	bgModel := newAct("mBgModel")
+	consume(bgModel, concatOut)
+	w.MustDep(concat.ID, bgModel.ID)
+	correctionsOut := outFile(bgModel, "corr")
+
+	// Stage 5: mBackground, one per image, needs the matching
+	// projection and the global correction table.
+	bgs := make([]*dag.Activation, nImages)
+	bgOut := make([]dag.File, nImages)
+	for i := range bgs {
+		a := newAct("mBackground")
+		consume(a, projOut[i])
+		consume(a, correctionsOut)
+		w.MustDep(projs[i].ID, a.ID)
+		w.MustDep(bgModel.ID, a.ID)
+		bgOut[i] = outFile(a, "bg")
+		bgs[i] = a
+	}
+
+	// Stage 6: mImgtbl aggregates all corrected images.
+	imgtbl := newAct("mImgtbl")
+	for i, b := range bgs {
+		consume(imgtbl, bgOut[i])
+		w.MustDep(b.ID, imgtbl.ID)
+	}
+	tblOut := outFile(imgtbl, "tbl")
+
+	// Stage 7: mAdd builds the mosaic.
+	add := newAct("mAdd")
+	consume(add, tblOut)
+	w.MustDep(imgtbl.ID, add.ID)
+	for i := range bgOut {
+		consume(add, bgOut[i])
+		w.MustDep(bgs[i].ID, add.ID)
+	}
+	mosaicOut := outFile(add, "mosaic")
+
+	// Stage 8: mShrink, nShrink reduced-resolution tiles of the mosaic.
+	shrinks := make([]*dag.Activation, nShrink)
+	shrinkOut := make([]dag.File, nShrink)
+	for i := range shrinks {
+		a := newAct("mShrink")
+		consume(a, mosaicOut)
+		w.MustDep(add.ID, a.ID)
+		shrinkOut[i] = outFile(a, "shrunk")
+		shrinks[i] = a
+	}
+
+	// Stage 9: mJPEG renders the final image from every shrink.
+	jpeg := newAct("mJPEG")
+	for i, s := range shrinks {
+		consume(jpeg, shrinkOut[i])
+		w.MustDep(s.ID, jpeg.ID)
+	}
+	outFile(jpeg, "jpg")
+
+	return w
+}
+
+// Montage50 generates the 50-activation instance matching the
+// composition of the public Montage_50 DAX used in the paper's
+// evaluation: 10 mProjectPP, 17 mDiffFit, 1 mConcatFit, 1 mBgModel,
+// 10 mBackground, 1 mImgtbl, 1 mAdd, 8 mShrink, 1 mJPEG.
+func Montage50(rng *rand.Rand) *dag.Workflow {
+	w := Montage(rng, 10, 8)
+	w.Name = "Montage_50"
+	return w
+}
+
+// MontageN generates a Montage instance with approximately the given
+// total number of activations (images and shrinks are derived from
+// the 50-node ratios).
+func MontageN(rng *rand.Rand, nodes int) *dag.Workflow {
+	if nodes < 10 {
+		nodes = 10
+	}
+	// Per the 50-node composition, fixed stages take 4 activations and
+	// each image contributes ≈ 1 (proj) + 1.7 (diff) + 1 (bg) = 3.7;
+	// shrinks are ≈0.8 per image.
+	images := int(float64(nodes-4) / 4.5)
+	if images < 2 {
+		images = 2
+	}
+	shrinks := images * 8 / 10
+	if shrinks < 1 {
+		shrinks = 1
+	}
+	return Montage(rng, images, shrinks)
+}

@@ -1,0 +1,262 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"reassign/internal/dag"
+)
+
+var cyberShakeProfiles = map[string]activityProfile{
+	"ExtractSGT":          {meanRt: 112.0, cvRt: 0.30, outBytes: 150_000_000},
+	"SeismogramSynthesis": {meanRt: 48.0, cvRt: 0.40, outBytes: 900_000},
+	"ZipSeis":             {meanRt: 35.0, cvRt: 0.15, outBytes: 12_000_000},
+	"PeakValCalcOkaya":    {meanRt: 1.2, cvRt: 0.30, outBytes: 600},
+	"ZipPSA":              {meanRt: 32.0, cvRt: 0.15, outBytes: 1_500_000},
+}
+
+// CyberShake generates a CyberShake seismic-hazard workflow with
+// approximately `nodes` activations: a handful of ExtractSGT roots,
+// many SeismogramSynthesis fan-outs each followed by a
+// PeakValCalcOkaya, and two zip aggregators.
+func CyberShake(rng *rand.Rand, nodes int) *dag.Workflow {
+	if nodes < 8 {
+		nodes = 8
+	}
+	w := dag.New(fmt.Sprintf("CyberShake_%d", nodes))
+	var g idGen
+	add := func(activity string) *dag.Activation {
+		p := cyberShakeProfiles[activity]
+		p.name = activity
+		a := w.MustAdd(g.id(), activity, p.sample(rng))
+		a.Outputs = []dag.File{{
+			Name: a.ID + ".out",
+			Size: jitterBytes(rng, p.outBytes),
+		}}
+		return a
+	}
+	link := func(p, c *dag.Activation) {
+		c.Inputs = append(c.Inputs, p.Outputs[0])
+		w.MustDep(p.ID, c.ID)
+	}
+
+	// nodes ≈ nSGT + 2*nSynth + 2 (the zips): each synthesis brings a
+	// peak-value job.
+	nSGT := nodes / 20
+	if nSGT < 2 {
+		nSGT = 2
+	}
+	nSynth := (nodes - nSGT - 2) / 2
+	if nSynth < 2 {
+		nSynth = 2
+	}
+	sgts := make([]*dag.Activation, nSGT)
+	for i := range sgts {
+		sgts[i] = add("ExtractSGT")
+	}
+	zipSeis := add("ZipSeis")
+	zipPSA := add("ZipPSA")
+	for i := 0; i < nSynth; i++ {
+		syn := add("SeismogramSynthesis")
+		link(sgts[i%nSGT], syn)
+		peak := add("PeakValCalcOkaya")
+		link(syn, peak)
+		link(syn, zipSeis)
+		link(peak, zipPSA)
+	}
+	return w
+}
+
+var epigenomicsProfiles = map[string]activityProfile{
+	"fastqSplit":    {meanRt: 35.0, cvRt: 0.20, outBytes: 20_000_000},
+	"filterContams": {meanRt: 2.5, cvRt: 0.30, outBytes: 18_000_000},
+	"sol2sanger":    {meanRt: 0.5, cvRt: 0.30, outBytes: 18_000_000},
+	"fastq2bfq":     {meanRt: 1.4, cvRt: 0.30, outBytes: 6_000_000},
+	"map":           {meanRt: 201.0, cvRt: 0.35, outBytes: 9_000_000},
+	"mapMerge":      {meanRt: 11.0, cvRt: 0.20, outBytes: 30_000_000},
+	"maqIndex":      {meanRt: 44.0, cvRt: 0.20, outBytes: 30_000_000},
+	"pileup":        {meanRt: 56.0, cvRt: 0.20, outBytes: 80_000_000},
+}
+
+// Epigenomics generates the DNA-methylation pipeline: per lane a
+// fastqSplit fans out into k four-stage chains
+// (filterContams→sol2sanger→fastq2bfq→map) that merge into a
+// per-lane mapMerge, followed by a global mapMerge, maqIndex and
+// pileup.
+func Epigenomics(rng *rand.Rand, nodes int) *dag.Workflow {
+	if nodes < 12 {
+		nodes = 12
+	}
+	w := dag.New(fmt.Sprintf("Epigenomics_%d", nodes))
+	var g idGen
+	add := func(activity string) *dag.Activation {
+		p := epigenomicsProfiles[activity]
+		p.name = activity
+		a := w.MustAdd(g.id(), activity, p.sample(rng))
+		a.Outputs = []dag.File{{Name: a.ID + ".out", Size: jitterBytes(rng, p.outBytes)}}
+		return a
+	}
+	link := func(p, c *dag.Activation) {
+		c.Inputs = append(c.Inputs, p.Outputs[0])
+		w.MustDep(p.ID, c.ID)
+	}
+
+	lanes := nodes / 24
+	if lanes < 1 {
+		lanes = 1
+	}
+	// nodes ≈ lanes*(1 split + 4k chain stages + 1 merge) + 3 tail.
+	k := (nodes - 3 - lanes*2) / (lanes * 4)
+	if k < 1 {
+		k = 1
+	}
+	globalMerge := add("mapMerge")
+	for l := 0; l < lanes; l++ {
+		split := add("fastqSplit")
+		laneMerge := add("mapMerge")
+		for i := 0; i < k; i++ {
+			fc := add("filterContams")
+			link(split, fc)
+			ss := add("sol2sanger")
+			link(fc, ss)
+			fb := add("fastq2bfq")
+			link(ss, fb)
+			mp := add("map")
+			link(fb, mp)
+			link(mp, laneMerge)
+		}
+		link(laneMerge, globalMerge)
+	}
+	idx := add("maqIndex")
+	link(globalMerge, idx)
+	pl := add("pileup")
+	link(idx, pl)
+	return w
+}
+
+var inspiralProfiles = map[string]activityProfile{
+	"TmpltBank": {meanRt: 18.1, cvRt: 0.25, outBytes: 1_000_000},
+	"Inspiral":  {meanRt: 460.0, cvRt: 0.35, outBytes: 1_200_000},
+	"Thinca":    {meanRt: 5.4, cvRt: 0.25, outBytes: 700_000},
+	"TrigBank":  {meanRt: 5.1, cvRt: 0.25, outBytes: 800_000},
+}
+
+// Inspiral generates the LIGO Inspiral gravitational-wave workflow:
+// groups of TmpltBank→Inspiral chains aggregated by a Thinca per
+// group, a TrigBank fan-out, a second Inspiral stage and a final
+// Thinca.
+func Inspiral(rng *rand.Rand, nodes int) *dag.Workflow {
+	if nodes < 9 {
+		nodes = 9
+	}
+	w := dag.New(fmt.Sprintf("Inspiral_%d", nodes))
+	var g idGen
+	add := func(activity string) *dag.Activation {
+		p := inspiralProfiles[activity]
+		p.name = activity
+		a := w.MustAdd(g.id(), activity, p.sample(rng))
+		a.Outputs = []dag.File{{Name: a.ID + ".out", Size: jitterBytes(rng, p.outBytes)}}
+		return a
+	}
+	link := func(p, c *dag.Activation) {
+		c.Inputs = append(c.Inputs, p.Outputs[0])
+		w.MustDep(p.ID, c.ID)
+	}
+
+	groups := nodes / 22
+	if groups < 1 {
+		groups = 1
+	}
+	// nodes ≈ groups*(4k + 2): k chains of 4 jobs plus 2 thincas.
+	k := (nodes - groups*2) / (groups * 4)
+	if k < 1 {
+		k = 1
+	}
+	for grp := 0; grp < groups; grp++ {
+		thinca1 := add("Thinca")
+		thinca2 := add("Thinca")
+		for i := 0; i < k; i++ {
+			tb := add("TmpltBank")
+			in1 := add("Inspiral")
+			link(tb, in1)
+			link(in1, thinca1)
+			trig := add("TrigBank")
+			link(thinca1, trig)
+			in2 := add("Inspiral")
+			link(trig, in2)
+			link(in2, thinca2)
+		}
+	}
+	return w
+}
+
+var siphtProfiles = map[string]activityProfile{
+	"Patser":        {meanRt: 1.0, cvRt: 0.40, outBytes: 5_000},
+	"PatserConcate": {meanRt: 0.3, cvRt: 0.20, outBytes: 50_000},
+	"TransTerm":     {meanRt: 32.0, cvRt: 0.30, outBytes: 2_000_000},
+	"Findterm":      {meanRt: 594.0, cvRt: 0.30, outBytes: 20_000_000},
+	"RNAMotif":      {meanRt: 26.0, cvRt: 0.30, outBytes: 800_000},
+	"Blast":         {meanRt: 1990.0, cvRt: 0.25, outBytes: 12_000_000},
+	"SRNA":          {meanRt: 12.0, cvRt: 0.20, outBytes: 3_000_000},
+	"FFN_Parse":     {meanRt: 0.7, cvRt: 0.30, outBytes: 400_000},
+	"BlastSynteny":  {meanRt: 3.0, cvRt: 0.30, outBytes: 300_000},
+	"SRNAAnnotate":  {meanRt: 0.6, cvRt: 0.30, outBytes: 60_000},
+}
+
+// Sipht generates the sRNA-identification workflow: a wide layer of
+// Patser jobs concatenated once, a group of independent mid-stage
+// analyses (TransTerm, Findterm, RNAMotif, Blast) feeding an SRNA
+// aggregator, then annotation fan-out.
+func Sipht(rng *rand.Rand, nodes int) *dag.Workflow {
+	if nodes < 10 {
+		nodes = 10
+	}
+	w := dag.New(fmt.Sprintf("Sipht_%d", nodes))
+	var g idGen
+	add := func(activity string) *dag.Activation {
+		p := siphtProfiles[activity]
+		p.name = activity
+		a := w.MustAdd(g.id(), activity, p.sample(rng))
+		a.Outputs = []dag.File{{Name: a.ID + ".out", Size: jitterBytes(rng, p.outBytes)}}
+		return a
+	}
+	link := func(p, c *dag.Activation) {
+		c.Inputs = append(c.Inputs, p.Outputs[0])
+		w.MustDep(p.ID, c.ID)
+	}
+
+	nPatser := nodes * 6 / 10
+	if nPatser < 2 {
+		nPatser = 2
+	}
+	rem := nodes - nPatser - 7 // concate + 4 analyses + srna + parse
+	if rem < 1 {
+		rem = 1
+	}
+	concate := add("PatserConcate")
+	for i := 0; i < nPatser; i++ {
+		p := add("Patser")
+		link(p, concate)
+	}
+	tt := add("TransTerm")
+	ft := add("Findterm")
+	rm := add("RNAMotif")
+	bl := add("Blast")
+	srna := add("SRNA")
+	for _, a := range []*dag.Activation{tt, ft, rm, bl} {
+		link(a, srna)
+	}
+	link(concate, srna)
+	parse := add("FFN_Parse")
+	link(srna, parse)
+	for i := 0; i < rem; i++ {
+		var a *dag.Activation
+		if i%2 == 0 {
+			a = add("BlastSynteny")
+		} else {
+			a = add("SRNAAnnotate")
+		}
+		link(parse, a)
+	}
+	return w
+}

@@ -1,0 +1,200 @@
+// Package trace generates synthetic scientific-workflow instances
+// shaped like the published Pegasus Workflow Generator traces
+// (Montage, CyberShake, Epigenomics, Inspiral/LIGO, Sipht), plus
+// generic random layered DAGs for stress testing.
+//
+// The paper's evaluation uses the 50-node Montage DAX from the
+// Workflow Generator web page. That service is offline for us, so
+// these generators reproduce the published DAG structure and the
+// per-activity runtime spread; scheduling behaviour depends only on
+// those observable properties (see DESIGN.md, substitution table).
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"reassign/internal/dag"
+)
+
+// activityProfile describes the runtime and data-size distribution of
+// one activity (transformation) type.
+type activityProfile struct {
+	name     string
+	meanRt   float64 // mean reference runtime, seconds
+	cvRt     float64 // coefficient of variation of the runtime
+	outBytes int64   // typical bytes per output file
+}
+
+// sample draws a runtime from a truncated normal distribution: mean
+// meanRt, stddev cvRt*meanRt, floored at 5% of the mean so runtimes
+// stay strictly positive.
+func (p activityProfile) sample(rng *rand.Rand) float64 {
+	rt := p.meanRt + rng.NormFloat64()*p.cvRt*p.meanRt
+	floor := p.meanRt * 0.05
+	if rt < floor {
+		rt = floor
+	}
+	return rt
+}
+
+// jitterBytes perturbs a nominal size by ±25% so files are not all
+// identical.
+func jitterBytes(rng *rand.Rand, nominal int64) int64 {
+	if nominal <= 0 {
+		return 0
+	}
+	f := 0.75 + rng.Float64()*0.5
+	v := int64(math.Round(float64(nominal) * f))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// idGen produces DAX-style sequential IDs: ID00000, ID00001, ...
+type idGen struct{ next int }
+
+func (g *idGen) id() string {
+	s := fmt.Sprintf("ID%05d", g.next)
+	g.next++
+	return s
+}
+
+// RandomLayered generates a random DAG with the given number of
+// activations spread over `levels` levels; each non-root activation
+// gets between 1 and maxFanIn parents from the previous level.
+// Runtimes are uniform in [minRt, maxRt). The result is always a
+// valid workflow.
+func RandomLayered(rng *rand.Rand, nodes, levels, maxFanIn int, minRt, maxRt float64) *dag.Workflow {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if levels < 1 {
+		levels = 1
+	}
+	if levels > nodes {
+		levels = nodes
+	}
+	if maxFanIn < 1 {
+		maxFanIn = 1
+	}
+	w := dag.New(fmt.Sprintf("Random_%d", nodes))
+	var g idGen
+	// Distribute nodes across levels, at least one per level.
+	perLevel := make([]int, levels)
+	for i := range perLevel {
+		perLevel[i] = 1
+	}
+	for extra := nodes - levels; extra > 0; extra-- {
+		perLevel[rng.Intn(levels)]++
+	}
+	var prev []*dag.Activation
+	for l := 0; l < levels; l++ {
+		var cur []*dag.Activation
+		for i := 0; i < perLevel[l]; i++ {
+			rt := minRt + rng.Float64()*(maxRt-minRt)
+			a := w.MustAdd(g.id(), fmt.Sprintf("level%d", l), rt)
+			if l > 0 {
+				fanIn := 1 + rng.Intn(maxFanIn)
+				if fanIn > len(prev) {
+					fanIn = len(prev)
+				}
+				for _, pi := range rng.Perm(len(prev))[:fanIn] {
+					w.MustDep(prev[pi].ID, a.ID)
+				}
+			}
+			cur = append(cur, a)
+		}
+		prev = cur
+	}
+	return w
+}
+
+// Named returns the generator for a workflow family by name
+// ("montage", "cybershake", "epigenomics", "inspiral", "sipht"),
+// each taking an approximate node count. Unknown names return nil.
+func Named(family string) func(rng *rand.Rand, nodes int) *dag.Workflow {
+	switch family {
+	case "montage":
+		return MontageN
+	case "cybershake":
+		return CyberShake
+	case "epigenomics":
+		return Epigenomics
+	case "inspiral":
+		return Inspiral
+	case "sipht":
+		return Sipht
+	default:
+		return nil
+	}
+}
+
+// Families lists the supported workflow family names.
+func Families() []string {
+	return []string{"montage", "cybershake", "epigenomics", "inspiral", "sipht"}
+}
+
+// ForkJoin generates repeated fork-join phases: a fork task fans out
+// to `width` parallel workers joined by a join task, `phases` times in
+// sequence — the classic synthetic shape for scheduler microbenchmarks.
+func ForkJoin(rng *rand.Rand, phases, width int, meanRt float64) *dag.Workflow {
+	if phases < 1 {
+		phases = 1
+	}
+	if width < 1 {
+		width = 1
+	}
+	if meanRt <= 0 {
+		meanRt = 10
+	}
+	p := activityProfile{meanRt: meanRt, cvRt: 0.2}
+	w := dag.New(fmt.Sprintf("ForkJoin_%dx%d", phases, width))
+	var g idGen
+	prevJoin := ""
+	for ph := 0; ph < phases; ph++ {
+		fork := w.MustAdd(g.id(), "fork", p.sample(rng)/10)
+		if prevJoin != "" {
+			w.MustDep(prevJoin, fork.ID)
+		}
+		join := w.MustAdd(g.id(), "join", p.sample(rng)/10)
+		for i := 0; i < width; i++ {
+			worker := w.MustAdd(g.id(), "work", p.sample(rng))
+			w.MustDep(fork.ID, worker.ID)
+			w.MustDep(worker.ID, join.ID)
+		}
+		prevJoin = join.ID
+	}
+	return w
+}
+
+// Chains generates `count` independent linear pipelines of `length`
+// stages each — the zero-parallelism-within, full-parallelism-across
+// counterpart to ForkJoin.
+func Chains(rng *rand.Rand, count, length int, meanRt float64) *dag.Workflow {
+	if count < 1 {
+		count = 1
+	}
+	if length < 1 {
+		length = 1
+	}
+	if meanRt <= 0 {
+		meanRt = 10
+	}
+	p := activityProfile{meanRt: meanRt, cvRt: 0.2}
+	w := dag.New(fmt.Sprintf("Chains_%dx%d", count, length))
+	var g idGen
+	for c := 0; c < count; c++ {
+		prev := ""
+		for s := 0; s < length; s++ {
+			a := w.MustAdd(g.id(), fmt.Sprintf("stage%d", s), p.sample(rng))
+			if prev != "" {
+				w.MustDep(prev, a.ID)
+			}
+			prev = a.ID
+		}
+	}
+	return w
+}

@@ -1,0 +1,319 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMontage50Composition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := Montage50(rng)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", w.Len())
+	}
+	want := map[string]int{
+		"mProjectPP": 10, "mDiffFit": 17, "mConcatFit": 1, "mBgModel": 1,
+		"mBackground": 10, "mImgtbl": 1, "mAdd": 1, "mShrink": 8, "mJPEG": 1,
+	}
+	got := w.CountByActivity()
+	for act, n := range want {
+		if got[act] != n {
+			t.Errorf("%s: %d activations, want %d", act, got[act], n)
+		}
+	}
+	if w.Name != "Montage_50" {
+		t.Errorf("name = %q", w.Name)
+	}
+}
+
+func TestMontageStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := Montage(rng, 10, 8)
+	// mConcatFit depends on all 17 mDiffFit.
+	var concatID string
+	for _, a := range w.Activations() {
+		if a.Activity == "mConcatFit" {
+			concatID = a.ID
+			if len(a.Parents()) != 17 {
+				t.Fatalf("mConcatFit has %d parents, want 17", len(a.Parents()))
+			}
+		}
+	}
+	anc, err := w.Ancestors(concatID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Its ancestors are all diffs and all projections.
+	if len(anc) != 27 {
+		t.Fatalf("mConcatFit has %d ancestors, want 27", len(anc))
+	}
+	// mJPEG is the single leaf.
+	leaves := w.Leaves()
+	if len(leaves) != 1 || leaves[0].Activity != "mJPEG" {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	// Roots are exactly the projections.
+	roots := w.Roots()
+	if len(roots) != 10 {
+		t.Fatalf("roots = %d, want 10", len(roots))
+	}
+	for _, r := range roots {
+		if r.Activity != "mProjectPP" {
+			t.Fatalf("root %v is not mProjectPP", r)
+		}
+	}
+	// Depth: proj, diff, concat, bgmodel, background, imgtbl, add,
+	// shrink, jpeg = 9 levels.
+	d, err := w.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 9 {
+		t.Fatalf("depth = %d, want 9", d)
+	}
+	// mBackground depends on both its projection and mBgModel.
+	for _, a := range w.Activations() {
+		if a.Activity == "mBackground" && len(a.Parents()) != 2 {
+			t.Fatalf("mBackground %s has %d parents, want 2", a.ID, len(a.Parents()))
+		}
+	}
+}
+
+func TestMontageDataFlowMatchesEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := Montage(rng, 6, 3)
+	// Every edge should correspond to a produced/consumed file, so
+	// re-inferring data deps adds nothing new.
+	if added := w.InferDataDeps(); added != 0 {
+		t.Fatalf("InferDataDeps added %d edges; data flow inconsistent with structure", added)
+	}
+}
+
+func TestMontageMinimums(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := Montage(rng, 0, 0) // clamped to 2 images, 1 shrink
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := w.CountByActivity()
+	if counts["mProjectPP"] != 2 || counts["mShrink"] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestMontageNApproximate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, target := range []int{10, 50, 100, 300, 1000} {
+		w := MontageN(rng, target)
+		if err := w.Validate(); err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		got := w.Len()
+		if got < target/2 || got > target*2 {
+			t.Errorf("target %d produced %d activations (outside [%d,%d])", target, got, target/2, target*2)
+		}
+	}
+}
+
+func TestAllFamiliesValidate(t *testing.T) {
+	for _, fam := range Families() {
+		gen := Named(fam)
+		if gen == nil {
+			t.Fatalf("Named(%q) = nil", fam)
+		}
+		for _, size := range []int{5, 30, 120} {
+			rng := rand.New(rand.NewSource(9))
+			w := gen(rng, size)
+			if err := w.Validate(); err != nil {
+				t.Errorf("%s size %d: %v", fam, size, err)
+			}
+			if w.Len() < 3 {
+				t.Errorf("%s size %d: only %d activations", fam, size, w.Len())
+			}
+			// All runtimes strictly positive.
+			for _, a := range w.Activations() {
+				if a.Runtime <= 0 {
+					t.Errorf("%s: activation %s has runtime %v", fam, a.ID, a.Runtime)
+				}
+			}
+		}
+	}
+}
+
+func TestNamedUnknown(t *testing.T) {
+	if Named("nosuch") != nil {
+		t.Fatal("Named returned a generator for an unknown family")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, fam := range Families() {
+		a := Named(fam)(rand.New(rand.NewSource(77)), 60)
+		b := Named(fam)(rand.New(rand.NewSource(77)), 60)
+		if a.Len() != b.Len() || a.Edges() != b.Edges() {
+			t.Fatalf("%s: same seed produced different shapes", fam)
+		}
+		for i, aa := range a.Activations() {
+			bb := b.Activations()[i]
+			if aa.ID != bb.ID || aa.Runtime != bb.Runtime {
+				t.Fatalf("%s: same seed diverged at %d: %v vs %v", fam, i, aa, bb)
+			}
+		}
+	}
+}
+
+func TestRandomLayered(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := RandomLayered(rng, 40, 5, 3, 1, 10)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 40 {
+		t.Fatalf("Len = %d, want 40", w.Len())
+	}
+	d, err := w.Depth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 5 {
+		t.Fatalf("depth = %d, want 5", d)
+	}
+	// Fan-in bound respected.
+	for _, a := range w.Activations() {
+		if len(a.Parents()) > 3 {
+			t.Fatalf("activation %s has fan-in %d > 3", a.ID, len(a.Parents()))
+		}
+	}
+}
+
+func TestRandomLayeredClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	w := RandomLayered(rng, 0, 0, 0, 1, 2)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", w.Len())
+	}
+	// levels > nodes clamps to nodes.
+	w2 := RandomLayered(rng, 3, 10, 2, 1, 2)
+	if err := w2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, _ := w2.Depth()
+	if d != 3 {
+		t.Fatalf("depth = %d, want 3", d)
+	}
+}
+
+func TestProfileSampleFloor(t *testing.T) {
+	p := activityProfile{meanRt: 10, cvRt: 5} // huge variance
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 1000; i++ {
+		if rt := p.sample(rng); rt < 0.5 {
+			t.Fatalf("sample %v below 5%% floor", rt)
+		}
+	}
+}
+
+func TestJitterBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for i := 0; i < 1000; i++ {
+		v := jitterBytes(rng, 1000)
+		if v < 750 || v > 1250 {
+			t.Fatalf("jitterBytes = %d outside ±25%%", v)
+		}
+	}
+	if jitterBytes(rng, 0) != 0 {
+		t.Fatal("jitterBytes(0) != 0")
+	}
+}
+
+// Property: all families produce acyclic workflows whose node count
+// tracks the requested size.
+func TestPropertyFamiliesWellFormed(t *testing.T) {
+	f := func(seed int64, rawSize uint16) bool {
+		size := int(rawSize)%400 + 10
+		for _, fam := range Families() {
+			rng := rand.New(rand.NewSource(seed))
+			w := Named(fam)(rng, size)
+			if err := w.Validate(); err != nil {
+				return false
+			}
+			if w.Len() < 3 || w.Len() > size*3+20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMontage50(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(int64(i)))
+		w := Montage50(rng)
+		if w.Len() != 50 {
+			b.Fatal("bad length")
+		}
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	w := ForkJoin(rng, 3, 5, 10)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 3 phases × (fork + join + 5 workers) = 21.
+	if w.Len() != 21 {
+		t.Fatalf("Len = %d, want 21", w.Len())
+	}
+	d, _ := w.Depth()
+	// Each phase adds 3 levels (fork, workers, join).
+	if d != 9 {
+		t.Fatalf("depth = %d, want 9", d)
+	}
+	width, _ := w.Width()
+	if width != 5 {
+		t.Fatalf("width = %d, want 5", width)
+	}
+	// Clamps.
+	w2 := ForkJoin(rng, 0, 0, 0)
+	if err := w2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w2.Len() != 3 {
+		t.Fatalf("clamped Len = %d, want 3", w2.Len())
+	}
+}
+
+func TestChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	w := Chains(rng, 4, 6, 10)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", w.Len())
+	}
+	if len(w.Roots()) != 4 || len(w.Leaves()) != 4 {
+		t.Fatalf("roots/leaves = %d/%d, want 4/4", len(w.Roots()), len(w.Leaves()))
+	}
+	d, _ := w.Depth()
+	if d != 6 {
+		t.Fatalf("depth = %d, want 6", d)
+	}
+	// Critical path ≈ one chain, total ≈ count × chain.
+	_, cp, _ := w.CriticalPath()
+	if cp <= 0 || cp >= w.TotalRuntime() {
+		t.Fatalf("cp = %v vs total %v", cp, w.TotalRuntime())
+	}
+}
