@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check race bench test build vet
+
+## check: vet, build, and test everything (the tier-1 gate)
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detector pass over the simulation and learning packages
+race:
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/engine/... ./internal/expt/...
+
+## bench: run the benchmark trajectory and record BENCH_core.json
+bench:
+	$(GO) run ./cmd/benchjson -o BENCH_core.json

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"reassign/internal/expt"
 	"reassign/internal/metrics"
@@ -38,7 +40,35 @@ func run() error {
 	curves := flag.String("curves", "", "write ReASSIgN learning curves (SVG) to this file and exit")
 	reportPath := flag.String("report", "", "write a self-contained HTML report (all tables + figures) and exit")
 	outDir := flag.String("out", "", "also write TSV files to this directory")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise live-heap stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	o := expt.Options{Seed: *seed, Episodes: *episodes}
 	emit := func(name string, t *metrics.Table) error {

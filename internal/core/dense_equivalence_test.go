@@ -1,0 +1,90 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/rl"
+	"reassign/internal/sim"
+)
+
+// TestLearnerMapDenseEquivalence is the end-to-end backing contract:
+// a Learner fed an explicit sparse table and one fed an explicit
+// dense table — constructed from identical init seeds — must produce
+// bit-identical episode trajectories and extracted plans, because
+// both backings materialise random initial Q values lazily in access
+// order.
+func TestLearnerMapDenseEquivalence(t *testing.T) {
+	w := montage50(t, 6)
+	fl := fleet(t, 16)
+	run := func(table *rl.Table) *Result {
+		l := &Learner{Workflow: w, Fleet: fl, Params: DefaultParams(), Episodes: 10, Seed: 17, Table: table}
+		res, err := l.Learn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	const initSeed = 23
+	a := run(rl.NewTable(rand.New(rand.NewSource(initSeed)), 1.0))
+	b := run(rl.NewDenseTable(w.Len(), len(fl.VMs), rand.New(rand.NewSource(initSeed)), 1.0))
+
+	for i := range a.Episodes {
+		if a.Episodes[i].Makespan != b.Episodes[i].Makespan || a.Episodes[i].Reward != b.Episodes[i].Reward {
+			t.Fatalf("episode %d diverges: map (%v, %v) vs dense (%v, %v)", i,
+				a.Episodes[i].Makespan, a.Episodes[i].Reward, b.Episodes[i].Makespan, b.Episodes[i].Reward)
+		}
+	}
+	if a.PlanMakespan != b.PlanMakespan {
+		t.Fatalf("plan makespans diverge: %v (map) vs %v (dense)", a.PlanMakespan, b.PlanMakespan)
+	}
+	if len(a.Plan) != len(b.Plan) {
+		t.Fatalf("plan sizes diverge: %d vs %d", len(a.Plan), len(b.Plan))
+	}
+	for id, vm := range a.Plan {
+		if b.Plan[id] != vm {
+			t.Fatalf("plans diverge at %s: %d (map) vs %d (dense)", id, vm, b.Plan[id])
+		}
+	}
+	// The learned tables must agree entry-for-entry as well.
+	sa, sb := a.Table.Snapshot(), b.Table.Snapshot()
+	if len(sa) != len(sb) {
+		t.Fatalf("table sizes diverge: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("table entry %d diverges: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+}
+
+// BenchmarkTDHotPath measures one full learning episode — Pick,
+// bootstrap, and TDUpdate on every completion — against each table
+// backing. The dense sub-benchmark is the Learner's default
+// configuration.
+func BenchmarkTDHotPath(b *testing.B) {
+	w := montage50(b, 6)
+	fl := fleet(b, 16)
+	fluct := cloud.DefaultFluctuation()
+	run := func(b *testing.B, mk func(i int) *rl.Table) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			agent, err := NewScheduler(DefaultParams(), mk(i), rand.New(rand.NewSource(int64(i))))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(w, fl, agent, sim.Config{Seed: int64(i), Fluct: &fluct}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("map", func(b *testing.B) {
+		run(b, func(i int) *rl.Table { return rl.NewTable(rand.New(rand.NewSource(int64(i))), 1.0) })
+	})
+	b.Run("dense", func(b *testing.B) {
+		run(b, func(i int) *rl.Table {
+			return rl.NewDenseTable(w.Len(), len(fl.VMs), rand.New(rand.NewSource(int64(i))), 1.0)
+		})
+	})
+}

@@ -84,12 +84,20 @@ func (l *Learner) Learn() (*Result, error) {
 	rng := rand.New(rand.NewSource(l.Seed))
 	table := l.Table
 	if table == nil {
-		// Algorithm 2: "Start Q(s,a) at random".
-		table = rl.NewTable(rand.New(rand.NewSource(rng.Int63())), 1.0)
+		// Algorithm 2: "Start Q(s,a) at random". The learner knows the
+		// action space up front — Workflow.Len() activations × the
+		// fleet's VM IDs — so it uses the dense backing; both backings
+		// materialise lazily in access order, making the learned values
+		// (and thus plans) identical to the sparse map for a given seed.
+		table = rl.NewDenseTable(l.Workflow.Len(), len(l.Fleet.VMs), rand.New(rand.NewSource(rng.Int63())), 1.0)
 	}
 
 	res := &Result{Table: table, BestEpisodeMakespan: math.Inf(1)}
 	start := time.Now()
+	// One agent serves every episode: Prepare resets per-episode state
+	// and reset re-seeds exploration, so the scratch buffers sized on
+	// episode 0 are reused for the rest of the loop.
+	var agent *Scheduler
 	for ep := 0; ep < episodes; ep++ {
 		params := l.Params
 		if l.AlphaSchedule != nil {
@@ -100,13 +108,19 @@ func (l *Learner) Learn() (*Result, error) {
 		if l.EpsilonSchedule != nil && params.Policy == nil {
 			params.Epsilon = l.EpsilonSchedule.At(ep)
 		}
-		agent, err := NewScheduler(params, table, rand.New(rand.NewSource(rng.Int63())))
+		seed := rng.Int63()
+		var err error
+		if agent == nil {
+			agent, err = NewScheduler(params, table, rand.New(rand.NewSource(seed)))
+		} else {
+			err = agent.reset(params, seed)
+		}
 		if err != nil {
 			return nil, err
 		}
 		if params.Rule == DoubleQ {
 			if l.tableB == nil {
-				l.tableB = rl.NewTable(rand.New(rand.NewSource(rng.Int63())), 1.0)
+				l.tableB = rl.NewDenseTable(l.Workflow.Len(), len(l.Fleet.VMs), rand.New(rand.NewSource(rng.Int63())), 1.0)
 			}
 			agent.WithSecondTable(l.tableB)
 		}

@@ -116,13 +116,25 @@ type Scheduler struct {
 	frozen bool // plan-extraction mode: greedy, no updates
 
 	w            *dag.Workflow
-	pending      map[int]bool // activation indices not yet succeeded
-	inflight     map[int]bool // activation indices currently assigned/running
-	maxSlotPrice float64      // most expensive slot-hour in the fleet
-	tableB       *rl.Table    // second table for DoubleQ (nil otherwise)
-	rewardT      float64      // r^{t-1}, the running smoothed reward
-	step         int          // t, the per-episode decision counter
-	episodeR     float64      // Σ crisp rewards this episode (diagnostics)
+	pending      []bool // by activation index: not yet succeeded
+	npending     int
+	inflight     []bool    // by activation index: currently assigned/running
+	blockedBy    []int     // by activation index: count of pending parents
+	maxSlotPrice float64   // most expensive slot-hour in the fleet
+	tableB       *rl.Table // second table for DoubleQ (nil otherwise)
+	rewardT      float64   // r^{t-1}, the running smoothed reward
+	step         int       // t, the per-episode decision counter
+	episodeR     float64   // Σ crisp rewards this episode (diagnostics)
+
+	// Scratch buffers, sized in Prepare and reused every call so the
+	// steady-state Pick/OnTaskComplete path does not allocate.
+	readyBuf []int
+	idleBuf  []int
+	openBuf  []int
+	outBuf   []sim.Assignment
+	budget   []int          // free slots by VM ID, valid within one Pick
+	vmByID   []*sim.VMState // idle VM lookup by ID, valid within one Pick
+	perfBuf  []float64      // PerfStdDev scratch
 }
 
 var _ sim.Scheduler = (*Scheduler)(nil)
@@ -161,6 +173,25 @@ func NewPlanExtractor(params Params, table *rl.Table) (*Scheduler, error) {
 	return s, nil
 }
 
+// reset reconfigures the agent for another episode with new params
+// and a fresh exploration seed, keeping the Q table and the scratch
+// buffers sized by previous Prepares. Re-seeding the existing rng
+// yields the same stream as rand.New(rand.NewSource(seed)), so the
+// Learner's episodes are unchanged by agent reuse.
+func (s *Scheduler) reset(params Params, seed int64) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	s.params = params
+	s.rng.Seed(seed)
+	pol := params.Policy
+	if pol == nil {
+		pol = rl.EpsilonGreedy{Epsilon: params.Epsilon}
+	}
+	s.policy = pol
+	return nil
+}
+
 // WithSecondTable attaches the second Q table required by the DoubleQ
 // rule (shared across episodes like the primary one) and returns the
 // scheduler for chaining.
@@ -182,10 +213,32 @@ func (s *Scheduler) Prepare(w *dag.Workflow, fleet *cloud.Fleet, _ *sim.Env) err
 			s.maxSlotPrice = p
 		}
 	}
-	s.pending = make(map[int]bool, w.Len())
-	s.inflight = make(map[int]bool)
+	n := w.Len()
+	if cap(s.pending) < n {
+		s.pending = make([]bool, n)
+		s.inflight = make([]bool, n)
+		s.blockedBy = make([]int, n)
+	} else {
+		s.pending = s.pending[:n]
+		s.inflight = s.inflight[:n]
+		s.blockedBy = s.blockedBy[:n]
+	}
 	for _, a := range w.Activations() {
 		s.pending[a.Index] = true
+		s.inflight[a.Index] = false
+		s.blockedBy[a.Index] = len(a.Parents())
+	}
+	s.npending = n
+	if cap(s.readyBuf) < n {
+		s.readyBuf = make([]int, 0, n)
+		s.outBuf = make([]sim.Assignment, 0, n)
+	}
+	if v := len(fleet.VMs); cap(s.idleBuf) < v {
+		s.idleBuf = make([]int, 0, v)
+		s.openBuf = make([]int, 0, v)
+		s.budget = make([]int, v)
+		s.vmByID = make([]*sim.VMState, v)
+		s.perfBuf = make([]float64, 0, v)
 	}
 	s.rewardT = 0
 	s.step = 1
@@ -194,31 +247,52 @@ func (s *Scheduler) Prepare(w *dag.Workflow, fleet *cloud.Fleet, _ *sim.Env) err
 }
 
 // Pick implements sim.Scheduler: ε-greedy VM selection for each ready
-// activation, respecting slot budgets within the round.
+// activation, respecting slot budgets within the round. The candidate
+// list is maintained incrementally — a VM drops out (in place, order
+// preserved) when its last free slot is claimed. The returned slice
+// is reused by the next Pick call; the engine consumes it before
+// invoking the scheduler again.
 func (s *Scheduler) Pick(ctx *sim.Context) []sim.Assignment {
-	free := make(map[int]*sim.VMState, len(ctx.IdleVMs))
-	budget := make(map[int]int, len(ctx.IdleVMs))
-	for _, v := range ctx.IdleVMs {
-		free[v.VM.ID] = v
-		budget[v.VM.ID] = v.FreeSlots()
-	}
-	var out []sim.Assignment
-	for _, t := range ctx.Ready {
-		var open []int
-		for _, v := range ctx.IdleVMs {
-			if budget[v.VM.ID] > 0 {
-				open = append(open, v.VM.ID)
-			}
+	if n := len(ctx.IdleVMs); n > 0 {
+		// IdleVMs is sorted by ID; autoscaled fleets can outgrow the
+		// Prepare-time sizing.
+		if maxID := ctx.IdleVMs[n-1].VM.ID; maxID >= len(s.budget) {
+			budget := make([]int, maxID+1)
+			copy(budget, s.budget)
+			s.budget = budget
+			vmByID := make([]*sim.VMState, maxID+1)
+			copy(vmByID, s.vmByID)
+			s.vmByID = vmByID
 		}
+	}
+	open := s.openBuf[:0]
+	for _, v := range ctx.IdleVMs {
+		id := v.VM.ID
+		s.vmByID[id] = v
+		s.budget[id] = v.FreeSlots()
+		open = append(open, id)
+	}
+	out := s.outBuf[:0]
+	for _, t := range ctx.Ready {
 		if len(open) == 0 {
 			break
 		}
 		vmID := s.policy.Select(s.table, t.Act.Index, open, s.rng)
-		budget[vmID]--
-		out = append(out, sim.Assignment{Task: t, VM: free[vmID]})
+		s.budget[vmID]--
+		if s.budget[vmID] == 0 {
+			for i, id := range open {
+				if id == vmID {
+					open = append(open[:i], open[i+1:]...)
+					break
+				}
+			}
+		}
+		out = append(out, sim.Assignment{Task: t, VM: s.vmByID[vmID]})
 		s.inflight[t.Act.Index] = true
 		s.step++
 	}
+	s.openBuf = open
+	s.outBuf = out
 	return out
 }
 
@@ -226,8 +300,17 @@ func (s *Scheduler) Pick(ctx *sim.Context) []sim.Assignment {
 // reward of the finished activation's schedule action from measured
 // times (Eq. 4-6) and applies the TD update of Algorithm 2.
 func (s *Scheduler) OnTaskComplete(t *sim.Task, env *sim.Env) {
-	delete(s.pending, t.Act.Index)
-	delete(s.inflight, t.Act.Index)
+	idx := t.Act.Index
+	if s.pending[idx] {
+		s.pending[idx] = false
+		s.npending--
+		// Keep the successor-availability counts current: each child
+		// has one fewer pending parent now.
+		for _, c := range t.Act.Children() {
+			s.blockedBy[c.Index]--
+		}
+	}
+	s.inflight[idx] = false
 	if s.frozen {
 		return
 	}
@@ -243,7 +326,8 @@ func (s *Scheduler) OnTaskComplete(t *sim.Task, env *sim.Env) {
 	mu := s.params.Mu
 	pi := VMPerfIndex(vmStats, mu)
 	pw := GlobalPerfIndex(env.GlobalStats(), mu)
-	stdv := PerfStdDev(env.VMStates(), mu)
+	s.perfBuf = AppendPerfIndices(s.perfBuf[:0], env.VMStates(), mu)
+	stdv := StdDev(s.perfBuf)
 	crisp := CrispReward(pi, pw, stdv)
 	if cw := s.params.CostWeight; cw > 0 && s.maxSlotPrice > 0 {
 		costTerm := 1 - 2*slotPrice(t.VM)/s.maxSlotPrice
@@ -281,16 +365,7 @@ func (s *Scheduler) doubleBootstrap(env *sim.Env, selT, evalT *rl.Table) float64
 	if len(ready) == 0 || len(idle) == 0 {
 		return 0
 	}
-	bestKey := rl.Key{Task: ready[0], VM: idle[0]}
-	bestV := math.Inf(-1)
-	for _, task := range ready {
-		for _, vm := range idle {
-			k := rl.Key{Task: task, VM: vm}
-			if v := selT.Value(k); v > bestV {
-				bestV, bestKey = v, k
-			}
-		}
-	}
+	bestKey, _ := selT.ArgmaxRect(ready, idle)
 	return evalT.Value(bestKey)
 }
 
@@ -312,58 +387,39 @@ func (s *Scheduler) bootstrap(env *sim.Env) float64 {
 		vm := s.policy.Select(s.table, ready[0], idle, s.rng)
 		return s.table.Value(rl.Key{Task: ready[0], VM: vm})
 	default: // QLearning
-		best := math.Inf(-1)
-		for _, task := range ready {
-			for _, vm := range idle {
-				if q := s.table.Value(rl.Key{Task: task, VM: vm}); q > best {
-					best = q
-				}
-			}
-		}
-		return best
+		return s.table.MaxRect(ready, idle)
 	}
 }
 
 // nextActions enumerates the candidate schedule actions of the
 // successor state under the configured Scope, in index order (Value
 // materialises random initial entries, so the access order must be
-// deterministic).
+// deterministic). The returned slices alias scratch buffers reused by
+// the next call.
 func (s *Scheduler) nextActions(env *sim.Env) (ready, idle []int) {
-	if len(s.pending) == 0 {
+	if s.npending == 0 {
 		return nil, nil
 	}
+	ready, idle = s.readyBuf[:0], s.idleBuf[:0]
 	switch s.params.Scope {
 	case AvailableOnly:
-		for i := 0; i < s.w.Len(); i++ {
-			if !s.pending[i] || s.inflight[i] {
-				continue
-			}
-			blocked := false
-			for _, p := range s.w.ByIndex(i).Parents() {
-				if s.pending[p.Index] {
-					blocked = true
-					break
-				}
-			}
-			if !blocked {
+		for i, p := range s.pending {
+			// Available: pending, not already assigned, and every parent
+			// finished (the incrementally maintained count).
+			if p && !s.inflight[i] && s.blockedBy[i] == 0 {
 				ready = append(ready, i)
 			}
 		}
-		for _, v := range env.VMStates() {
-			if v.Idle() {
-				idle = append(idle, v.VM.ID)
-			}
-		}
+		idle = env.AppendIdleVMIDs(idle)
 	default: // AllPending
-		for i := 0; i < s.w.Len(); i++ {
-			if s.pending[i] {
+		for i, p := range s.pending {
+			if p {
 				ready = append(ready, i)
 			}
 		}
-		for _, v := range env.VMStates() {
-			idle = append(idle, v.VM.ID)
-		}
+		idle = env.AppendVMIDs(idle)
 	}
+	s.readyBuf, s.idleBuf = ready, idle
 	return ready, idle
 }
 

@@ -31,31 +31,43 @@ func GlobalPerfIndex(global sim.VMStats, mu float64) float64 {
 	return PerfIndex(global.MeanExec(), global.MeanWait(), mu)
 }
 
+// AppendPerfIndices appends \overline{Pi_j} for every VM that has
+// executed at least one activation to dst and returns it. Callers on
+// the hot path pass a reused buffer to avoid allocating per reward.
+func AppendPerfIndices(dst []float64, vms []*sim.VMState, mu float64) []float64 {
+	for _, v := range vms {
+		if s := v.Stats(); s.N > 0 {
+			dst = append(dst, VMPerfIndex(s, mu))
+		}
+	}
+	return dst
+}
+
+// StdDev computes the population standard deviation of xs, or 0 with
+// fewer than two observations.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
 // PerfStdDev computes the population standard deviation of the per-VM
 // mean performance indices \overline{Pi_j}, across VMs that have
 // executed at least one activation. With fewer than two active VMs
 // it returns 0.
 func PerfStdDev(vms []*sim.VMState, mu float64) float64 {
-	var idx []float64
-	for _, v := range vms {
-		if s := v.Stats(); s.N > 0 {
-			idx = append(idx, VMPerfIndex(s, mu))
-		}
-	}
-	if len(idx) < 2 {
-		return 0
-	}
-	var mean float64
-	for _, x := range idx {
-		mean += x
-	}
-	mean /= float64(len(idx))
-	var ss float64
-	for _, x := range idx {
-		d := x - mean
-		ss += d * d
-	}
-	return math.Sqrt(ss / float64(len(idx)))
+	return StdDev(AppendPerfIndices(nil, vms, mu))
 }
 
 // CrispReward computes r_i (Eq. 6): -1 when the VM's mean performance

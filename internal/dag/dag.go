@@ -67,6 +67,11 @@ type Workflow struct {
 
 	acts []*Activation
 	byID map[string]*Activation
+
+	// validated caches a successful Validate; any structural mutation
+	// (Add, AddDep) clears it, so repeated runs over an unchanged
+	// workflow skip the O(V+E) re-check.
+	validated bool
 }
 
 // New returns an empty workflow with the given name.
@@ -102,6 +107,7 @@ func (w *Workflow) Add(id, activity string, runtime float64) (*Activation, error
 	a := &Activation{ID: id, Index: len(w.acts), Activity: activity, Runtime: runtime}
 	w.acts = append(w.acts, a)
 	w.byID[id] = a
+	w.validated = false
 	return a, nil
 }
 
@@ -136,6 +142,7 @@ func (w *Workflow) AddDep(parentID, childID string) error {
 	}
 	p.children = append(p.children, c)
 	c.parents = append(c.parents, p)
+	w.validated = false
 	return nil
 }
 
@@ -204,6 +211,9 @@ func (w *Workflow) TotalRuntime() float64 {
 // Validate checks structural invariants: at least one activation,
 // consistent parent/child symmetry, and acyclicity.
 func (w *Workflow) Validate() error {
+	if w.validated {
+		return nil
+	}
 	if len(w.acts) == 0 {
 		return fmt.Errorf("dag: workflow %q has no activations", w.Name)
 	}
@@ -222,6 +232,7 @@ func (w *Workflow) Validate() error {
 	if _, err := w.TopoOrder(); err != nil {
 		return err
 	}
+	w.validated = true
 	return nil
 }
 

@@ -24,11 +24,15 @@ type Handler func()
 // configured time horizon was reached while events remained pending.
 var ErrHorizon = errors.New("des: time horizon reached with pending events")
 
-// event is one entry in the future-event list.
+// event is one entry in the future-event list. Executed events are
+// recycled through the simulator's free list; gen increments on each
+// recycle so stale EventRefs become no-ops instead of touching the
+// event's next incarnation.
 type event struct {
 	time     float64
 	priority int   // lower runs first among equal times
 	seq      int64 // insertion order; breaks remaining ties
+	gen      uint64
 	fn       Handler
 	canceled bool
 }
@@ -62,13 +66,16 @@ func (q *eventQueue) Pop() any {
 }
 
 // EventRef identifies a scheduled event so it can be canceled.
-type EventRef struct{ ev *event }
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel marks the referenced event so it will not run. Canceling an
 // already-run or already-canceled event is a no-op. Cancel reports
 // whether the event was still pending.
 func (r EventRef) Cancel() bool {
-	if r.ev == nil || r.ev.canceled {
+	if r.ev == nil || r.ev.gen != r.gen || r.ev.canceled {
 		return false
 	}
 	r.ev.canceled = true
@@ -84,6 +91,7 @@ type Simulator struct {
 	horizon float64 // 0 means unbounded
 	steps   int64   // events executed
 	running bool
+	free    []*event // recycled events, reused by AtPriority
 }
 
 // New returns an empty simulator with the clock at zero and no
@@ -134,9 +142,25 @@ func (s *Simulator) AtPriority(t float64, priority int, fn Handler) EventRef {
 		panic("des: schedule at NaN")
 	}
 	s.seq++
-	ev := &event{time: t, priority: priority, seq: s.seq, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.time, ev.priority, ev.seq, ev.fn, ev.canceled = t, priority, s.seq, fn, false
+	} else {
+		ev = &event{time: t, priority: priority, seq: s.seq, fn: fn}
+	}
 	heap.Push(&s.queue, ev)
-	return EventRef{ev: ev}
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+// recycle returns a popped event to the free list, invalidating any
+// outstanding EventRefs to it.
+func (s *Simulator) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	s.free = append(s.free, ev)
 }
 
 // After schedules fn delay time units from now (priority 0).
@@ -154,11 +178,16 @@ func (s *Simulator) Step() bool {
 	for len(s.queue) > 0 {
 		ev := heap.Pop(&s.queue).(*event)
 		if ev.canceled {
+			s.recycle(ev)
 			continue
 		}
 		s.now = ev.time
 		s.steps++
-		ev.fn()
+		fn := ev.fn
+		// Recycle before running: outstanding refs to this event are
+		// already dead, and the handler may schedule into the slot.
+		s.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -177,7 +206,7 @@ func (s *Simulator) Run() error {
 		// pending.
 		next := s.queue[0]
 		if next.canceled {
-			heap.Pop(&s.queue)
+			s.recycle(heap.Pop(&s.queue).(*event))
 			continue
 		}
 		if next.time > s.horizon {
@@ -198,7 +227,7 @@ func (s *Simulator) RunUntil(t float64) {
 	for len(s.queue) > 0 {
 		next := s.queue[0]
 		if next.canceled {
-			heap.Pop(&s.queue)
+			s.recycle(heap.Pop(&s.queue).(*event))
 			continue
 		}
 		if next.time > t {

@@ -3,6 +3,20 @@
 // actions, exploration policies (the paper's ε convention and
 // Boltzmann softmax for ablation), parameter schedules, and episode
 // persistence so learning progresses across workflow executions.
+//
+// A Table has two interchangeable backings. NewTable returns the
+// sparse backing — a map keyed by (task, VM) — which handles
+// unbounded key spaces. NewDenseTable returns the dense backing — a
+// flat []float64 indexed by task*numVMs+vm — which gives O(1)
+// access without hashing and lets the row/rectangle maxima
+// (Best, MaxRect, ArgmaxRect) run as tight loops over contiguous
+// memory. Both backings materialise entries lazily on first access,
+// drawing random initial values from the table's source in access
+// order, so for the same seed and the same access sequence the two
+// backings hold bit-identical values; entries outside a dense table's
+// rectangle (e.g. autoscaled VMs beyond the initial fleet) spill into
+// a sparse overflow map. Save/Load use one JSON format, so persisted
+// tables round-trip across backings.
 package rl
 
 import (
@@ -26,17 +40,29 @@ type Key struct {
 // Table is the evaluation table Q: schedule-action → expected reward.
 // Per the paper's Algorithm 2 it is initialised at random; entries
 // materialise lazily on first access so the table never stores
-// untouched pairs.
+// untouched pairs. See the package comment for the two backings.
 type Table struct {
+	// Sparse backing (nil when dense).
 	values map[Key]float64
-	rng    *rand.Rand
-	// InitSpan scales random initialisation: new entries are uniform
-	// in [0, InitSpan). Zero yields zero-initialised entries.
+
+	// Dense backing (nil when sparse): Q(task, vm) lives at
+	// dense[task*numVMs+vm]; seen tracks materialisation.
+	dense    []float64
+	seen     []bool
+	seenN    int
+	numTasks int
+	numVMs   int
+	// overflow holds dense-mode entries outside the rectangle.
+	overflow map[Key]float64
+
+	rng *rand.Rand
+	// initSpan scales random initialisation: new entries are uniform
+	// in [0, initSpan). Zero yields zero-initialised entries.
 	initSpan float64
 }
 
-// NewTable returns a table whose unseen entries initialise uniformly
-// in [0, initSpan) using the given source.
+// NewTable returns a sparse (map-backed) table whose unseen entries
+// initialise uniformly in [0, initSpan) using the given source.
 func NewTable(rng *rand.Rand, initSpan float64) *Table {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
@@ -44,16 +70,81 @@ func NewTable(rng *rand.Rand, initSpan float64) *Table {
 	return &Table{values: make(map[Key]float64), rng: rng, initSpan: initSpan}
 }
 
+// NewDenseTable returns a dense table covering tasks [0, numTasks)
+// × VMs [0, numVMs). Keys outside that rectangle still work — they
+// spill into a sparse overflow map — but lose the O(1) path. Both
+// dimensions must be positive.
+func NewDenseTable(numTasks, numVMs int, rng *rand.Rand, initSpan float64) *Table {
+	if numTasks <= 0 || numVMs <= 0 {
+		panic(fmt.Sprintf("rl: NewDenseTable(%d, %d): dimensions must be positive", numTasks, numVMs))
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Table{
+		dense:    make([]float64, numTasks*numVMs),
+		seen:     make([]bool, numTasks*numVMs),
+		numTasks: numTasks,
+		numVMs:   numVMs,
+		rng:      rng,
+		initSpan: initSpan,
+	}
+}
+
+// Dense reports whether the table uses the dense backing.
+func (t *Table) Dense() bool { return t.dense != nil }
+
+// Dims returns the dense rectangle (0, 0 for sparse tables).
+func (t *Table) Dims() (numTasks, numVMs int) { return t.numTasks, t.numVMs }
+
+// draw produces one random initial value.
+func (t *Table) draw() float64 {
+	if t.initSpan > 0 {
+		return t.rng.Float64() * t.initSpan
+	}
+	return 0
+}
+
+// index maps k into the dense backing; ok is false outside the
+// rectangle (or for sparse tables, which have an empty rectangle).
+func (t *Table) index(k Key) (int, bool) {
+	if k.Task < 0 || k.Task >= t.numTasks || k.VM < 0 || k.VM >= t.numVMs {
+		return 0, false
+	}
+	return k.Task*t.numVMs + k.VM, true
+}
+
+// at materialises and returns the dense cell i.
+func (t *Table) at(i int) float64 {
+	if !t.seen[i] {
+		t.dense[i] = t.draw()
+		t.seen[i] = true
+		t.seenN++
+	}
+	return t.dense[i]
+}
+
 // Value returns Q(k), materialising a random initial value on first
 // access.
 func (t *Table) Value(k Key) float64 {
+	if t.dense != nil {
+		if i, ok := t.index(k); ok {
+			return t.at(i)
+		}
+		if v, ok := t.overflow[k]; ok {
+			return v
+		}
+		v := t.draw()
+		if t.overflow == nil {
+			t.overflow = make(map[Key]float64)
+		}
+		t.overflow[k] = v
+		return v
+	}
 	if v, ok := t.values[k]; ok {
 		return v
 	}
-	v := 0.0
-	if t.initSpan > 0 {
-		v = t.rng.Float64() * t.initSpan
-	}
+	v := t.draw()
 	t.values[k] = v
 	return v
 }
@@ -61,27 +152,81 @@ func (t *Table) Value(k Key) float64 {
 // Peek returns Q(k) without materialising it; ok is false for unseen
 // entries.
 func (t *Table) Peek(k Key) (v float64, ok bool) {
+	if t.dense != nil {
+		if i, inRect := t.index(k); inRect {
+			if !t.seen[i] {
+				return 0, false
+			}
+			return t.dense[i], true
+		}
+		v, ok = t.overflow[k]
+		return v, ok
+	}
 	v, ok = t.values[k]
 	return v, ok
 }
 
 // Set overwrites Q(k).
-func (t *Table) Set(k Key, v float64) { t.values[k] = v }
+func (t *Table) Set(k Key, v float64) {
+	if t.dense != nil {
+		if i, ok := t.index(k); ok {
+			if !t.seen[i] {
+				t.seen[i] = true
+				t.seenN++
+			}
+			t.dense[i] = v
+			return
+		}
+		if t.overflow == nil {
+			t.overflow = make(map[Key]float64)
+		}
+		t.overflow[k] = v
+		return
+	}
+	t.values[k] = v
+}
 
 // Add increments Q(k) by delta (materialising first).
-func (t *Table) Add(k Key, delta float64) { t.values[k] = t.Value(k) + delta }
+func (t *Table) Add(k Key, delta float64) { t.Set(k, t.Value(k)+delta) }
 
 // Len returns the number of materialised entries.
-func (t *Table) Len() int { return len(t.values) }
+func (t *Table) Len() int {
+	if t.dense != nil {
+		return t.seenN + len(t.overflow)
+	}
+	return len(t.values)
+}
 
 // Best returns the VM with the highest Q value for the task among the
 // candidates, ties broken by lowest VM ID for determinism. It panics
-// on an empty candidate list.
+// on an empty candidate list. On a dense table this is the row-max
+// primitive: one pass over the task's contiguous row.
 func (t *Table) Best(task int, vms []int) (vm int, value float64) {
 	if len(vms) == 0 {
 		panic("rl: Best with no candidate VMs")
 	}
 	best, bestV := -1, math.Inf(-1)
+	if t.dense != nil && task >= 0 && task < t.numTasks {
+		row := t.dense[task*t.numVMs : (task+1)*t.numVMs]
+		rowSeen := t.seen[task*t.numVMs : (task+1)*t.numVMs]
+		for _, id := range vms {
+			var v float64
+			if id >= 0 && id < t.numVMs {
+				if !rowSeen[id] {
+					row[id] = t.draw()
+					rowSeen[id] = true
+					t.seenN++
+				}
+				v = row[id]
+			} else {
+				v = t.Value(Key{Task: task, VM: id})
+			}
+			if v > bestV || (v == bestV && (best == -1 || id < best)) {
+				best, bestV = id, v
+			}
+		}
+		return best, bestV
+	}
 	for _, id := range vms {
 		v := t.Value(Key{Task: task, VM: id})
 		if v > bestV || (v == bestV && (best == -1 || id < best)) {
@@ -106,24 +251,121 @@ func (t *Table) MaxOver(keys []Key) float64 {
 	return best
 }
 
+// MaxRect returns the maximum Q value over the tasks × vms cross
+// product, materialising entries in task-major order (the same order
+// a nested Value loop would), or 0 when either list is empty. On a
+// dense table each task scans its contiguous row.
+func (t *Table) MaxRect(tasks, vms []int) float64 {
+	if len(tasks) == 0 || len(vms) == 0 {
+		return 0
+	}
+	_, v := t.argmaxRect(tasks, vms)
+	return v
+}
+
+// ArgmaxRect returns the first key attaining the maximum Q value over
+// the tasks × vms cross product, scanned in task-major order, along
+// with that value. It panics when either list is empty.
+func (t *Table) ArgmaxRect(tasks, vms []int) (Key, float64) {
+	if len(tasks) == 0 || len(vms) == 0 {
+		panic("rl: ArgmaxRect over an empty rectangle")
+	}
+	return t.argmaxRect(tasks, vms)
+}
+
+func (t *Table) argmaxRect(tasks, vms []int) (Key, float64) {
+	bestKey := Key{Task: tasks[0], VM: vms[0]}
+	bestV := math.Inf(-1)
+	if t.dense != nil {
+		allIn := true
+		for _, vm := range vms {
+			if vm < 0 || vm >= t.numVMs {
+				allIn = false
+				break
+			}
+		}
+		if allIn {
+			for _, task := range tasks {
+				if task < 0 || task >= t.numTasks {
+					for _, vm := range vms {
+						if v := t.Value(Key{Task: task, VM: vm}); v > bestV {
+							bestV, bestKey = v, Key{Task: task, VM: vm}
+						}
+					}
+					continue
+				}
+				row := t.dense[task*t.numVMs : (task+1)*t.numVMs]
+				rowSeen := t.seen[task*t.numVMs : (task+1)*t.numVMs]
+				for _, vm := range vms {
+					v := row[vm]
+					if !rowSeen[vm] {
+						v = t.draw()
+						row[vm] = v
+						rowSeen[vm] = true
+						t.seenN++
+					}
+					if v > bestV {
+						bestV, bestKey = v, Key{Task: task, VM: vm}
+					}
+				}
+			}
+			return bestKey, bestV
+		}
+	}
+	for _, task := range tasks {
+		for _, vm := range vms {
+			if v := t.Value(Key{Task: task, VM: vm}); v > bestV {
+				bestV, bestKey = v, Key{Task: task, VM: vm}
+			}
+		}
+	}
+	return bestKey, bestV
+}
+
 // Mean returns the mean of materialised values (0 when empty).
 func (t *Table) Mean() float64 {
-	if len(t.values) == 0 {
+	n := t.Len()
+	if n == 0 {
 		return 0
 	}
 	var s float64
-	for _, v := range t.values {
-		s += v
+	if t.dense != nil {
+		for i, ok := range t.seen {
+			if ok {
+				s += t.dense[i]
+			}
+		}
+		for _, v := range t.overflow {
+			s += v
+		}
+	} else {
+		for _, v := range t.values {
+			s += v
+		}
 	}
-	return s / float64(len(t.values))
+	return s / float64(n)
 }
 
-// Snapshot returns a deterministic (sorted) copy of the table
-// contents.
+// Snapshot returns a deterministic (sorted) copy of the materialised
+// table contents.
 func (t *Table) Snapshot() []Entry {
-	out := make([]Entry, 0, len(t.values))
-	for k, v := range t.values {
-		out = append(out, Entry{Key: k, Value: v})
+	out := make([]Entry, 0, t.Len())
+	if t.dense != nil {
+		for i, ok := range t.seen {
+			if ok {
+				out = append(out, Entry{Key: Key{Task: i / t.numVMs, VM: i % t.numVMs}, Value: t.dense[i]})
+			}
+		}
+		for k, v := range t.overflow {
+			out = append(out, Entry{Key: k, Value: v})
+		}
+		if len(t.overflow) == 0 {
+			return out // rectangle iteration is already sorted
+		}
+	} else {
+		for k, v := range t.values {
+			out = append(out, Entry{Key: k, Value: v})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Key.Task != out[j].Key.Task {
@@ -142,6 +384,7 @@ type Entry struct {
 
 // Save writes the table as JSON, preserving learned values across
 // episodes and processes (the paper's cross-episode learning state).
+// The format is backing-independent.
 func (t *Table) Save(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -149,14 +392,23 @@ func (t *Table) Save(w io.Writer) error {
 }
 
 // Load replaces the table contents with a previously saved snapshot.
+// The snapshot may come from either backing; entries outside a dense
+// table's rectangle land in its overflow map.
 func (t *Table) Load(r io.Reader) error {
 	var entries []Entry
 	if err := json.NewDecoder(r).Decode(&entries); err != nil {
 		return fmt.Errorf("rl: load table: %w", err)
 	}
-	t.values = make(map[Key]float64, len(entries))
+	if t.dense != nil {
+		clear(t.dense)
+		clear(t.seen)
+		t.seenN = 0
+		t.overflow = nil
+	} else {
+		t.values = make(map[Key]float64, len(entries))
+	}
 	for _, e := range entries {
-		t.values[e.Key] = e.Value
+		t.Set(e.Key, e.Value)
 	}
 	return nil
 }
@@ -187,9 +439,32 @@ func (t *Table) LoadFile(path string) error {
 // TDUpdate applies the temporal-difference update
 // Q(k) ← Q(k) + α·(reward + γ·next − Q(k)) and returns the new value.
 // It is the single update rule behind Algorithm 2 (next is
-// max_a' Q(s', a') for Q-learning, a policy sample for SARSA).
+// max_a' Q(s', a') for Q-learning, a policy sample for SARSA), and
+// the hot-path primitive: one lookup and one store on either backing.
 func (t *Table) TDUpdate(k Key, alpha, reward, gamma, next float64) float64 {
-	delta := reward + gamma*next - t.Value(k)
-	t.Add(k, alpha*delta)
-	return t.values[k]
+	if t.dense != nil {
+		if i, ok := t.index(k); ok {
+			q := t.at(i)
+			q += alpha * (reward + gamma*next - q)
+			t.dense[i] = q
+			return q
+		}
+		q, ok := t.overflow[k]
+		if !ok {
+			q = t.draw()
+		}
+		q += alpha * (reward + gamma*next - q)
+		if t.overflow == nil {
+			t.overflow = make(map[Key]float64)
+		}
+		t.overflow[k] = q
+		return q
+	}
+	q, ok := t.values[k]
+	if !ok {
+		q = t.draw()
+	}
+	q += alpha * (reward + gamma*next - q)
+	t.values[k] = q
+	return q
 }

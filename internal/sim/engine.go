@@ -128,6 +128,26 @@ func (e *Env) Fleet() *cloud.Fleet { return e.fleet }
 // VMStates returns all VM states sorted by ID.
 func (e *Env) VMStates() []*VMState { return e.vms }
 
+// AppendVMIDs appends every VM's ID to dst (in ID order) and returns
+// it. Hot-path callers pass a reused buffer to avoid allocating.
+func (e *Env) AppendVMIDs(dst []int) []int {
+	for _, v := range e.vms {
+		dst = append(dst, v.VM.ID)
+	}
+	return dst
+}
+
+// AppendIdleVMIDs appends the IDs of idle VMs to dst (in ID order)
+// and returns it, without building a []*VMState copy.
+func (e *Env) AppendIdleVMIDs(dst []int) []int {
+	for _, v := range e.vms {
+		if v.Idle() {
+			dst = append(dst, v.VM.ID)
+		}
+	}
+	return dst
+}
+
 // GlobalStats returns aggregates over all finished activations.
 func (e *Env) GlobalStats() VMStats { return e.global }
 
@@ -203,6 +223,15 @@ type engine struct {
 	vms    []*VMState
 	result *Result
 
+	// Reused per-decision scratch: the Context handed to Pick and its
+	// backing slices, plus the pre-bound sorter and cycle closure.
+	// Context contents are only valid for the duration of one Pick.
+	ctx      Context
+	ctxReady []*Task
+	ctxIdle  []*VMState
+	sorter   readySorter
+	cycleFn  func()
+
 	remaining   int  // tasks not yet finished
 	anyFailed   bool // a task exhausted retries
 	cyclePosted bool // a scheduling pass is already queued
@@ -222,26 +251,40 @@ func (g *engine) run() (*Result, error) {
 		g.sim.SetHorizon(g.cfg.Horizon)
 	}
 	rng := rand.New(rand.NewSource(g.cfg.Seed))
+	// Backing arrays: one allocation for all VM states / tasks instead
+	// of one each — this constructor runs once per learning episode.
+	vmBacking := make([]VMState, g.fleet.Len())
 	g.vms = make([]*VMState, 0, g.fleet.Len())
-	for _, vm := range g.fleet.VMs {
-		g.vms = append(g.vms, newVMState(vm))
+	for i, vm := range g.fleet.VMs {
+		vmBacking[i] = VMState{VM: vm, Slots: vm.Type.VCPUs, booted: true}
+		g.vms = append(g.vms, &vmBacking[i])
 	}
 	g.env = &Env{cfg: g.cfg, fleet: g.fleet, workflow: g.w, vms: g.vms, rng: rng}
-	g.fileHome = make(map[string]*VMState)
 	if g.cfg.Autoscale != nil {
 		g.scaler = newScaler(g.cfg.Autoscale, g.fleet.Len())
 	}
-	g.running = make(map[*Task]runningTask)
+	g.running = make(map[*Task]runningTask, g.fleet.Len())
 	g.scheduleRevocations()
-	g.tasks = make([]*Task, g.w.Len())
+	n := g.w.Len()
+	taskBacking := make([]Task, n)
+	g.tasks = make([]*Task, n)
 	for _, a := range g.w.Activations() {
-		g.tasks[a.Index] = &Task{Act: a, State: Locked, waitingOn: len(a.Parents())}
+		taskBacking[a.Index] = Task{Act: a, State: Locked, waitingOn: len(a.Parents())}
+		g.tasks[a.Index] = &taskBacking[a.Index]
+	}
+	g.ready = make([]*Task, 0, n)
+	g.ctxReady = make([]*Task, 0, n)
+	g.ctxIdle = make([]*VMState, 0, len(g.vms))
+	g.cycleFn = func() {
+		g.cyclePosted = false
+		g.cycle()
 	}
 	g.remaining = len(g.tasks)
 	g.result = &Result{
 		Scheduler: g.sched.Name(),
-		Plan:      make(map[string]int),
-		PerVM:     make(map[int]VMStats),
+		Records:   make([]Record, 0, n),
+		Plan:      make(map[string]int, n),
+		PerVM:     make(map[int]VMStats, len(g.vms)),
 	}
 	if err := g.sched.Prepare(g.w, g.fleet, g.env); err != nil {
 		return nil, fmt.Errorf("sim: scheduler %s: %w", g.sched.Name(), err)
@@ -339,10 +382,7 @@ func (g *engine) postCycle() {
 		return
 	}
 	g.cyclePosted = true
-	g.sim.AtPriority(g.sim.Now(), 1, func() {
-		g.cyclePosted = false
-		g.cycle()
-	})
+	g.sim.AtPriority(g.sim.Now(), 1, g.cycleFn)
 }
 
 // workflowState computes the paper's four-valued workflow state.
@@ -401,22 +441,35 @@ func (g *engine) bootedCount() int {
 	return n
 }
 
+// readySorter orders tasks by (ReadyAt, Index); it is stored on the
+// engine so sorting does not allocate a closure per decision.
+type readySorter struct{ ts []*Task }
+
+func (s *readySorter) Len() int { return len(s.ts) }
+func (s *readySorter) Less(i, j int) bool {
+	if s.ts[i].ReadyAt != s.ts[j].ReadyAt {
+		return s.ts[i].ReadyAt < s.ts[j].ReadyAt
+	}
+	return s.ts[i].Act.Index < s.ts[j].Act.Index
+}
+func (s *readySorter) Swap(i, j int) { s.ts[i], s.ts[j] = s.ts[j], s.ts[i] }
+
+// buildContext refreshes the reused Context for the next Pick call.
+// Its slices are scratch buffers: schedulers must not retain them
+// past the call.
 func (g *engine) buildContext() *Context {
-	ready := make([]*Task, 0, len(g.ready))
-	ready = append(ready, g.ready...)
-	sort.Slice(ready, func(i, j int) bool {
-		if ready[i].ReadyAt != ready[j].ReadyAt {
-			return ready[i].ReadyAt < ready[j].ReadyAt
-		}
-		return ready[i].Act.Index < ready[j].Act.Index
-	})
-	var idle []*VMState
+	ready := append(g.ctxReady[:0], g.ready...)
+	g.sorter.ts = ready
+	sort.Sort(&g.sorter)
+	idle := g.ctxIdle[:0]
 	for _, v := range g.vms {
 		if v.Idle() {
 			idle = append(idle, v)
 		}
 	}
-	return &Context{Now: g.sim.Now(), Ready: ready, IdleVMs: idle, AllVMs: g.vms, Env: g.env}
+	g.ctxReady, g.ctxIdle = ready, idle
+	g.ctx = Context{Now: g.sim.Now(), Ready: ready, IdleVMs: idle, AllVMs: g.vms, Env: g.env}
+	return &g.ctx
 }
 
 // start validates and executes one assignment. It returns false for
@@ -504,9 +557,17 @@ func (g *engine) complete(t *Task, v *VMState) {
 	} else {
 		t.State = Succeeded
 		g.result.Plan[t.Act.ID] = v.VM.ID
-		for _, f := range t.Act.Outputs {
-			v.fileAt[f.Name] = true
-			g.fileHome[f.Name] = v
+		if len(t.Act.Outputs) > 0 {
+			if v.fileAt == nil {
+				v.fileAt = make(map[string]bool, len(t.Act.Outputs))
+			}
+			if g.fileHome == nil {
+				g.fileHome = make(map[string]*VMState)
+			}
+			for _, f := range t.Act.Outputs {
+				v.fileAt[f.Name] = true
+				g.fileHome[f.Name] = v
+			}
 		}
 		exec, wait := t.ExecTime(), t.QueueTime()
 		v.stats.add(exec, wait)

@@ -19,7 +19,8 @@ type VMState struct {
 	stats  VMStats
 
 	// fileAt records which output files are already resident on this
-	// VM, to skip transfer costs for locally produced inputs.
+	// VM, to skip transfer costs for locally produced inputs. It is
+	// allocated lazily on the first output produced here.
 	fileAt map[string]bool
 }
 
@@ -28,7 +29,6 @@ func newVMState(vm *cloud.VM) *VMState {
 		VM:     vm,
 		Slots:  vm.Type.VCPUs,
 		booted: true,
-		fileAt: make(map[string]bool),
 	}
 }
 
