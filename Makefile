@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench test build vet
+.PHONY: check race bench guard test build vet
 
 ## check: vet, build, and test everything (the tier-1 gate)
 check: vet build test
@@ -16,8 +16,13 @@ test:
 
 ## race: race-detector pass over the simulation and learning packages
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/engine/... ./internal/expt/...
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/engine/... ./internal/expt/... ./internal/telemetry/...
 
 ## bench: run the benchmark trajectory and record BENCH_core.json
 bench:
 	$(GO) run ./cmd/benchjson -o BENCH_core.json
+
+## guard: fail if the headline benchmark's allocs/op regress >10%
+## vs the committed BENCH_core.json baseline
+guard:
+	$(GO) run ./cmd/benchguard -baseline BENCH_core.json -threshold 0.10

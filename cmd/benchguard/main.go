@@ -1,0 +1,119 @@
+// Command benchguard is the CI benchmark regression gate: it re-runs
+// the headline BenchmarkLearning100Episodes trajectory and compares it
+// against the committed baseline (BENCH_core.json), failing when
+// allocs/op regress by more than the threshold.
+//
+// Allocation counts are deterministic, which makes them an honest
+// regression signal on shared CI runners; wall-clock time is reported
+// but only warned about, since runner noise would make a hard time
+// gate flaky.
+//
+// Usage:
+//
+//	benchguard [-baseline BENCH_core.json] [-threshold 0.10] [-benchtime 1s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/sim"
+	"reassign/internal/trace"
+)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+const benchName = "BenchmarkLearning100Episodes"
+
+// learning100 is the guarded benchmark: one full 100-episode ReASSIgN
+// learning run per op, matching BenchmarkLearning100Episodes at the
+// repository root (telemetry disabled — the zero-cost default).
+func learning100(b *testing.B) {
+	w := trace.Montage50(rand.New(rand.NewSource(1)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fluct := cloud.DefaultFluctuation()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := core.NewLearner(core.Config{
+			Workflow: w, Fleet: fleet,
+			Params: core.DefaultParams(), Episodes: 100,
+			Sim: sim.Config{Fluct: &fluct},
+		}, core.WithSeed(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Learn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	testing.Init()
+	baselinePath := flag.String("baseline", "BENCH_core.json", "baseline benchmark JSON")
+	threshold := flag.Float64("threshold", 0.10, "maximum tolerated allocs/op regression (fraction)")
+	benchtime := flag.String("benchtime", "1s", "minimum run time for the benchmark")
+	flag.Parse()
+
+	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
+		return err
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var baseline map[string]entry
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	base, ok := baseline[benchName]
+	if !ok {
+		return fmt.Errorf("baseline %s has no %s entry", *baselinePath, benchName)
+	}
+	if base.AllocsPerOp <= 0 {
+		return fmt.Errorf("baseline allocs/op is %d; refusing to gate against it", base.AllocsPerOp)
+	}
+
+	r := testing.Benchmark(learning100)
+	allocs := r.AllocsPerOp()
+	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+
+	allocRatio := float64(allocs)/float64(base.AllocsPerOp) - 1
+	timeRatio := nsPerOp/base.NsPerOp - 1
+	fmt.Printf("%s: %d allocs/op (baseline %d, %+.1f%%), %.2f ms/op (baseline %.2f, %+.1f%%), %d iterations\n",
+		benchName, allocs, base.AllocsPerOp, 100*allocRatio,
+		nsPerOp/1e6, base.NsPerOp/1e6, 100*timeRatio, r.N)
+
+	if allocRatio > *threshold {
+		return fmt.Errorf("allocs/op regressed %.1f%% (limit %.0f%%): %d vs baseline %d",
+			100*allocRatio, 100**threshold, allocs, base.AllocsPerOp)
+	}
+	if timeRatio > 3**threshold {
+		fmt.Printf("warning: time/op drifted %+.1f%% — not failing (runner noise), but worth a look\n", 100*timeRatio)
+	}
+	fmt.Println("benchguard: OK")
+	return nil
+}

@@ -107,10 +107,13 @@ func learning100(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		l := &core.Learner{
+		l, err := core.NewLearner(core.Config{
 			Workflow: w, Fleet: fleet,
-			Params: core.DefaultParams(), Episodes: 100, Seed: int64(i),
-			SimConfig: sim.Config{Fluct: &fluct},
+			Params: core.DefaultParams(), Episodes: 100,
+			Sim: sim.Config{Fluct: &fluct},
+		}, core.WithSeed(int64(i)))
+		if err != nil {
+			b.Fatal(err)
 		}
 		if _, err := l.Learn(); err != nil {
 			b.Fatal(err)

@@ -21,6 +21,7 @@ import (
 	"reassign/internal/expt"
 	"reassign/internal/metrics"
 	"reassign/internal/report"
+	"reassign/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +41,8 @@ func run() error {
 	curves := flag.String("curves", "", "write ReASSIgN learning curves (SVG) to this file and exit")
 	reportPath := flag.String("report", "", "write a self-contained HTML report (all tables + figures) and exit")
 	outDir := flag.String("out", "", "also write TSV files to this directory")
+	traceOut := flag.String("trace", "", "write a JSONL telemetry trace of every learning run to this file")
+	metricsOut := flag.String("metrics", "", "write aggregated metrics in Prometheus text format to this file on exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -70,7 +73,49 @@ func run() error {
 		}()
 	}
 
-	o := expt.Options{Seed: *seed, Episodes: *episodes}
+	// Telemetry: both sinks are mutex-guarded, which matters here —
+	// RunSweep learns its configurations in parallel, so events from
+	// different runs interleave in the trace.
+	var jsonl *telemetry.JSONL
+	var agg *telemetry.Aggregator
+	var sinks []telemetry.Sink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		jsonl = telemetry.NewJSONL(f)
+		sinks = append(sinks, jsonl)
+	}
+	if *metricsOut != "" {
+		agg = telemetry.NewAggregator()
+		sinks = append(sinks, agg)
+	}
+
+	o := expt.Options{Seed: *seed, Episodes: *episodes, Sink: telemetry.Multi(sinks...)}
+	defer func() {
+		if jsonl != nil {
+			if err := jsonl.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: trace: %v\n", err)
+			} else {
+				fmt.Printf("trace written to %s\n", *traceOut)
+			}
+		}
+		if agg != nil {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := agg.Snapshot().WriteProm(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: metrics: %v\n", err)
+				return
+			}
+			fmt.Printf("metrics written to %s\n", *metricsOut)
+		}
+	}()
 	emit := func(name string, t *metrics.Table) error {
 		fmt.Println(t.String())
 		if *outDir == "" {

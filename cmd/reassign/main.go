@@ -9,6 +9,7 @@
 //	reassign -dax montage50.dax -sched heft -vcpus 16
 //	reassign -sched reassign -episodes 100 -alpha 0.5 -gamma 1 -epsilon 0.1
 //	reassign -sched minmin -vcpus 64 -fluct=false -plan plan.tsv
+//	reassign -sched reassign -trace trace.jsonl -metrics metrics.prom
 package main
 
 import (
@@ -32,6 +33,7 @@ import (
 	"reassign/internal/rl"
 	"reassign/internal/sched"
 	"reassign/internal/sim"
+	"reassign/internal/telemetry"
 	"reassign/internal/trace"
 	"reassign/internal/wfjson"
 )
@@ -63,7 +65,29 @@ func run() error {
 	ganttOut := flag.String("gantt", "", "write the schedule as an SVG Gantt chart to this file")
 	curveOut := flag.String("learncurve", "", "write the per-episode makespan curve (SVG) to this file (ReASSIgN only)")
 	ascii := flag.Bool("ascii", false, "print an ASCII Gantt chart of the schedule")
+	traceOut := flag.String("trace", "", "write a JSONL telemetry trace (episodes, decisions, kernel counters, spans) to this file")
+	metricsOut := flag.String("metrics", "", "write aggregated metrics in Prometheus text format to this file on exit")
 	flag.Parse()
+
+	// Telemetry: a JSONL trace and/or an in-memory aggregator, fanned
+	// out behind one sink. Both nil leaves instrumentation disabled.
+	var jsonl *telemetry.JSONL
+	var agg *telemetry.Aggregator
+	var sinks []telemetry.Sink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonl = telemetry.NewJSONL(f)
+		sinks = append(sinks, jsonl)
+	}
+	if *metricsOut != "" {
+		agg = telemetry.NewAggregator()
+		sinks = append(sinks, agg)
+	}
+	sink := telemetry.Multi(sinks...)
 
 	w, err := loadWorkflow(*daxPath, *seed)
 	if err != nil {
@@ -93,19 +117,25 @@ func run() error {
 	fmt.Printf("fleet:    %s (%d VMs, %d vCPUs, $%.4f/h)\n",
 		fleet.Name, fleet.Len(), fleet.VCPUs(), fleet.PricePerHour())
 
-	var plan map[string]int
+	var plan core.Plan
 	var makespan float64
 	var lastRes *sim.Result
 	if strings.EqualFold(*schedName, "reassign") {
 		p := core.DefaultParams()
 		p.Alpha, p.Gamma, p.Epsilon = *alpha, *gamma, *epsilon
-		l := &core.Learner{Workflow: w, Fleet: fleet, Params: p, Episodes: *episodes, Seed: *seed, SimConfig: cfg}
+		opts := []core.Option{core.WithSeed(*seed), core.WithSink(sink)}
 		if *qIn != "" {
 			tab := rl.NewTable(rand.New(rand.NewSource(*seed)), 1.0)
 			if err := tab.LoadFile(*qIn); err != nil {
 				return err
 			}
-			l.Table = tab
+			opts = append(opts, core.WithTable(tab))
+		}
+		l, err := core.NewLearner(core.Config{
+			Workflow: w, Fleet: fleet, Params: p, Episodes: *episodes, Sim: cfg,
+		}, opts...)
+		if err != nil {
+			return err
 		}
 		res, err := l.Learn()
 		if err != nil {
@@ -145,23 +175,25 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := sim.Run(w, fleet, s, cfg)
+		scfg := cfg
+		scfg.Sink = sink
+		res, err := sim.Run(w, fleet, s, scfg)
 		if err != nil {
 			return err
 		}
 		if res.State != sim.FinishedOK {
 			return fmt.Errorf("simulation ended in state %v", res.State)
 		}
-		plan, makespan, lastRes = res.Plan, res.Makespan, res
+		plan, makespan, lastRes = core.NewPlan(res.Plan), res.Makespan, res
 	}
 	fmt.Printf("plan:     %d activations scheduled, simulated makespan %.3fs (%s)\n",
-		len(plan), makespan, metrics.FormatDuration(makespan))
+		plan.Len(), makespan, metrics.FormatDuration(makespan))
 	printPlanSummary(plan, fleet)
 
 	if *ascii || *ganttOut != "" {
 		if lastRes == nil {
 			// ReASSIgN path: replay the learned plan once for the chart.
-			res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "ReASSIgN", Assign: plan}, cfg)
+			res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "ReASSIgN", Assign: plan.Map()}, cfg)
 			if err != nil {
 				return err
 			}
@@ -188,22 +220,48 @@ func run() error {
 
 	if *execute {
 		store := provenance.NewStore()
-		e := &engine.Engine{
-			Workflow: w, Fleet: fleet, Plan: plan,
-			Fluct: fm, Seed: *seed + 1000, Store: store, RunID: "cli",
+		e, err := engine.New(w, fleet, plan,
+			engine.WithFluctuation(fm),
+			engine.WithSeed(*seed+1000),
+			engine.WithStore(store, "cli"),
+			engine.WithSink(sink),
+		)
+		if err != nil {
+			return err
 		}
 		rep, err := e.Execute(context.Background())
 		if err != nil {
 			return err
 		}
-		fmt.Printf("executed: %d activations, makespan %.3fs (%s), wall %v\n",
-			len(rep.Tasks), rep.Makespan, metrics.FormatDuration(rep.Makespan), rep.Wall)
+		fmt.Printf("executed: %d activations, makespan %.3fs (%s), wall %v, peak workers %d\n",
+			len(rep.Tasks), rep.Makespan, metrics.FormatDuration(rep.Makespan), rep.Wall, rep.PeakWorkers)
 		if *provOut != "" {
 			if err := store.SaveFile(*provOut); err != nil {
 				return err
 			}
 			fmt.Printf("prov:     written to %s (%d records)\n", *provOut, store.Len())
 		}
+	}
+
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("trace:    written to %s\n", *traceOut)
+	}
+	if agg != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := agg.Snapshot().WriteProm(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("metrics:  written to %s\n", *metricsOut)
 	}
 	return nil
 }
@@ -249,10 +307,10 @@ func lookupScheduler(name string, seed int64) (sim.Scheduler, error) {
 	}
 }
 
-func printPlanSummary(plan map[string]int, fleet *cloud.Fleet) {
+func printPlanSummary(plan core.Plan, fleet *cloud.Fleet) {
 	counts := make(map[int]int)
-	for _, vm := range plan {
-		counts[vm]++
+	for _, e := range plan.Entries() {
+		counts[e.VM]++
 	}
 	ids := make([]int, 0, len(counts))
 	for id := range counts {
@@ -266,16 +324,11 @@ func printPlanSummary(plan map[string]int, fleet *cloud.Fleet) {
 	fmt.Printf("placement: %s\n", strings.Join(parts, " "))
 }
 
-func writePlan(path string, plan map[string]int) error {
-	ids := make([]string, 0, len(plan))
-	for id := range plan {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
+func writePlan(path string, plan core.Plan) error {
 	var b strings.Builder
 	b.WriteString("activation\tvm\n")
-	for _, id := range ids {
-		fmt.Fprintf(&b, "%s\t%d\n", id, plan[id])
+	for _, e := range plan.Entries() {
+		fmt.Fprintf(&b, "%s\t%d\n", e.Activation, e.VM)
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"reassign/internal/core"
 	"reassign/internal/dax"
 	"reassign/internal/wfjson"
 )
@@ -75,7 +76,7 @@ func TestLoadWorkflowDefaultAndFiles(t *testing.T) {
 
 func TestWritePlan(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "plan.tsv")
-	if err := writePlan(path, map[string]int{"b": 2, "a": 1}); err != nil {
+	if err := writePlan(path, core.NewPlan(map[string]int{"b": 2, "a": 1})); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -74,16 +74,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	l := &core.Learner{
+	l, err := core.NewLearner(core.Config{
 		Workflow: w, Fleet: fleet,
-		Params: core.DefaultParams(), Episodes: 100, Seed: 33,
-		SimConfig: cfg,
+		Params: core.DefaultParams(), Episodes: 100,
+		Sim: cfg,
+	}, core.WithSeed(33))
+	if err != nil {
+		log.Fatal(err)
 	}
 	lr, err := l.Learn()
 	if err != nil {
 		log.Fatal(err)
 	}
-	planRes, err := sim.Run(w, fleet, &sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan}, cfg)
+	planRes, err := sim.Run(w, fleet, &sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan.Map()}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -66,16 +66,19 @@ func main() {
 			tab.AddRowF(s.Name(), mk, fmt.Sprintf("%.4f", cost))
 		}
 
-		l := &core.Learner{
+		l, err := core.NewLearner(core.Config{
 			Workflow: w, Fleet: fleet,
-			Params: core.DefaultParams(), Episodes: 100, Seed: 11,
-			SimConfig: sim.Config{Fluct: &fluct, DataTransfer: true},
+			Params: core.DefaultParams(), Episodes: 100,
+			Sim: sim.Config{Fluct: &fluct, DataTransfer: true},
+		}, core.WithSeed(11))
+		if err != nil {
+			log.Fatal(err)
 		}
 		lr, err := l.Learn()
 		if err != nil {
 			log.Fatal(err)
 		}
-		mk, cost := mean(w, &sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan})
+		mk, cost := mean(w, &sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan.Map()})
 		tab.AddRowF("ReASSIgN", mk, fmt.Sprintf("%.4f", cost))
 
 		fmt.Println(tab.String())

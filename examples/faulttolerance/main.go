@@ -43,10 +43,13 @@ func main() {
 			log.Fatal(err)
 		}
 
-		l := &core.Learner{
+		l, err := core.NewLearner(core.Config{
 			Workflow: w, Fleet: fleet,
-			Params: core.DefaultParams(), Episodes: 60, Seed: 3,
-			SimConfig: cfg,
+			Params: core.DefaultParams(), Episodes: 60,
+			Sim: cfg,
+		}, core.WithSeed(3))
+		if err != nil {
+			log.Fatal(err)
 		}
 		lr, err := l.Learn()
 		if err != nil {
@@ -54,7 +57,7 @@ func main() {
 		}
 		// Re-simulate the learned plan in the same failing environment
 		// for an apples-to-apples comparison.
-		planRes, err := sim.Run(w, fleet, &sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan}, cfg)
+		planRes, err := sim.Run(w, fleet, &sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan.Map()}, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -51,10 +51,13 @@ func main() {
 			log.Fatal(err)
 		}
 
-		l := &core.Learner{
+		l, err := core.NewLearner(core.Config{
 			Workflow: w, Fleet: fleet,
-			Params: core.DefaultParams(), Episodes: 100, Seed: 7,
-			SimConfig: cfg,
+			Params: core.DefaultParams(), Episodes: 100,
+			Sim: cfg,
+		}, core.WithSeed(7))
+		if err != nil {
+			log.Fatal(err)
 		}
 		lr, err := l.Learn()
 		if err != nil {
@@ -74,14 +77,15 @@ func main() {
 				if a.Activity != act {
 					continue
 				}
+				vm, _ := lr.Plan.VM(a.ID)
 				fmt.Printf("    %-10s HEFT→%-11s ReASSIgN→%s\n", act,
 					fleet.VMs[heft.Assign()[a.ID]].Type.Name,
-					fleet.VMs[lr.Plan[a.ID]].Type.Name)
+					fleet.VMs[vm].Type.Name)
 			}
 		}
 		fmt.Printf("  placement histogram (activations per VM):\n")
 		fmt.Printf("    HEFT:     %s\n", histogram(heft.Assign(), fleet))
-		fmt.Printf("    ReASSIgN: %s\n\n", histogram(lr.Plan, fleet))
+		fmt.Printf("    ReASSIgN: %s\n\n", histogram(lr.Plan.Map(), fleet))
 	}
 }
 

@@ -64,16 +64,19 @@ func main() {
 
 	// ReASSIgN: the queue/exec times it learns from already embed the
 	// WAN penalty, so the topology needs no explicit model.
-	l := &core.Learner{
+	l, err := core.NewLearner(core.Config{
 		Workflow: w, Fleet: fleet,
-		Params: core.DefaultParams(), Episodes: 100, Seed: 13,
-		SimConfig: cfg,
+		Params: core.DefaultParams(), Episodes: 100,
+		Sim: cfg,
+	}, core.WithSeed(13))
+	if err != nil {
+		log.Fatal(err)
 	}
 	lr, err := l.Learn()
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan}, cfg)
+	res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan.Map()}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,11 +39,12 @@ func main() {
 	fluct := cloud.DefaultFluctuation()
 	grid := []float64{0.1, 0.5, 1.0}
 
-	evalPlan := func(plan map[string]int) float64 {
+	evalPlan := func(plan core.Plan) float64 {
+		assign := plan.Map()
 		var sum float64
 		const reps = 10
 		for i := 0; i < reps; i++ {
-			res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "plan", Assign: plan},
+			res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "plan", Assign: assign},
 				sim.Config{Fluct: &fluct, Seed: int64(5000 + i)})
 			if err != nil {
 				log.Fatal(err)
@@ -59,10 +60,13 @@ func main() {
 			for _, eps := range grid {
 				p := core.DefaultParams()
 				p.Alpha, p.Gamma, p.Epsilon = alpha, gamma, eps
-				l := &core.Learner{
+				l, err := core.NewLearner(core.Config{
 					Workflow: w, Fleet: fleet, Params: p,
-					Episodes: 100, Seed: 1,
-					SimConfig: sim.Config{Fluct: &fluct},
+					Episodes: 100,
+					Sim:      sim.Config{Fluct: &fluct},
+				}, core.WithSeed(1))
+				if err != nil {
+					log.Fatal(err)
 				}
 				res, err := l.Learn()
 				if err != nil {

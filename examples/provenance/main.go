@@ -87,11 +87,17 @@ func main() {
 	// --- 4. ReASSIgN with a persisted Q table across sessions. ---------
 	qPath := filepath.Join(os.TempDir(), "reassign_qtable_example.json")
 	session := func(table *rl.Table, episodes int) (*core.Result, error) {
-		l := &core.Learner{
+		opts := []core.Option{core.WithSeed(21)}
+		if table != nil {
+			opts = append(opts, core.WithTable(table))
+		}
+		l, err := core.NewLearner(core.Config{
 			Workflow: w, Fleet: fleet,
-			Params: core.DefaultParams(), Episodes: episodes, Seed: 21,
-			SimConfig: sim.Config{Fluct: &fluct},
-			Table:     table,
+			Params: core.DefaultParams(), Episodes: episodes,
+			Sim: sim.Config{Fluct: &fluct},
+		}, opts...)
+		if err != nil {
+			return nil, err
 		}
 		return l.Learn()
 	}

@@ -58,13 +58,15 @@ func main() {
 		heftRes.Makespan, metrics.FormatDuration(heftRes.Makespan))
 
 	// 4. ReASSIgN: 100 learning episodes, then greedy plan extraction.
-	learner := &core.Learner{
-		Workflow:  w,
-		Fleet:     fleet,
-		Params:    core.DefaultParams(), // α=0.5, γ=1.0, ε=0.1, μ=0.5
-		Episodes:  100,
-		Seed:      42,
-		SimConfig: cfg,
+	learner, err := core.NewLearner(core.Config{
+		Workflow: w,
+		Fleet:    fleet,
+		Params:   core.DefaultParams(), // α=0.5, γ=1.0, ε=0.1, μ=0.5
+		Episodes: 100,
+		Sim:      cfg,
+	}, core.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
 	}
 	lr, err := learner.Learn()
 	if err != nil {
@@ -76,13 +78,13 @@ func main() {
 
 	// 5. Execute the learned plan with real concurrency (one worker
 	// per vCPU, compressed time).
-	e := &engine.Engine{
-		Workflow:  w,
-		Fleet:     fleet,
-		Plan:      lr.Plan,
-		Fluct:     &fluct,
-		Seed:      4242, // an environment the learner never saw
-		TimeScale: 1e-3, // 1 virtual second = 1 ms of wall time
+	e, err := engine.New(w, fleet, lr.Plan,
+		engine.WithFluctuation(&fluct),
+		engine.WithSeed(4242),      // an environment the learner never saw
+		engine.WithTimeScale(1e-3), // 1 virtual second = 1 ms of wall time
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 	rep, err := e.Execute(context.Background())
 	if err != nil {

@@ -176,8 +176,8 @@ func TestLearnerImprovesOverRandomInit(t *testing.T) {
 		if len(res.Episodes) != 100 {
 			t.Fatalf("episodes = %d", len(res.Episodes))
 		}
-		if res.PlanMakespan <= 0 || len(res.Plan) != 50 {
-			t.Fatalf("plan makespan %v, plan size %d", res.PlanMakespan, len(res.Plan))
+		if res.PlanMakespan <= 0 || res.Plan.Len() != 50 {
+			t.Fatalf("plan makespan %v, plan size %d", res.PlanMakespan, res.Plan.Len())
 		}
 		if res.LearningTime <= 0 {
 			t.Fatal("learning time not measured")
@@ -186,7 +186,7 @@ func TestLearnerImprovesOverRandomInit(t *testing.T) {
 		// simulator's log-normal noise can shorten tasks below their
 		// nominal runtimes (noiseless bounds are asserted elsewhere).
 		for i := int64(0); i < 8; i++ {
-			pres, err := sim.Run(w, fl, &sched.Plan{PlanName: "learned", Assign: res.Plan},
+			pres, err := sim.Run(w, fl, &sched.Plan{PlanName: "learned", Assign: res.Plan.Map()},
 				sim.Config{Fluct: &fluct, Seed: 100 + i})
 			if err != nil {
 				t.Fatal(err)
@@ -219,9 +219,9 @@ func TestLearnerDeterministic(t *testing.T) {
 	if a.PlanMakespan != b.PlanMakespan {
 		t.Fatalf("same seed, different plan makespans: %v vs %v", a.PlanMakespan, b.PlanMakespan)
 	}
-	for id, vm := range a.Plan {
-		if b.Plan[id] != vm {
-			t.Fatalf("plans diverge at %s: %d vs %d", id, vm, b.Plan[id])
+	for _, e := range a.Plan.Entries() {
+		if vm, _ := b.Plan.VM(e.Activation); vm != e.VM {
+			t.Fatalf("plans diverge at %s: %d vs %d", e.Activation, e.VM, vm)
 		}
 	}
 	for i := range a.Episodes {
@@ -303,8 +303,8 @@ func TestSARSAVariantRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Plan) != 50 {
-		t.Fatalf("SARSA plan covers %d", len(res.Plan))
+	if res.Plan.Len() != 50 {
+		t.Fatalf("SARSA plan covers %d", res.Plan.Len())
 	}
 }
 
@@ -359,7 +359,7 @@ func TestPropertyLearnerProducesValidPlans(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if len(res.Plan) != w.Len() {
+		if res.Plan.Len() != w.Len() {
 			return false
 		}
 		_, cp, err := w.CriticalPath()
@@ -431,7 +431,7 @@ func TestCostAwareRewardShiftsWorkToCheapSlots(t *testing.T) {
 		// Score the plan over several draws.
 		var cost, mk float64
 		for i := int64(0); i < 5; i++ {
-			r, err := sim.Run(w, fl, &sched.Plan{PlanName: "p", Assign: res.Plan},
+			r, err := sim.Run(w, fl, &sched.Plan{PlanName: "p", Assign: res.Plan.Map()},
 				sim.Config{Fluct: &fluct, Seed: 200 + i})
 			if err != nil {
 				t.Fatal(err)
@@ -474,8 +474,8 @@ func TestDoubleQVariantRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Plan) != 50 {
-		t.Fatalf("DoubleQ plan covers %d", len(res.Plan))
+	if res.Plan.Len() != 50 {
+		t.Fatalf("DoubleQ plan covers %d", res.Plan.Len())
 	}
 	if l.tableB == nil || l.tableB.Len() == 0 {
 		t.Fatal("second table never materialised")
@@ -486,9 +486,9 @@ func TestDoubleQVariantRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for id, vm := range res.Plan {
-		if res2.Plan[id] != vm {
-			t.Fatalf("DoubleQ not deterministic at %s", id)
+	for _, e := range res.Plan.Entries() {
+		if vm, _ := res2.Plan.VM(e.Activation); vm != e.VM {
+			t.Fatalf("DoubleQ not deterministic at %s", e.Activation)
 		}
 	}
 }

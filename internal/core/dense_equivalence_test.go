@@ -39,12 +39,12 @@ func TestLearnerMapDenseEquivalence(t *testing.T) {
 	if a.PlanMakespan != b.PlanMakespan {
 		t.Fatalf("plan makespans diverge: %v (map) vs %v (dense)", a.PlanMakespan, b.PlanMakespan)
 	}
-	if len(a.Plan) != len(b.Plan) {
-		t.Fatalf("plan sizes diverge: %d vs %d", len(a.Plan), len(b.Plan))
+	if a.Plan.Len() != b.Plan.Len() {
+		t.Fatalf("plan sizes diverge: %d vs %d", a.Plan.Len(), b.Plan.Len())
 	}
-	for id, vm := range a.Plan {
-		if b.Plan[id] != vm {
-			t.Fatalf("plans diverge at %s: %d (map) vs %d (dense)", id, vm, b.Plan[id])
+	for _, e := range a.Plan.Entries() {
+		if vm, _ := b.Plan.VM(e.Activation); vm != e.VM {
+			t.Fatalf("plans diverge at %s: %d (map) vs %d (dense)", e.Activation, e.VM, vm)
 		}
 	}
 	// The learned tables must agree entry-for-entry as well.

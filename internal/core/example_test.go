@@ -18,25 +18,24 @@ func Example() {
 	fleet, _ := cloud.FleetTable1(16)
 	fluct := cloud.DefaultFluctuation()
 
-	l := &core.Learner{
+	l, _ := core.NewLearner(core.Config{
 		Workflow: w,
 		Fleet:    fleet,
 		Params:   core.DefaultParams(), // α=0.5, γ=1.0, ε=0.1, μ=0.5
 		Episodes: 100,
-		Seed:     1,
-		SimConfig: sim.Config{
+		Sim: sim.Config{
 			Fluct: &fluct, // learn from a fluctuating environment
 		},
-	}
+	}, core.WithSeed(1))
 	res, _ := l.Learn()
 
 	onBigVM := 0
-	for _, vmID := range res.Plan {
-		if fleet.VMs[vmID].Type.Name == "t2.2xlarge" {
+	for _, e := range res.Plan.Entries() {
+		if fleet.VMs[e.VM].Type.Name == "t2.2xlarge" {
 			onBigVM++
 		}
 	}
-	fmt.Println("plan covers all activations:", len(res.Plan) == w.Len())
+	fmt.Println("plan covers all activations:", res.Plan.Len() == w.Len())
 	fmt.Println("prefers the robust VM:", onBigVM > w.Len()/2)
 	// Output:
 	// plan covers all activations: true

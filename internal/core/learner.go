@@ -10,6 +10,7 @@ import (
 	"reassign/internal/dag"
 	"reassign/internal/rl"
 	"reassign/internal/sim"
+	"reassign/internal/telemetry"
 )
 
 // Learner drives the two-stage pipeline of §III.D: stage one runs
@@ -17,6 +18,13 @@ import (
 // updating a shared Q table; stage two extracts the final scheduling
 // plan greedily from the learned table. The plan is then handed to
 // the execution engine (package engine) for the "real" run.
+//
+// Construct Learners with NewLearner, which validates the inputs and
+// exposes seed, telemetry and schedules as options.
+//
+// Deprecated: constructing a Learner as a struct literal still works
+// in this release but will lose exported fields in the next one; use
+// NewLearner.
 type Learner struct {
 	Workflow *dag.Workflow
 	Fleet    *cloud.Fleet
@@ -39,6 +47,9 @@ type Learner struct {
 	// tableB is the DoubleQ second table, persisted across this
 	// learner's episodes.
 	tableB *rl.Table
+	// sink receives telemetry events when set (WithSink); nil keeps
+	// the hot path allocation-free.
+	sink telemetry.Sink
 }
 
 // EpisodeStats records one learning episode.
@@ -60,7 +71,7 @@ type Result struct {
 	LearningTime time.Duration
 	// Plan is the final activation→VM scheduling plan extracted
 	// greedily from the learned table.
-	Plan map[string]int
+	Plan Plan
 	// PlanMakespan is the simulated execution time of the final plan
 	// — the quantity in the paper's Table III.
 	PlanMakespan float64
@@ -74,12 +85,15 @@ func (l *Learner) Learn() (*Result, error) {
 	if l.Workflow == nil || l.Fleet == nil {
 		return nil, fmt.Errorf("core: learner needs a workflow and a fleet")
 	}
+	if l.Episodes < 0 {
+		return nil, fmt.Errorf("core: negative episode budget %d", l.Episodes)
+	}
 	if err := l.Params.Validate(); err != nil {
 		return nil, err
 	}
 	episodes := l.Episodes
-	if episodes <= 0 {
-		episodes = 100
+	if episodes == 0 {
+		episodes = DefaultEpisodes
 	}
 	rng := rand.New(rand.NewSource(l.Seed))
 	table := l.Table
@@ -124,8 +138,15 @@ func (l *Learner) Learn() (*Result, error) {
 			}
 			agent.WithSecondTable(l.tableB)
 		}
+		agent.instrument(l.sink, ep)
 		cfg := l.SimConfig
 		cfg.Seed = rng.Int63()
+		// The episode loop only reads makespan and reward; skip the
+		// per-episode plan map (plan extraction runs with it on).
+		cfg.SkipPlan = true
+		if cfg.Sink == nil {
+			cfg.Sink = l.sink
+		}
 		simRes, err := sim.Run(l.Workflow, l.Fleet, agent, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: episode %d: %w", ep, err)
@@ -136,6 +157,20 @@ func (l *Learner) Learn() (*Result, error) {
 			Reward:   agent.EpisodeReward(),
 			State:    simRes.State,
 		})
+		if l.sink != nil {
+			l.sink.Emit(telemetry.EpisodeEvent{
+				Episode:   ep,
+				Makespan:  simRes.Makespan,
+				Reward:    agent.EpisodeReward(),
+				Alpha:     params.Alpha,
+				Epsilon:   params.Epsilon,
+				QDelta:    math.Sqrt(agent.qDeltaSq),
+				Updates:   agent.updates,
+				State:     simRes.State.String(),
+				Decisions: simRes.Decisions,
+				Events:    simRes.Events,
+			})
+		}
 		if simRes.State == sim.FinishedOK && simRes.Makespan < res.BestEpisodeMakespan {
 			res.BestEpisodeMakespan = simRes.Makespan
 		}
@@ -154,19 +189,39 @@ func (l *Learner) Learn() (*Result, error) {
 // ExtractPlan runs one greedy (pure-exploitation, no-update) episode
 // against the table and returns the resulting activation→VM plan and
 // its simulated makespan.
-func (l *Learner) ExtractPlan(table *rl.Table) (map[string]int, float64, error) {
+func (l *Learner) ExtractPlan(table *rl.Table) (Plan, float64, error) {
 	agent, err := NewPlanExtractor(l.Params, table)
 	if err != nil {
-		return nil, 0, err
+		return Plan{}, 0, err
 	}
+	// Episode -1 marks the extraction pass on decision events; the
+	// aggregator excludes it from the learning-curve series.
+	agent.instrument(l.sink, -1)
 	cfg := l.SimConfig
 	cfg.Seed = l.Seed
+	if cfg.Sink == nil {
+		cfg.Sink = l.sink
+	}
 	simRes, err := sim.Run(l.Workflow, l.Fleet, agent, cfg)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: plan extraction: %w", err)
+		return Plan{}, 0, fmt.Errorf("core: plan extraction: %w", err)
 	}
 	if simRes.State != sim.FinishedOK {
-		return nil, 0, fmt.Errorf("core: plan extraction ended in state %v", simRes.State)
+		return Plan{}, 0, fmt.Errorf("core: plan extraction ended in state %v", simRes.State)
 	}
-	return simRes.Plan, simRes.Makespan, nil
+	if l.sink != nil {
+		l.sink.Emit(telemetry.EpisodeEvent{
+			Episode:   -1,
+			Makespan:  simRes.Makespan,
+			Reward:    agent.EpisodeReward(),
+			Alpha:     l.Params.Alpha,
+			Epsilon:   l.Params.Epsilon,
+			State:     simRes.State.String(),
+			Decisions: simRes.Decisions,
+			Events:    simRes.Events,
+		})
+	}
+	// The run's plan map is freshly built and not retained by the
+	// simulator, so the Plan can own it instead of copying.
+	return newPlanOwned(simRes.Plan), simRes.Makespan, nil
 }

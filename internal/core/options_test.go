@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"reassign/internal/rl"
+	"reassign/internal/telemetry"
+)
+
+func TestNewLearnerValidation(t *testing.T) {
+	w := montage50(t, 4)
+	fl := fleet(t, 16)
+
+	if _, err := NewLearner(Config{Fleet: fl}); err == nil {
+		t.Error("missing workflow accepted")
+	}
+	if _, err := NewLearner(Config{Workflow: w}); err == nil {
+		t.Error("missing fleet accepted")
+	}
+	if _, err := NewLearner(Config{Workflow: w, Fleet: fl, Episodes: -1}); err == nil {
+		t.Error("negative episode budget accepted")
+	}
+	if _, err := NewLearner(Config{Workflow: w, Fleet: fl, Params: Params{Alpha: 7}}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := NewLearner(Config{Workflow: w, Fleet: fl}, WithTable(nil)); err == nil {
+		t.Error("WithTable(nil) accepted")
+	}
+}
+
+func TestNewLearnerDefaults(t *testing.T) {
+	w := montage50(t, 4)
+	fl := fleet(t, 16)
+	l, err := NewLearner(Config{Workflow: w, Fleet: fl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Episodes != DefaultEpisodes {
+		t.Errorf("Episodes = %d, want %d", l.Episodes, DefaultEpisodes)
+	}
+	if l.Params.Alpha != DefaultParams().Alpha || l.Params.Gamma != DefaultParams().Gamma {
+		t.Errorf("Params = %+v, want DefaultParams", l.Params)
+	}
+	if l.sink != nil {
+		t.Error("sink should default to nil (telemetry disabled)")
+	}
+}
+
+func TestNewLearnerOptions(t *testing.T) {
+	w := montage50(t, 4)
+	fl := fleet(t, 16)
+	table := rl.NewTable(rand.New(rand.NewSource(5)), 1.0)
+	agg := telemetry.NewAggregator()
+	l, err := NewLearner(Config{Workflow: w, Fleet: fl, Episodes: 3},
+		WithSeed(42), WithSink(agg), WithTable(table),
+		WithAlphaSchedule(rl.LinearDecay{Start: 1.0, End: 0.1, Over: 3}),
+		WithEpsilonSchedule(rl.Const(0.1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Seed != 42 || l.Table != table || l.sink != telemetry.Sink(agg) {
+		t.Errorf("options not applied: %+v", l)
+	}
+	if l.AlphaSchedule == nil || l.EpsilonSchedule == nil {
+		t.Error("schedules not applied")
+	}
+	// WithSink(Discard) normalises to nil so the hot path stays guarded
+	// by a plain nil check.
+	l2, err := NewLearner(Config{Workflow: w, Fleet: fl}, WithSink(telemetry.Discard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.sink != nil {
+		t.Error("Discard sink not normalised to nil")
+	}
+}
+
+func TestLearnNegativeEpisodesOnStructLiteral(t *testing.T) {
+	// The deprecated literal form bypasses NewLearner's validation, so
+	// Learn itself must reject a negative budget rather than silently
+	// running zero episodes.
+	l := &Learner{Workflow: montage50(t, 4), Fleet: fleet(t, 16), Params: DefaultParams(), Episodes: -3}
+	_, err := l.Learn()
+	if err == nil || !strings.Contains(err.Error(), "negative episode budget") {
+		t.Fatalf("Learn with negative episodes: %v", err)
+	}
+}
+
+func TestLearnZeroEpisodesDefaults(t *testing.T) {
+	// Episodes 0 means "the paper's default budget", not "skip learning":
+	// the result must report DefaultEpisodes learning episodes.
+	l := &Learner{Workflow: montage50(t, 4), Fleet: fleet(t, 16), Params: DefaultParams(), Seed: 2}
+	res, err := l.Learn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Episodes) != DefaultEpisodes {
+		t.Fatalf("ran %d episodes, want %d", len(res.Episodes), DefaultEpisodes)
+	}
+}

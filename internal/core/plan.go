@@ -1,0 +1,125 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// PlanEntry is one assignment of a scheduling plan.
+type PlanEntry struct {
+	Activation string `json:"activation"`
+	VM         int    `json:"vm"`
+}
+
+// Plan is a typed activation→VM scheduling plan: the output of the
+// learning stage and the input of the execution engine. Unlike the
+// raw map it replaces, a Plan iterates in deterministic order
+// (lexicographic by activation ID) and round-trips through JSON.
+// The zero value is an empty plan.
+type Plan struct {
+	entries []PlanEntry // sorted by Activation
+	byID    map[string]int
+}
+
+// NewPlan builds a Plan from an activation→VM map. The map is copied;
+// later mutations of m do not affect the plan.
+func NewPlan(m map[string]int) Plan {
+	if len(m) == 0 {
+		return Plan{}
+	}
+	byID := make(map[string]int, len(m))
+	for id, vm := range m {
+		byID[id] = vm
+	}
+	return newPlanOwned(byID)
+}
+
+// newPlanOwned builds a Plan around a map the caller hands over —
+// the allocation-light path for freshly built maps (plan extraction).
+func newPlanOwned(m map[string]int) Plan {
+	if len(m) == 0 {
+		return Plan{}
+	}
+	p := Plan{
+		entries: make([]PlanEntry, 0, len(m)),
+		byID:    m,
+	}
+	for id, vm := range m {
+		p.entries = append(p.entries, PlanEntry{Activation: id, VM: vm})
+	}
+	sort.Sort(entriesByActivation(p.entries))
+	return p
+}
+
+// entriesByActivation sorts concretely — sort.Slice's reflection-based
+// swapper would allocate on the extraction path.
+type entriesByActivation []PlanEntry
+
+func (s entriesByActivation) Len() int           { return len(s) }
+func (s entriesByActivation) Less(i, j int) bool { return s[i].Activation < s[j].Activation }
+func (s entriesByActivation) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// Len returns the number of assignments.
+func (p Plan) Len() int { return len(p.entries) }
+
+// VM returns the VM ID assigned to the activation, and whether the
+// plan covers it.
+func (p Plan) VM(id string) (int, bool) {
+	vm, ok := p.byID[id]
+	return vm, ok
+}
+
+// Entries returns the assignments in deterministic order
+// (lexicographic by activation ID). The slice is a copy.
+func (p Plan) Entries() []PlanEntry {
+	return append([]PlanEntry(nil), p.entries...)
+}
+
+// Map returns the plan as a fresh activation→VM map, for APIs that
+// still consume the raw representation (e.g. sched.Plan).
+func (p Plan) Map() map[string]int {
+	m := make(map[string]int, len(p.entries))
+	for _, e := range p.entries {
+		m[e.Activation] = e.VM
+	}
+	return m
+}
+
+// String renders a compact summary.
+func (p Plan) String() string {
+	return fmt.Sprintf("plan(%d activations)", len(p.entries))
+}
+
+// MarshalJSON encodes the plan as a sorted array of entries, making
+// the encoding deterministic.
+func (p Plan) MarshalJSON() ([]byte, error) {
+	if p.entries == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(p.entries)
+}
+
+// UnmarshalJSON decodes either the entry-array form written by
+// MarshalJSON or a plain {"activation": vm} object (the legacy map
+// representation). Duplicate activations are an error.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var entries []PlanEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		var m map[string]int
+		if err2 := json.Unmarshal(data, &m); err2 != nil {
+			return fmt.Errorf("core: plan: %w", err)
+		}
+		*p = NewPlan(m)
+		return nil
+	}
+	byID := make(map[string]int, len(entries))
+	for _, e := range entries {
+		if _, dup := byID[e.Activation]; dup {
+			return fmt.Errorf("core: plan: duplicate activation %q", e.Activation)
+		}
+		byID[e.Activation] = e.VM
+	}
+	*p = NewPlan(byID)
+	return nil
+}

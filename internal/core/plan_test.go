@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPlanBasics(t *testing.T) {
+	p := NewPlan(map[string]int{"b": 2, "a": 1, "c": 0})
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if vm, ok := p.VM("b"); !ok || vm != 2 {
+		t.Errorf("VM(b) = %d, %v", vm, ok)
+	}
+	if _, ok := p.VM("zz"); ok {
+		t.Error("VM on uncovered activation reported ok")
+	}
+	ents := p.Entries()
+	if ents[0].Activation != "a" || ents[1].Activation != "b" || ents[2].Activation != "c" {
+		t.Errorf("entries not sorted: %v", ents)
+	}
+	// Entries returns a copy: mutating it must not corrupt the plan.
+	ents[0].VM = 99
+	if vm, _ := p.VM("a"); vm != 1 {
+		t.Error("Entries() aliases internal storage")
+	}
+	m := p.Map()
+	m["a"] = 42
+	if vm, _ := p.VM("a"); vm != 1 {
+		t.Error("Map() aliases internal storage")
+	}
+}
+
+func TestPlanZeroValue(t *testing.T) {
+	var p Plan
+	if p.Len() != 0 {
+		t.Error("zero plan not empty")
+	}
+	if _, ok := p.VM("x"); ok {
+		t.Error("zero plan covers something")
+	}
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[]" {
+		t.Errorf("zero plan marshals to %s", b)
+	}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := NewPlan(map[string]int{"mAdd_1": 3, "mProject_0": 0})
+	b, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"activation":"mAdd_1","vm":3},{"activation":"mProject_0","vm":0}]`
+	if string(b) != want {
+		t.Errorf("marshal = %s, want %s", b, want)
+	}
+	var back Plan
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round-trip lost entries: %d", back.Len())
+	}
+	if vm, _ := back.VM("mAdd_1"); vm != 3 {
+		t.Error("round-trip corrupted assignment")
+	}
+}
+
+func TestPlanJSONLegacyMap(t *testing.T) {
+	var p Plan
+	if err := json.Unmarshal([]byte(`{"a": 1, "b": 2}`), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("legacy decode lost entries: %d", p.Len())
+	}
+	if vm, _ := p.VM("b"); vm != 2 {
+		t.Error("legacy decode corrupted assignment")
+	}
+}
+
+func TestPlanJSONDuplicate(t *testing.T) {
+	var p Plan
+	err := json.Unmarshal([]byte(`[{"activation":"a","vm":1},{"activation":"a","vm":2}]`), &p)
+	if err == nil {
+		t.Fatal("duplicate activation accepted")
+	}
+}
+
+func TestPlanJSONGarbage(t *testing.T) {
+	var p Plan
+	if err := json.Unmarshal([]byte(`"nope"`), &p); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"reassign/internal/dag"
 	"reassign/internal/rl"
 	"reassign/internal/sim"
+	"reassign/internal/telemetry"
 )
 
 // BootstrapScope selects the action set behind Algorithm 2's
@@ -126,6 +127,14 @@ type Scheduler struct {
 	step         int       // t, the per-episode decision counter
 	episodeR     float64   // Σ crisp rewards this episode (diagnostics)
 
+	// Telemetry (instrument): nil sink disables the whole block, so
+	// the uninstrumented hot path pays only a nil check.
+	sink     telemetry.Sink
+	episode  int                  // episode number stamped on events; -1 = extraction
+	explain  rl.ExplainingPolicy  // policy, when it can report greedy-vs-explore
+	qDeltaSq float64              // Σ (ΔQ)² of this episode's TD updates
+	updates  int                  // TD updates applied this episode
+
 	// Scratch buffers, sized in Prepare and reused every call so the
 	// steady-state Pick/OnTaskComplete path does not allocate.
 	readyBuf []int
@@ -200,6 +209,18 @@ func (s *Scheduler) WithSecondTable(t *rl.Table) *Scheduler {
 	return s
 }
 
+// instrument attaches a telemetry sink and the episode number stamped
+// on decision events. Call it after the policy is set (NewScheduler or
+// reset); a nil sink disables instrumentation entirely.
+func (s *Scheduler) instrument(sink telemetry.Sink, episode int) {
+	s.sink = sink
+	s.episode = episode
+	s.explain = nil
+	if sink != nil {
+		s.explain, _ = s.policy.(rl.ExplainingPolicy)
+	}
+}
+
 // Name implements sim.Scheduler.
 func (s *Scheduler) Name() string { return "ReASSIgN" }
 
@@ -243,6 +264,8 @@ func (s *Scheduler) Prepare(w *dag.Workflow, fleet *cloud.Fleet, _ *sim.Env) err
 	s.rewardT = 0
 	s.step = 1
 	s.episodeR = 0
+	s.qDeltaSq = 0
+	s.updates = 0
 	return nil
 }
 
@@ -277,7 +300,27 @@ func (s *Scheduler) Pick(ctx *sim.Context) []sim.Assignment {
 		if len(open) == 0 {
 			break
 		}
-		vmID := s.policy.Select(s.table, t.Act.Index, open, s.rng)
+		var vmID int
+		if s.sink != nil {
+			// SelectExplained consumes the rng stream exactly as Select,
+			// so instrumented runs pick identical VMs.
+			greedy := false
+			if s.explain != nil {
+				vmID, greedy = s.explain.SelectExplained(s.table, t.Act.Index, open, s.rng)
+			} else {
+				vmID = s.policy.Select(s.table, t.Act.Index, open, s.rng)
+			}
+			s.sink.Emit(telemetry.DecisionEvent{
+				Episode:    s.episode,
+				Time:       ctx.Now,
+				Task:       t.Act.Index,
+				Activation: t.Act.ID,
+				VM:         vmID,
+				Greedy:     greedy,
+			})
+		} else {
+			vmID = s.policy.Select(s.table, t.Act.Index, open, s.rng)
+		}
 		s.budget[vmID]--
 		if s.budget[vmID] == 0 {
 			for i, id := range open {
@@ -351,10 +394,29 @@ func (s *Scheduler) OnTaskComplete(t *sim.Task, env *sim.Env) {
 			selT, evalT = s.tableB, s.table
 		}
 		next := s.doubleBootstrap(env, selT, evalT)
+		if s.sink != nil {
+			// Reading Value(k) first consumes the same single lazy-init
+			// draw TDUpdate would, so instrumentation cannot shift the
+			// table's rng stream.
+			oldQ := selT.Value(k)
+			selT.TDUpdate(k, s.params.Alpha, s.rewardT, gamma, next)
+			d := selT.Value(k) - oldQ
+			s.qDeltaSq += d * d
+			s.updates++
+			return
+		}
 		selT.TDUpdate(k, s.params.Alpha, s.rewardT, gamma, next)
 		return
 	}
 	next := s.bootstrap(env)
+	if s.sink != nil {
+		oldQ := s.table.Value(k)
+		s.table.TDUpdate(k, s.params.Alpha, s.rewardT, gamma, next)
+		d := s.table.Value(k) - oldQ
+		s.qDeltaSq += d * d
+		s.updates++
+		return
+	}
 	s.table.TDUpdate(k, s.params.Alpha, s.rewardT, gamma, next)
 }
 

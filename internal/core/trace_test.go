@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"reassign/internal/telemetry"
+)
+
+// traceRun performs one fully seeded 5-episode learning run with a
+// JSONL sink and returns the raw trace bytes.
+func traceRun(t *testing.T) []byte {
+	t.Helper()
+	w := montage50(t, 6)
+	fl := fleet(t, 16)
+	var buf bytes.Buffer
+	jsonl := telemetry.NewJSONL(&buf)
+	l, err := NewLearner(Config{Workflow: w, Fleet: fl, Episodes: 5},
+		WithSeed(7), WithSink(jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonl.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceByteStable is the golden guarantee of the JSONL encoding:
+// a seeded run traces to byte-identical output every time, because
+// events carry no wall-clock fields and the envelope's field order is
+// fixed by the struct definitions.
+func TestTraceByteStable(t *testing.T) {
+	a := traceRun(t)
+	b := traceRun(t)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identically seeded runs produced different traces")
+	}
+	if len(a) == 0 {
+		t.Fatal("trace is empty")
+	}
+}
+
+// TestTraceShape decodes the trace and checks the event stream has the
+// structure the docs promise: one kernel + one episode record per
+// episode, decision records for every scheduling decision, and a final
+// extraction pass marked episode -1.
+func TestTraceShape(t *testing.T) {
+	const episodes = 5
+	var envelopes []struct {
+		Kind  string          `json:"kind"`
+		Event json.RawMessage `json:"event"`
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(traceRun(t))), "\n") {
+		var env struct {
+			Kind  string          `json:"kind"`
+			Event json.RawMessage `json:"event"`
+		}
+		if err := json.Unmarshal([]byte(line), &env); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		envelopes = append(envelopes, env)
+	}
+
+	counts := map[string]int{}
+	extraction := 0
+	var lastEpisode telemetry.EpisodeEvent
+	for _, env := range envelopes {
+		counts[env.Kind]++
+		if env.Kind == "episode" {
+			var ev telemetry.EpisodeEvent
+			if err := json.Unmarshal(env.Event, &ev); err != nil {
+				t.Fatal(err)
+			}
+			if ev.Episode == -1 {
+				extraction++
+			} else {
+				lastEpisode = ev
+			}
+		}
+	}
+	if counts["episode"] != episodes+1 {
+		t.Errorf("episode records = %d, want %d learning + 1 extraction", counts["episode"], episodes+1)
+	}
+	if extraction != 1 {
+		t.Errorf("extraction passes = %d, want 1", extraction)
+	}
+	if counts["kernel"] != episodes+1 {
+		t.Errorf("kernel records = %d, want %d", counts["kernel"], episodes+1)
+	}
+	// Every scheduling decision in every run is traced: 50 activations
+	// per simulation, 5 learning episodes + 1 extraction.
+	if counts["decision"] != 50*(episodes+1) {
+		t.Errorf("decision records = %d, want %d", counts["decision"], 50*(episodes+1))
+	}
+	if lastEpisode.Makespan <= 0 || lastEpisode.Updates == 0 || lastEpisode.QDelta <= 0 {
+		t.Errorf("episode record looks empty: %+v", lastEpisode)
+	}
+	if lastEpisode.Alpha != DefaultParams().Alpha || lastEpisode.Epsilon != DefaultParams().Epsilon {
+		t.Errorf("episode params: α=%v ε=%v", lastEpisode.Alpha, lastEpisode.Epsilon)
+	}
+	if lastEpisode.State != "successfully finished" {
+		t.Errorf("episode state = %q", lastEpisode.State)
+	}
+}
+
+// TestSinkDoesNotPerturbLearning is the zero-cost contract's
+// observable half: enabling telemetry must not consume extra
+// randomness, so an instrumented run and a bare run from the same seed
+// learn the identical plan and trajectory.
+func TestSinkDoesNotPerturbLearning(t *testing.T) {
+	w := montage50(t, 6)
+	fl := fleet(t, 16)
+	run := func(sink telemetry.Sink) *Result {
+		opts := []Option{WithSeed(9)}
+		if sink != nil {
+			opts = append(opts, WithSink(sink))
+		}
+		l, err := NewLearner(Config{Workflow: w, Fleet: fl, Episodes: 10}, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := l.Learn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	bare := run(nil)
+	traced := run(telemetry.NewAggregator())
+
+	if bare.PlanMakespan != traced.PlanMakespan {
+		t.Errorf("plan makespans diverge: %v (bare) vs %v (traced)", bare.PlanMakespan, traced.PlanMakespan)
+	}
+	for i := range bare.Episodes {
+		if bare.Episodes[i].Makespan != traced.Episodes[i].Makespan ||
+			bare.Episodes[i].Reward != traced.Episodes[i].Reward {
+			t.Fatalf("episode %d diverges with sink installed", i)
+		}
+	}
+	for _, e := range bare.Plan.Entries() {
+		if vm, _ := traced.Plan.VM(e.Activation); vm != e.VM {
+			t.Fatalf("plans diverge at %s", e.Activation)
+		}
+	}
+}
+
+// TestAggregatorOnLearning wires an Aggregator through a learning run
+// and sanity-checks the folded statistics.
+func TestAggregatorOnLearning(t *testing.T) {
+	w := montage50(t, 6)
+	fl := fleet(t, 16)
+	agg := telemetry.NewAggregator()
+	l, err := NewLearner(Config{Workflow: w, Fleet: fl, Episodes: 8}, WithSeed(3), WithSink(agg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	s := agg.Snapshot()
+	if s.Episodes != 8 {
+		t.Errorf("Episodes = %d, want 8", s.Episodes)
+	}
+	if s.SimRuns != 9 { // 8 learning + 1 extraction
+		t.Errorf("SimRuns = %d, want 9", s.SimRuns)
+	}
+	if s.Decisions != 50*9 {
+		t.Errorf("Decisions = %d, want %d", s.Decisions, 50*9)
+	}
+	// ε is the paper's exploitation probability: ε=0.1 exploits ~10% of
+	// learning decisions, plus the all-greedy extraction pass — so the
+	// greedy share lands near (0.1·8+1)/9 ≈ 0.2.
+	if r := s.GreedyRate(); r < 0.05 || r > 0.4 {
+		t.Errorf("GreedyRate = %v, want ≈ 0.2", r)
+	}
+	if s.Makespan.Mean <= 0 || s.KernelEvents == 0 || s.MaxQueueDepth == 0 {
+		t.Errorf("kernel aggregates look empty: %+v", s)
+	}
+	if s.FreelistHitRate() <= 0 {
+		t.Error("freelist never hit across 9 runs")
+	}
+}

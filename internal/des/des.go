@@ -92,6 +92,50 @@ type Simulator struct {
 	steps   int64   // events executed
 	running bool
 	free    []*event // recycled events, reused by AtPriority
+
+	// Kernel counters (see Stats): freelist reuse and the queue's
+	// high-water mark. seq doubles as the scheduled-event count.
+	freeHits   int64
+	freeMisses int64
+	maxDepth   int
+}
+
+// Stats are the kernel's instrumentation counters, cheap enough to
+// maintain unconditionally (plain integer bumps on the scheduling
+// path).
+type Stats struct {
+	// Steps counts events executed; Scheduled counts events queued
+	// (executed + canceled + still pending).
+	Steps     int64
+	Scheduled int64
+	// FreelistHits counts event schedules served by recycling an
+	// executed event; FreelistMisses counts fresh allocations.
+	FreelistHits   int64
+	FreelistMisses int64
+	// MaxQueueDepth is the future-event list's high-water mark.
+	MaxQueueDepth int
+}
+
+// FreelistHitRate returns the fraction of schedules served from the
+// freelist (0 when nothing was scheduled).
+func (s Stats) FreelistHitRate() float64 {
+	total := s.FreelistHits + s.FreelistMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FreelistHits) / float64(total)
+}
+
+// Stats returns the kernel counters accumulated since New (or the
+// last Reset).
+func (s *Simulator) Stats() Stats {
+	return Stats{
+		Steps:          s.steps,
+		Scheduled:      s.seq,
+		FreelistHits:   s.freeHits,
+		FreelistMisses: s.freeMisses,
+		MaxQueueDepth:  s.maxDepth,
+	}
 }
 
 // New returns an empty simulator with the clock at zero and no
@@ -148,10 +192,15 @@ func (s *Simulator) AtPriority(t float64, priority int, fn Handler) EventRef {
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 		ev.time, ev.priority, ev.seq, ev.fn, ev.canceled = t, priority, s.seq, fn, false
+		s.freeHits++
 	} else {
 		ev = &event{time: t, priority: priority, seq: s.seq, fn: fn}
+		s.freeMisses++
 	}
 	heap.Push(&s.queue, ev)
+	if len(s.queue) > s.maxDepth {
+		s.maxDepth = len(s.queue)
+	}
 	return EventRef{ev: ev, gen: ev.gen}
 }
 
@@ -238,13 +287,17 @@ func (s *Simulator) RunUntil(t float64) {
 	s.now = t
 }
 
-// Reset empties the queue and rewinds the clock to zero. Event
-// references from before the reset become stale no-ops.
+// Reset empties the queue and rewinds the clock to zero, clearing the
+// kernel counters. Event references from before the reset become
+// stale no-ops.
 func (s *Simulator) Reset() {
 	s.queue = nil
 	s.now = 0
 	s.seq = 0
 	s.steps = 0
+	s.freeHits = 0
+	s.freeMisses = 0
+	s.maxDepth = 0
 }
 
 // Ticker is a periodic event series created by Every.

@@ -413,3 +413,61 @@ func Example() {
 	// tick at 2
 	// tick at 4
 }
+
+func TestStatsCounters(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.At(float64(i+1), func() {})
+	}
+	st := s.Stats()
+	if st.Scheduled != 5 || st.Steps != 0 {
+		t.Fatalf("before run: %+v", st)
+	}
+	if st.MaxQueueDepth != 5 {
+		t.Fatalf("MaxQueueDepth = %d, want 5", st.MaxQueueDepth)
+	}
+	// Nothing has executed yet, so nothing can have been recycled.
+	if st.FreelistHits != 0 || st.FreelistMisses != 5 {
+		t.Fatalf("freelist before run: %+v", st)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Executed events return to the freelist: the next schedules are
+	// hits, and the high-water mark is unchanged.
+	for i := 0; i < 3; i++ {
+		s.At(s.Now()+float64(i+1), func() {})
+	}
+	st = s.Stats()
+	if st.Steps != 5 || st.Scheduled != 8 {
+		t.Fatalf("after run: %+v", st)
+	}
+	if st.FreelistHits != 3 || st.FreelistMisses != 5 {
+		t.Fatalf("freelist after reschedule: %+v", st)
+	}
+	if got := st.FreelistHitRate(); got != 3.0/8 {
+		t.Fatalf("FreelistHitRate = %v, want 0.375", got)
+	}
+	if st.MaxQueueDepth != 5 {
+		t.Fatalf("MaxQueueDepth moved to %d", st.MaxQueueDepth)
+	}
+}
+
+func TestStatsResetClears(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if got := s.Stats(); got != (Stats{}) {
+		t.Fatalf("Reset left stats %+v", got)
+	}
+}
+
+func TestStatsZeroRate(t *testing.T) {
+	if (Stats{}).FreelistHitRate() != 0 {
+		t.Fatal("empty hit rate must be 0, not NaN")
+	}
+}

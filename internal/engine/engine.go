@@ -22,11 +22,14 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"reassign/internal/cloud"
+	"reassign/internal/core"
 	"reassign/internal/dag"
 	"reassign/internal/provenance"
+	"reassign/internal/telemetry"
 )
 
 // Runner executes one activation for its computed duration. The
@@ -56,12 +59,18 @@ func (SleepRunner) Run(ctx context.Context, _ *dag.Activation, _ *cloud.VM, d ti
 }
 
 // Engine executes one plan.
+//
+// Construct Engines with New, which validates the plan against the
+// workflow and fleet up front.
+//
+// Deprecated: constructing an Engine as a struct literal still works
+// in this release but will lose exported fields in the next one; use
+// New.
 type Engine struct {
 	Workflow *dag.Workflow
 	Fleet    *cloud.Fleet
-	// Plan maps activation ID → VM ID. Every activation must be
-	// covered.
-	Plan map[string]int
+	// Plan assigns every activation to a VM (see core.Plan).
+	Plan core.Plan
 	// Fluct perturbs nominal durations; nil executes nominal times.
 	Fluct *cloud.FluctuationModel
 	// Seed draws the per-activation fluctuations.
@@ -74,6 +83,10 @@ type Engine struct {
 	Store *provenance.Store
 	// RunID labels provenance records (default "run").
 	RunID string
+	// Sink, when non-nil, receives a SpanEvent per executed activation
+	// (emitted concurrently from the worker goroutines) and one
+	// EngineRunEvent per Execute.
+	Sink telemetry.Sink
 }
 
 // TaskReport is the engine's per-activation outcome, in virtual
@@ -98,6 +111,9 @@ type Report struct {
 	Tasks []TaskReport
 	// PerVM counts activations executed per VM ID.
 	PerVM map[int]int
+	// PeakWorkers is the maximum number of concurrently busy workers
+	// observed during the run — the engine's occupancy high-water mark.
+	PeakWorkers int
 }
 
 type completion struct {
@@ -117,14 +133,18 @@ func (e *Engine) Execute(ctx context.Context) (*Report, error) {
 	for _, vm := range e.Fleet.VMs {
 		vmByID[vm.ID] = vm
 	}
+	// planVM resolves activation index → VM ID once, so the hot
+	// enqueue path skips the plan lookup.
+	planVM := make([]int, e.Workflow.Len())
 	for _, a := range e.Workflow.Activations() {
-		vmID, ok := e.Plan[a.ID]
+		vmID, ok := e.Plan.VM(a.ID)
 		if !ok {
 			return nil, fmt.Errorf("engine: plan misses activation %s", a.ID)
 		}
 		if _, ok := vmByID[vmID]; !ok {
 			return nil, fmt.Errorf("engine: plan maps %s to unknown VM %d", a.ID, vmID)
 		}
+		planVM[a.Index] = vmID
 	}
 	scale := e.TimeScale
 	if scale <= 0 {
@@ -144,7 +164,7 @@ func (e *Engine) Execute(ctx context.Context) (*Report, error) {
 	rng := rand.New(rand.NewSource(e.Seed))
 	durations := make([]float64, e.Workflow.Len())
 	for _, a := range e.Workflow.Activations() {
-		vm := vmByID[e.Plan[a.ID]]
+		vm := vmByID[planVM[a.Index]]
 		d := a.Runtime / vm.Type.Speed
 		if e.Fluct != nil {
 			d = e.Fluct.Apply(rng, vm, d)
@@ -168,11 +188,17 @@ func (e *Engine) Execute(ctx context.Context) (*Report, error) {
 
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Occupancy: workers bump busy around each activation and race to
+	// raise peak, so PeakWorkers reflects true concurrent occupancy.
+	var busy, peak int32
 	var wg sync.WaitGroup
+	worker := 0
 	for _, vm := range e.Fleet.VMs {
 		vm := vm
 		for s := 0; s < vm.Type.VCPUs; s++ {
 			wg.Add(1)
+			widx := worker
+			worker++
 			go func() {
 				defer wg.Done()
 				for {
@@ -186,12 +212,26 @@ func (e *Engine) Execute(ctx context.Context) (*Report, error) {
 						mu.Lock()
 						ready := readyAt[a.Index]
 						mu.Unlock()
+						n := atomic.AddInt32(&busy, 1)
+						for {
+							p := atomic.LoadInt32(&peak)
+							if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+								break
+							}
+						}
 						st := virtualNow()
 						err := runner.Run(wctx, a, vm, time.Duration(durations[a.Index]*scale*float64(time.Second)))
+						atomic.AddInt32(&busy, -1)
 						if err != nil {
 							return // canceled
 						}
 						fin := virtualNow()
+						if e.Sink != nil {
+							e.Sink.Emit(telemetry.SpanEvent{
+								Task: a.ID, Activity: a.Activity, VM: vm.ID,
+								Worker: widx, Start: st, Finish: fin,
+							})
+						}
 						select {
 						case done <- completion{task: a, rep: TaskReport{
 							TaskID: a.ID, Activity: a.Activity, VMID: vm.ID,
@@ -212,7 +252,7 @@ func (e *Engine) Execute(ctx context.Context) (*Report, error) {
 		mu.Lock()
 		readyAt[a.Index] = virtualNow()
 		mu.Unlock()
-		queues[e.Plan[a.ID]] <- a
+		queues[planVM[a.Index]] <- a
 	}
 	for _, a := range e.Workflow.Activations() {
 		waiting[a.Index] = len(a.Parents())
@@ -261,9 +301,18 @@ func (e *Engine) Execute(ctx context.Context) (*Report, error) {
 
 	report.Wall = time.Since(start)
 	report.Makespan = report.Wall.Seconds() / scale
+	report.PeakWorkers = int(atomic.LoadInt32(&peak))
 	sort.Slice(report.Tasks, func(i, j int) bool {
 		return report.Tasks[i].FinishAt < report.Tasks[j].FinishAt
 	})
+	if e.Sink != nil {
+		e.Sink.Emit(telemetry.EngineRunEvent{
+			Makespan:    report.Makespan,
+			WallSeconds: report.Wall.Seconds(),
+			Tasks:       len(report.Tasks),
+			PeakWorkers: report.PeakWorkers,
+		})
+	}
 	return report, nil
 }
 

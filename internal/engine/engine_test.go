@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"reassign/internal/cloud"
+	"reassign/internal/core"
 	"reassign/internal/dag"
 	"reassign/internal/provenance"
 	"reassign/internal/sched"
@@ -15,12 +16,12 @@ import (
 )
 
 // planAllOn returns a plan mapping every activation to one VM.
-func planAllOn(w *dag.Workflow, vm int) map[string]int {
+func planAllOn(w *dag.Workflow, vm int) core.Plan {
 	p := make(map[string]int, w.Len())
 	for _, a := range w.Activations() {
 		p[a.ID] = vm
 	}
-	return p
+	return core.NewPlan(p)
 }
 
 func TestExecuteChainRespectsOrder(t *testing.T) {
@@ -95,10 +96,10 @@ func TestExecutePlanValidation(t *testing.T) {
 	w := dag.New("w")
 	w.MustAdd("a", "x", 1)
 	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T2Micro}, []int{1})
-	if _, err := (&Engine{Workflow: w, Fleet: fleet, Plan: map[string]int{}}).Execute(context.Background()); err == nil {
+	if _, err := (&Engine{Workflow: w, Fleet: fleet, Plan: core.Plan{}}).Execute(context.Background()); err == nil {
 		t.Fatal("incomplete plan accepted")
 	}
-	if _, err := (&Engine{Workflow: w, Fleet: fleet, Plan: map[string]int{"a": 9}}).Execute(context.Background()); err == nil {
+	if _, err := (&Engine{Workflow: w, Fleet: fleet, Plan: core.NewPlan(map[string]int{"a": 9})}).Execute(context.Background()); err == nil {
 		t.Fatal("unknown VM accepted")
 	}
 	if _, err := (&Engine{}).Execute(context.Background()); err == nil {
@@ -116,7 +117,7 @@ func TestExecuteRecordsProvenance(t *testing.T) {
 	}
 	store := provenance.NewStore()
 	e := &Engine{
-		Workflow: w, Fleet: fleet, Plan: res.Plan,
+		Workflow: w, Fleet: fleet, Plan: core.NewPlan(res.Plan),
 		TimeScale: 1e-5, Store: store, RunID: "test-run",
 	}
 	rep, err := e.Execute(context.Background())
@@ -184,7 +185,7 @@ func TestExecuteFullPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	fl := cloud.DefaultFluctuation()
-	e := &Engine{Workflow: w, Fleet: fleet, Plan: res.Plan, Fluct: &fl, Seed: 3, TimeScale: 1e-5}
+	e := &Engine{Workflow: w, Fleet: fleet, Plan: core.NewPlan(res.Plan), Fluct: &fl, Seed: 3, TimeScale: 1e-5}
 	rep, err := e.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -232,7 +233,7 @@ func BenchmarkExecuteMontage50(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e := &Engine{Workflow: w, Fleet: fleet, Plan: res.Plan, Fluct: &fl, Seed: int64(i), TimeScale: 1e-6}
+		e := &Engine{Workflow: w, Fleet: fleet, Plan: core.NewPlan(res.Plan), Fluct: &fl, Seed: int64(i), TimeScale: 1e-6}
 		if _, err := e.Execute(context.Background()); err != nil {
 			b.Fatal(err)
 		}
@@ -280,7 +281,7 @@ func TestPropertyEngineHonoursDependencies(t *testing.T) {
 			t.Fatal(err)
 		}
 		fl := cloud.DefaultFluctuation()
-		e := &Engine{Workflow: w, Fleet: fleet, Plan: res.Plan, Fluct: &fl, Seed: seed, TimeScale: 1e-5}
+		e := &Engine{Workflow: w, Fleet: fleet, Plan: core.NewPlan(res.Plan), Fluct: &fl, Seed: seed, TimeScale: 1e-5}
 		rep, err := e.Execute(context.Background())
 		if err != nil {
 			t.Fatal(err)

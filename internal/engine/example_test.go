@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"reassign/internal/cloud"
+	"reassign/internal/core"
 	"reassign/internal/dag"
 	"reassign/internal/engine"
 )
@@ -18,12 +19,8 @@ func Example() {
 	w.MustDep("build", "test")
 
 	fleet := cloud.MustFleet("ci", []cloud.VMType{cloud.T2Large}, []int{1})
-	e := &engine.Engine{
-		Workflow:  w,
-		Fleet:     fleet,
-		Plan:      map[string]int{"build": 0, "test": 0},
-		TimeScale: 1e-3, // 1 virtual second = 1 ms wall clock
-	}
+	e, _ := engine.New(w, fleet, core.NewPlan(map[string]int{"build": 0, "test": 0}),
+		engine.WithTimeScale(1e-3)) // 1 virtual second = 1 ms wall clock
 	rep, _ := e.Execute(context.Background())
 	fmt.Println("tasks executed:", len(rep.Tasks))
 	fmt.Println("finished last:", rep.Tasks[len(rep.Tasks)-1].TaskID)

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"fmt"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/dag"
+	"reassign/internal/provenance"
+	"reassign/internal/telemetry"
+)
+
+// Option customises an Engine built by New.
+type Option func(*Engine) error
+
+// WithFluctuation installs the duration perturbation model; nil
+// executes nominal times.
+func WithFluctuation(f *cloud.FluctuationModel) Option {
+	return func(e *Engine) error {
+		e.Fluct = f
+		return nil
+	}
+}
+
+// WithSeed sets the seed drawing per-activation fluctuations.
+func WithSeed(seed int64) Option {
+	return func(e *Engine) error {
+		e.Seed = seed
+		return nil
+	}
+}
+
+// WithTimeScale sets wall seconds per virtual second; it must be
+// positive.
+func WithTimeScale(scale float64) Option {
+	return func(e *Engine) error {
+		if scale <= 0 {
+			return fmt.Errorf("engine: time scale %v must be positive", scale)
+		}
+		e.TimeScale = scale
+		return nil
+	}
+}
+
+// WithRunner substitutes the activation runner (default SleepRunner).
+func WithRunner(r Runner) Option {
+	return func(e *Engine) error {
+		if r == nil {
+			return fmt.Errorf("engine: WithRunner(nil)")
+		}
+		e.Runner = r
+		return nil
+	}
+}
+
+// WithStore records provenance into store under runID.
+func WithStore(store *provenance.Store, runID string) Option {
+	return func(e *Engine) error {
+		e.Store = store
+		e.RunID = runID
+		return nil
+	}
+}
+
+// WithSink installs a telemetry sink receiving per-activation
+// SpanEvents (emitted concurrently from worker goroutines — the sink
+// must be safe for concurrent use) and one EngineRunEvent per
+// Execute. A nil sink keeps telemetry disabled.
+func WithSink(sink telemetry.Sink) Option {
+	return func(e *Engine) error {
+		if sink == telemetry.Discard {
+			sink = nil
+		}
+		e.Sink = sink
+		return nil
+	}
+}
+
+// New validates that plan covers every activation of the workflow with
+// a VM of the fleet, applies the options, and returns a ready Engine.
+// This is the supported way to construct an Engine; the struct literal
+// form remains for one more release (see Engine).
+func New(w *dag.Workflow, fleet *cloud.Fleet, plan core.Plan, opts ...Option) (*Engine, error) {
+	if w == nil || fleet == nil {
+		return nil, fmt.Errorf("engine: workflow and fleet required")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	known := make(map[int]bool, fleet.Len())
+	for _, vm := range fleet.VMs {
+		known[vm.ID] = true
+	}
+	for _, a := range w.Activations() {
+		vmID, ok := plan.VM(a.ID)
+		if !ok {
+			return nil, fmt.Errorf("engine: plan misses activation %s", a.ID)
+		}
+		if !known[vmID] {
+			return nil, fmt.Errorf("engine: plan maps %s to unknown VM %d", a.ID, vmID)
+		}
+	}
+	e := &Engine{Workflow: w, Fleet: fleet, Plan: plan}
+	for _, opt := range opts {
+		if err := opt(e); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/dag"
+	"reassign/internal/telemetry"
+)
+
+// fanWorkflow builds n independent tasks, so every worker runs — and
+// emits spans — concurrently.
+func fanWorkflow(n int) *dag.Workflow {
+	w := dag.New("fan")
+	for i := 0; i < n; i++ {
+		w.MustAdd(string(rune('a'+i)), "x", 5)
+	}
+	return w
+}
+
+// TestExecuteConcurrentSink drives the engine with an aggregating sink
+// while every worker goroutine emits spans in parallel. Run under
+// `make race` this is the data-race proof for the telemetry layer.
+func TestExecuteConcurrentSink(t *testing.T) {
+	const n = 12
+	w := fanWorkflow(n)
+	fleet := cloud.MustFleet("pool", []cloud.VMType{cloud.T22XLarge}, []int{2})
+	plan := make(map[string]int, n)
+	for i, a := range w.Activations() {
+		plan[a.ID] = i % 2
+	}
+	agg := telemetry.NewAggregator()
+	e, err := New(w, fleet, core.NewPlan(plan),
+		engineOpts(telemetry.Multi(agg, telemetry.NewJSONL(discardWriter{})))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := agg.Snapshot()
+	if s.Spans != n {
+		t.Errorf("Spans = %d, want %d", s.Spans, n)
+	}
+	if s.EngineRuns != 1 {
+		t.Errorf("EngineRuns = %d, want 1", s.EngineRuns)
+	}
+	if s.PeakWorkers < 2 || s.PeakWorkers != rep.PeakWorkers {
+		t.Errorf("PeakWorkers = %d (report %d), want ≥ 2 and equal", s.PeakWorkers, rep.PeakWorkers)
+	}
+	if s.BusySeconds <= 0 {
+		t.Errorf("BusySeconds = %v", s.BusySeconds)
+	}
+	if s.EngineMakespan.Mean != rep.Makespan {
+		t.Errorf("aggregated makespan %v != report %v", s.EngineMakespan.Mean, rep.Makespan)
+	}
+}
+
+func engineOpts(sink telemetry.Sink) []Option {
+	return []Option{WithTimeScale(1e-3), WithSink(sink)}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestExecutePeakWorkersSerial pins the occupancy gauge's floor: a
+// two-task chain can never have more than one busy worker.
+func TestExecutePeakWorkersSerial(t *testing.T) {
+	w := dag.New("chain")
+	w.MustAdd("a", "x", 5)
+	w.MustAdd("b", "x", 5)
+	w.MustDep("a", "b")
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T22XLarge}, []int{1})
+	e, err := New(w, fleet, planAllOn(w, 0), WithTimeScale(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Execute(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakWorkers != 1 {
+		t.Errorf("PeakWorkers = %d, want 1 for a serial chain", rep.PeakWorkers)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	w := fanWorkflow(2)
+	fleet := cloud.MustFleet("one", []cloud.VMType{cloud.T22XLarge}, []int{1})
+	if _, err := New(nil, fleet, planAllOn(w, 0)); err == nil {
+		t.Error("nil workflow accepted")
+	}
+	if _, err := New(w, nil, planAllOn(w, 0)); err == nil {
+		t.Error("nil fleet accepted")
+	}
+	if _, err := New(w, fleet, core.Plan{}); err == nil {
+		t.Error("empty plan accepted")
+	}
+	if _, err := New(w, fleet, core.NewPlan(map[string]int{"a": 7, "b": 0})); err == nil {
+		t.Error("out-of-range VM accepted")
+	}
+	if _, err := New(w, fleet, planAllOn(w, 0), WithTimeScale(0)); err == nil {
+		t.Error("zero time scale accepted")
+	}
+	if _, err := New(w, fleet, planAllOn(w, 0), WithRunner(nil)); err == nil {
+		t.Error("nil runner accepted")
+	}
+}

@@ -24,13 +24,15 @@ func ablationLearn(o Options, mutate func(*core.Params), episodes int) (float64,
 	if episodes <= 0 {
 		episodes = o.Episodes
 	}
-	l := &core.Learner{
-		Workflow:  o.Workflow,
-		Fleet:     fleet,
-		Params:    p,
-		Episodes:  episodes,
-		Seed:      o.Seed,
-		SimConfig: sim.Config{Fluct: o.TrainFluct},
+	l, err := core.NewLearner(core.Config{
+		Workflow: o.Workflow,
+		Fleet:    fleet,
+		Params:   p,
+		Episodes: episodes,
+		Sim:      sim.Config{Fluct: o.TrainFluct},
+	}, core.WithSeed(o.Seed), core.WithSink(o.Sink))
+	if err != nil {
+		return 0, err
 	}
 	res, err := l.Learn()
 	if err != nil {
@@ -166,12 +168,14 @@ func AblationSchedules(o Options) (*metrics.Table, error) {
 			rl.LinearDecay{Start: 0.0, End: 0.9, Over: o.Episodes}},
 	}
 	for _, c := range cases {
-		l := &core.Learner{
+		l, err := core.NewLearner(core.Config{
 			Workflow: o.Workflow, Fleet: fleet,
-			Params: core.DefaultParams(), Episodes: o.Episodes, Seed: o.Seed,
-			SimConfig:       sim.Config{Fluct: o.TrainFluct},
-			AlphaSchedule:   c.alphaSch,
-			EpsilonSchedule: c.epsSch,
+			Params: core.DefaultParams(), Episodes: o.Episodes,
+			Sim: sim.Config{Fluct: o.TrainFluct},
+		}, core.WithSeed(o.Seed), core.WithSink(o.Sink),
+			core.WithAlphaSchedule(c.alphaSch), core.WithEpsilonSchedule(c.epsSch))
+		if err != nil {
+			return nil, err
 		}
 		res, err := l.Learn()
 		if err != nil {
@@ -201,18 +205,22 @@ func AblationCostWeight(o Options) (*metrics.Table, error) {
 	for _, cw := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
 		p := core.DefaultParams()
 		p.CostWeight = cw
-		l := &core.Learner{
+		l, err := core.NewLearner(core.Config{
 			Workflow: o.Workflow, Fleet: fleet, Params: p,
-			Episodes: o.Episodes, Seed: o.Seed,
-			SimConfig: sim.Config{Fluct: o.TrainFluct},
+			Episodes: o.Episodes,
+			Sim:      sim.Config{Fluct: o.TrainFluct},
+		}, core.WithSeed(o.Seed), core.WithSink(o.Sink))
+		if err != nil {
+			return nil, err
 		}
 		res, err := l.Learn()
 		if err != nil {
 			return nil, err
 		}
+		assign := res.Plan.Map()
 		var mk, cost float64
 		for rep := 0; rep < PlanEvalReps; rep++ {
-			r, err := sim.Run(o.Workflow, fleet, &sched.Plan{PlanName: "p", Assign: res.Plan},
+			r, err := sim.Run(o.Workflow, fleet, &sched.Plan{PlanName: "p", Assign: assign},
 				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep)})
 			if err != nil {
 				return nil, err
@@ -326,7 +334,7 @@ func BaselineComparison(o Options, vcpus int) (*metrics.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	mk, cost, err := mean(&sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan})
+	mk, cost, err := mean(&sched.Plan{PlanName: "ReASSIgN", Assign: lr.Plan.Map()})
 	if err != nil {
 		return nil, err
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"reassign/internal/cloud"
-	"reassign/internal/core"
 	"reassign/internal/gantt"
 	"reassign/internal/plot"
 	"reassign/internal/sched"
@@ -38,14 +37,7 @@ func LearningCurves(o Options, smooth int) (*plot.Chart, error) {
 		YLabel: "episode makespan (s)",
 	}
 	for _, cfg := range configs {
-		p := core.DefaultParams()
-		p.Alpha, p.Gamma, p.Epsilon = cfg.alpha, cfg.gamma, cfg.epsilon
-		l := &core.Learner{
-			Workflow: o.Workflow, Fleet: fleet, Params: p,
-			Episodes: o.Episodes, Seed: o.Seed,
-			SimConfig: sim.Config{Fluct: o.TrainFluct},
-		}
-		res, err := l.Learn()
+		res, err := learn(o, fleet, cfg.alpha, cfg.gamma, cfg.epsilon)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +73,7 @@ func ScheduleCharts(o Options) ([]*gantt.Chart, error) {
 	if err != nil {
 		return nil, err
 	}
-	planRes, err := sim.Run(o.Workflow, fleet, &sched.Plan{PlanName: "ReASSIgN (learned)", Assign: lr.Plan}, cfg)
+	planRes, err := sim.Run(o.Workflow, fleet, &sched.Plan{PlanName: "ReASSIgN (learned)", Assign: lr.Plan.Map()}, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@ import (
 	"reassign/internal/core"
 	"reassign/internal/dag"
 	"reassign/internal/sim"
+	"reassign/internal/telemetry"
 	"reassign/internal/trace"
 )
 
@@ -57,6 +58,10 @@ type Options struct {
 	// TimeScale for the execution engine (wall seconds per virtual
 	// second; default 2e-5).
 	TimeScale float64
+	// Sink, when non-nil, receives telemetry from every learning run
+	// the harness performs (episodes, decisions, kernel counters). It
+	// must be safe for concurrent use: RunSweep learns in parallel.
+	Sink telemetry.Sink
 }
 
 func (o Options) withDefaults() Options {
@@ -94,13 +99,15 @@ func (o Options) withDefaults() Options {
 func learn(o Options, fleet *cloud.Fleet, alpha, gamma, epsilon float64) (*core.Result, error) {
 	p := core.DefaultParams()
 	p.Alpha, p.Gamma, p.Epsilon = alpha, gamma, epsilon
-	l := &core.Learner{
-		Workflow:  o.Workflow,
-		Fleet:     fleet,
-		Params:    p,
-		Episodes:  o.Episodes,
-		Seed:      o.Seed,
-		SimConfig: sim.Config{Fluct: o.TrainFluct},
+	l, err := core.NewLearner(core.Config{
+		Workflow: o.Workflow,
+		Fleet:    fleet,
+		Params:   p,
+		Episodes: o.Episodes,
+		Sim:      sim.Config{Fluct: o.TrainFluct},
+	}, core.WithSeed(o.Seed), core.WithSink(o.Sink))
+	if err != nil {
+		return nil, err
 	}
 	return l.Learn()
 }

@@ -70,8 +70,8 @@ func TestSweepAndTables2and3(t *testing.T) {
 			}
 			// Options left Workflow nil, so the sweep used the
 			// default Montage 50; plans must cover it.
-			if len(s.Plans[combo][v]) != 50 {
-				t.Fatalf("combo %v: plan size %d", combo, len(s.Plans[combo][v]))
+			if s.Plans[combo][v].Len() != 50 {
+				t.Fatalf("combo %v: plan size %d", combo, s.Plans[combo][v].Len())
 			}
 		}
 	}

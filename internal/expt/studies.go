@@ -123,10 +123,11 @@ func StudyScaling(o Options) (*metrics.Table, error) {
 		fmt.Sprintf("Study: Montage scaling on 32 vCPUs (mean of %d runs)", PlanEvalReps),
 		"activations", "HEFT (s)", "ReASSIgN (s)", "ReASSIgN/HEFT")
 
-	evalPlan := func(w *dag.Workflow, plan map[string]int) (float64, error) {
+	evalPlan := func(w *dag.Workflow, plan core.Plan) (float64, error) {
+		assign := plan.Map()
 		var sum float64
 		for rep := 0; rep < PlanEvalReps; rep++ {
-			res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "p", Assign: plan},
+			res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "p", Assign: assign},
 				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep)})
 			if err != nil {
 				return 0, err
@@ -148,14 +149,17 @@ func StudyScaling(o Options) (*metrics.Table, error) {
 		if _, err := sim.Run(w, fleet, h, sim.Config{}); err != nil {
 			return nil, err
 		}
-		heftMk, err := evalPlan(w, h.Assign())
+		heftMk, err := evalPlan(w, core.NewPlan(h.Assign()))
 		if err != nil {
 			return nil, err
 		}
-		l := &core.Learner{
+		l, err := core.NewLearner(core.Config{
 			Workflow: w, Fleet: fleet, Params: core.DefaultParams(),
-			Episodes: o.Episodes, Seed: o.Seed,
-			SimConfig: sim.Config{Fluct: o.TrainFluct},
+			Episodes: o.Episodes,
+			Sim:      sim.Config{Fluct: o.TrainFluct},
+		}, core.WithSeed(o.Seed), core.WithSink(o.Sink))
+		if err != nil {
+			return nil, err
 		}
 		lr, err := l.Learn()
 		if err != nil {

@@ -43,7 +43,7 @@ type SweepResult struct {
 	// the learned plan in virtual seconds.
 	PlanMakespan map[comboKey]map[int]float64
 	// Plans[combo][vcpus] is the extracted activation→VM plan.
-	Plans map[comboKey]map[int]map[string]int
+	Plans map[comboKey]map[int]core.Plan
 }
 
 // PlanEvalReps is the number of simulated executions averaged when
@@ -56,11 +56,12 @@ const PlanEvalReps = 10
 // EvalPlan scores a plan by simulating it PlanEvalReps times under
 // the training fluctuation model with distinct seeds and returning
 // the mean makespan.
-func EvalPlan(o Options, fleet *cloud.Fleet, plan map[string]int) (float64, error) {
+func EvalPlan(o Options, fleet *cloud.Fleet, plan core.Plan) (float64, error) {
 	o = o.withDefaults()
+	assign := plan.Map()
 	var sum float64
 	for rep := 0; rep < PlanEvalReps; rep++ {
-		res, err := sim.Run(o.Workflow, fleet, &sched.Plan{PlanName: "plan", Assign: plan},
+		res, err := sim.Run(o.Workflow, fleet, &sched.Plan{PlanName: "plan", Assign: assign},
 			sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep)})
 		if err != nil {
 			return 0, err
@@ -82,12 +83,12 @@ func RunSweep(o Options) (*SweepResult, error) {
 		VCPUs:        o.VCPUs,
 		LearnMillis:  make(map[comboKey]map[int]float64),
 		PlanMakespan: make(map[comboKey]map[int]float64),
-		Plans:        make(map[comboKey]map[int]map[string]int),
+		Plans:        make(map[comboKey]map[int]core.Plan),
 	}
 	for _, combo := range grid() {
 		res.LearnMillis[combo] = make(map[int]float64)
 		res.PlanMakespan[combo] = make(map[int]float64)
-		res.Plans[combo] = make(map[int]map[string]int)
+		res.Plans[combo] = make(map[int]core.Plan)
 	}
 	// The 27×|fleets| cells are independent; spread them over the
 	// cores. Each cell seeds its own generators, so parallel execution
@@ -233,16 +234,16 @@ func RunTable4(o Options) ([]Table4Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		execPlan := func(plan map[string]int) (float64, error) {
+		execPlan := func(plan core.Plan) (float64, error) {
 			var sum float64
 			for rep := 0; rep < Table4Reps; rep++ {
-				e := &engine.Engine{
-					Workflow:  o.Workflow,
-					Fleet:     fleet,
-					Plan:      plan,
-					Fluct:     o.ExecFluct,
-					Seed:      o.Seed + 1000 + int64(rep), // unseen environment, paired across plans
-					TimeScale: o.TimeScale,
+				e, err := engine.New(o.Workflow, fleet, plan,
+					engine.WithFluctuation(o.ExecFluct),
+					engine.WithSeed(o.Seed+1000+int64(rep)), // unseen environment, paired across plans
+					engine.WithTimeScale(o.TimeScale),
+				)
+				if err != nil {
+					return 0, err
 				}
 				r, err := e.Execute(context.Background())
 				if err != nil {
@@ -258,7 +259,7 @@ func RunTable4(o Options) ([]Table4Row, error) {
 		if _, err := sim.Run(o.Workflow, fleet, h, sim.Config{}); err != nil {
 			return nil, fmt.Errorf("expt: HEFT on %d vCPUs: %w", vcpus, err)
 		}
-		mk, err := execPlan(h.Assign())
+		mk, err := execPlan(core.NewPlan(h.Assign()))
 		if err != nil {
 			return nil, err
 		}
@@ -317,7 +318,7 @@ func Table5(o Options) (*metrics.Table, error) {
 	if _, err := sim.Run(o.Workflow, fleet, h, sim.Config{}); err != nil {
 		return nil, err
 	}
-	plans := map[string]map[string]int{"HEFT": h.Assign()}
+	plans := map[string]core.Plan{"HEFT": core.NewPlan(h.Assign())}
 	order := []string{"HEFT"}
 	for _, sc := range Scenarios() {
 		lr, err := learn(o, fleet, sc.Alpha, 1.0, 0.1)
@@ -332,7 +333,8 @@ func Table5(o Options) (*metrics.Table, error) {
 	for i, a := range o.Workflow.Activations() {
 		row := []any{i}
 		for _, name := range order {
-			row = append(row, plans[name][a.ID])
+			vm, _ := plans[name].VM(a.ID)
+			row = append(row, vm)
 		}
 		t.AddRowF(row...)
 	}
@@ -355,20 +357,20 @@ func Table5BigVMShare(o Options) (map[string]float64, error) {
 			bigIDs[vm.ID] = true
 		}
 	}
-	share := func(plan map[string]int) float64 {
+	share := func(plan core.Plan) float64 {
 		n := 0
-		for _, vm := range plan {
-			if bigIDs[vm] {
+		for _, e := range plan.Entries() {
+			if bigIDs[e.VM] {
 				n++
 			}
 		}
-		return float64(n) / float64(len(plan))
+		return float64(n) / float64(plan.Len())
 	}
 	h := &sched.HEFT{}
 	if _, err := sim.Run(o.Workflow, fleet, h, sim.Config{}); err != nil {
 		return nil, err
 	}
-	out := map[string]float64{"HEFT": share(h.Assign())}
+	out := map[string]float64{"HEFT": share(core.NewPlan(h.Assign()))}
 	for _, sc := range Scenarios() {
 		lr, err := learn(o, fleet, sc.Alpha, 1.0, 0.1)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 	"testing/quick"
 
 	"reassign/internal/cloud"
+	"reassign/internal/core"
 	"reassign/internal/engine"
 	"reassign/internal/sched"
 	"reassign/internal/sim"
@@ -128,7 +129,7 @@ func TestFromReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := &engine.Engine{Workflow: w, Fleet: fleet, Plan: res.Plan, TimeScale: 1e-5}
+	e := &engine.Engine{Workflow: w, Fleet: fleet, Plan: core.NewPlan(res.Plan), TimeScale: 1e-5}
 	rep, err := e.Execute(context.Background())
 	if err != nil {
 		t.Fatal(err)

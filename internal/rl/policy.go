@@ -11,6 +11,17 @@ type Policy interface {
 	Select(t *Table, task int, vms []int, rng *rand.Rand) int
 }
 
+// ExplainingPolicy is implemented by policies that can report whether
+// a selection exploited the Q table. SelectExplained must consume the
+// rng stream exactly as Select does, so instrumented and plain runs
+// stay bit-identical.
+type ExplainingPolicy interface {
+	Policy
+	// SelectExplained returns the chosen VM and whether the choice was
+	// greedy (table exploitation) rather than exploration.
+	SelectExplained(t *Table, task int, vms []int, rng *rand.Rand) (vm int, greedy bool)
+}
+
 // EpsilonGreedy implements the paper's exploration convention
 // (§II.a): *with probability ε the best action is taken*; otherwise a
 // VM is chosen uniformly at random. Note this inverts the textbook
@@ -25,6 +36,12 @@ type EpsilonGreedy struct {
 
 // Select implements Policy.
 func (p EpsilonGreedy) Select(t *Table, task int, vms []int, rng *rand.Rand) int {
+	vm, _ := p.SelectExplained(t, task, vms, rng)
+	return vm
+}
+
+// SelectExplained implements ExplainingPolicy.
+func (p EpsilonGreedy) SelectExplained(t *Table, task int, vms []int, rng *rand.Rand) (int, bool) {
 	if len(vms) == 0 {
 		panic("rl: Select with no candidate VMs")
 	}
@@ -34,9 +51,9 @@ func (p EpsilonGreedy) Select(t *Table, task int, vms []int, rng *rand.Rand) int
 	}
 	if exploit {
 		vm, _ := t.Best(task, vms)
-		return vm
+		return vm, true
 	}
-	return vms[rng.Intn(len(vms))]
+	return vms[rng.Intn(len(vms))], false
 }
 
 // Boltzmann selects VMs with probability proportional to
@@ -88,6 +105,12 @@ type Greedy struct{}
 func (Greedy) Select(t *Table, task int, vms []int, rng *rand.Rand) int {
 	vm, _ := t.Best(task, vms)
 	return vm
+}
+
+// SelectExplained implements ExplainingPolicy: greedy selections
+// always exploit.
+func (g Greedy) SelectExplained(t *Table, task int, vms []int, rng *rand.Rand) (int, bool) {
+	return g.Select(t, task, vms, rng), true
 }
 
 // Schedule yields a parameter value per episode, for decaying α or ε.

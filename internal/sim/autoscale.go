@@ -74,7 +74,7 @@ func newScaler(p *Autoscale, initial int) *scaler {
 
 // step runs one autoscaling decision. It may append booted-later VMs
 // to the engine and retire idle acquired ones.
-func (g *engine) autoscaleStep() {
+func (g *Engine) autoscaleStep() {
 	sc := g.scaler
 	if sc == nil {
 		return

@@ -9,6 +9,7 @@ import (
 	"reassign/internal/cloud"
 	"reassign/internal/dag"
 	"reassign/internal/des"
+	"reassign/internal/telemetry"
 )
 
 // Assignment is one scheduling decision: run Task on VM.
@@ -89,6 +90,14 @@ type Config struct {
 	Seed int64
 	// Horizon aborts runaway simulations (virtual seconds; 0 = none).
 	Horizon float64
+	// Sink, when non-nil, receives a telemetry.KernelEvent when the
+	// run finishes. Learning schedulers (core) thread their own sink
+	// here so per-run DES counters land in the same trace.
+	Sink telemetry.Sink
+	// SkipPlan skips recording Result.Plan. The learning loop discards
+	// per-episode plans, and at 100 episodes per run the map builds are
+	// measurable in the hot path.
+	SkipPlan bool
 }
 
 // Env provides estimation helpers and live aggregates to schedulers.
@@ -170,14 +179,34 @@ type Result struct {
 	// Decisions counts scheduler invocations; Events counts DES steps.
 	Decisions int
 	Events    int64
+	// Kernel holds the DES kernel's instrumentation counters.
+	Kernel des.Stats
 	// Elasticity is set when Config.Autoscale was active.
 	Elasticity *ElasticityReport
 	// Revocations counts spot VMs revoked during the run.
 	Revocations int
 }
 
-// Run simulates the workflow on the fleet under the scheduler.
+// Run simulates the workflow on the fleet under the scheduler. It is
+// shorthand for NewEngine followed by Engine.Run.
 func Run(w *dag.Workflow, fleet *cloud.Fleet, sched Scheduler, cfg Config) (*Result, error) {
+	eng, err := NewEngine(w, fleet, sched, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Run()
+}
+
+// NewEngine validates the inputs and returns a single-use simulation
+// engine. Construction is separated from Run so callers can fail fast
+// on bad configuration before committing to a run.
+func NewEngine(w *dag.Workflow, fleet *cloud.Fleet, sched Scheduler, cfg Config) (*Engine, error) {
+	if w == nil {
+		return nil, fmt.Errorf("sim: nil workflow")
+	}
+	if sched == nil {
+		return nil, fmt.Errorf("sim: nil scheduler")
+	}
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
@@ -200,17 +229,18 @@ func Run(w *dag.Workflow, fleet *cloud.Fleet, sched Scheduler, cfg Config) (*Res
 			return nil, err
 		}
 	}
-	eng := &engine{
+	return &Engine{
 		w:     w,
 		fleet: fleet,
 		sched: sched,
 		cfg:   cfg,
 		sim:   des.New(),
-	}
-	return eng.run()
+	}, nil
 }
 
-type engine struct {
+// Engine drives one simulation run on the DES kernel. Construct it
+// with NewEngine; an Engine is single-use — Run consumes it.
+type Engine struct {
 	w     *dag.Workflow
 	fleet *cloud.Fleet
 	sched Scheduler
@@ -246,7 +276,12 @@ type engine struct {
 	fileHome map[string]*VMState
 }
 
-func (g *engine) run() (*Result, error) {
+// Run executes the simulation to completion. An Engine is single-use;
+// a second Run returns an error.
+func (g *Engine) Run() (*Result, error) {
+	if g.result != nil {
+		return nil, fmt.Errorf("sim: engine already ran")
+	}
 	if g.cfg.Horizon > 0 {
 		g.sim.SetHorizon(g.cfg.Horizon)
 	}
@@ -283,8 +318,10 @@ func (g *engine) run() (*Result, error) {
 	g.result = &Result{
 		Scheduler: g.sched.Name(),
 		Records:   make([]Record, 0, n),
-		Plan:      make(map[string]int, n),
 		PerVM:     make(map[int]VMStats, len(g.vms)),
+	}
+	if !g.cfg.SkipPlan {
+		g.result.Plan = make(map[string]int, n)
 	}
 	if err := g.sched.Prepare(g.w, g.fleet, g.env); err != nil {
 		return nil, fmt.Errorf("sim: scheduler %s: %w", g.sched.Name(), err)
@@ -361,11 +398,26 @@ func (g *engine) run() (*Result, error) {
 			}
 		}
 	}
+	g.result.Kernel = g.sim.Stats()
+	if g.cfg.Sink != nil {
+		ks := g.result.Kernel
+		g.cfg.Sink.Emit(telemetry.KernelEvent{
+			Scheduler:      g.result.Scheduler,
+			State:          g.result.State.String(),
+			Makespan:       g.result.Makespan,
+			Decisions:      g.result.Decisions,
+			Events:         ks.Steps,
+			Scheduled:      ks.Scheduled,
+			FreelistHits:   ks.FreelistHits,
+			FreelistMisses: ks.FreelistMisses,
+			MaxQueueDepth:  ks.MaxQueueDepth,
+		})
+	}
 	return g.result, nil
 }
 
 // release moves a task into the ready queue after the engine delay.
-func (g *engine) release(t *Task) {
+func (g *Engine) release(t *Task) {
 	releaseAt := g.sim.Now() + g.cfg.EngineDelay
 	g.sim.At(releaseAt, func() {
 		t.State = Ready
@@ -377,7 +429,7 @@ func (g *engine) release(t *Task) {
 
 // postCycle queues a scheduling pass if none is pending. Priority 1
 // runs it after all same-time completions/releases have settled.
-func (g *engine) postCycle() {
+func (g *Engine) postCycle() {
 	if g.cyclePosted {
 		return
 	}
@@ -386,7 +438,7 @@ func (g *engine) postCycle() {
 }
 
 // workflowState computes the paper's four-valued workflow state.
-func (g *engine) workflowState() WorkflowState {
+func (g *Engine) workflowState() WorkflowState {
 	if g.remaining == 0 {
 		if g.anyFailed {
 			return FinishedFailed
@@ -406,7 +458,7 @@ func (g *engine) workflowState() WorkflowState {
 
 // cycle invokes the scheduler while the workflow stays Available and
 // the scheduler keeps making progress.
-func (g *engine) cycle() {
+func (g *Engine) cycle() {
 	g.autoscaleStep()
 	if booted := g.bootedCount(); booted > g.peakBooted {
 		g.peakBooted = booted
@@ -431,7 +483,7 @@ func (g *engine) cycle() {
 }
 
 // bootedCount counts usable (booted, not retired) VMs.
-func (g *engine) bootedCount() int {
+func (g *Engine) bootedCount() int {
 	n := 0
 	for _, v := range g.vms {
 		if v.booted {
@@ -457,7 +509,7 @@ func (s *readySorter) Swap(i, j int) { s.ts[i], s.ts[j] = s.ts[j], s.ts[i] }
 // buildContext refreshes the reused Context for the next Pick call.
 // Its slices are scratch buffers: schedulers must not retain them
 // past the call.
-func (g *engine) buildContext() *Context {
+func (g *Engine) buildContext() *Context {
 	ready := append(g.ctxReady[:0], g.ready...)
 	g.sorter.ts = ready
 	sort.Sort(&g.sorter)
@@ -474,7 +526,7 @@ func (g *engine) buildContext() *Context {
 
 // start validates and executes one assignment. It returns false for
 // invalid assignments (task not ready, VM full), which are skipped.
-func (g *engine) start(as Assignment) bool {
+func (g *Engine) start(as Assignment) bool {
 	t, v := as.Task, as.VM
 	if t == nil || v == nil || t.State != Ready || !v.Idle() {
 		return false
@@ -503,7 +555,7 @@ func (g *engine) start(as Assignment) bool {
 // data staging for remote inputs (at the inter-site link rate when
 // the producer lives on another site of a multi-site fleet) and
 // optional fluctuation.
-func (g *engine) duration(t *Task, v *VMState) float64 {
+func (g *Engine) duration(t *Task, v *VMState) float64 {
 	d := t.Act.Runtime / v.VM.Type.Speed
 	if g.cfg.DataTransfer && v.VM.Type.NetMBps > 0 {
 		topo := g.fleet.Topology
@@ -528,7 +580,7 @@ func (g *engine) duration(t *Task, v *VMState) float64 {
 	return d
 }
 
-func (g *engine) complete(t *Task, v *VMState) {
+func (g *Engine) complete(t *Task, v *VMState) {
 	delete(g.running, t)
 	v.release()
 	t.FinishAt = g.sim.Now()
@@ -556,7 +608,9 @@ func (g *engine) complete(t *Task, v *VMState) {
 		g.cancelDescendants(t)
 	} else {
 		t.State = Succeeded
-		g.result.Plan[t.Act.ID] = v.VM.ID
+		if g.result.Plan != nil {
+			g.result.Plan[t.Act.ID] = v.VM.ID
+		}
 		if len(t.Act.Outputs) > 0 {
 			if v.fileAt == nil {
 				v.fileAt = make(map[string]bool, len(t.Act.Outputs))
@@ -596,7 +650,7 @@ type runningTask struct {
 // terminally failed task as Failed: they can never run, so the
 // workflow reaches the paper's "finished with failure" terminal state
 // once in-flight work drains.
-func (g *engine) cancelDescendants(t *Task) {
+func (g *Engine) cancelDescendants(t *Task) {
 	desc, err := g.w.Descendants(t.Act.ID)
 	if err != nil {
 		return
@@ -610,7 +664,7 @@ func (g *engine) cancelDescendants(t *Task) {
 	}
 }
 
-func (g *engine) record(t *Task, v *VMState, success bool) {
+func (g *Engine) record(t *Task, v *VMState, success bool) {
 	g.result.Records = append(g.result.Records, Record{
 		TaskID:   t.Act.ID,
 		Activity: t.Act.Activity,

@@ -35,7 +35,7 @@ func (p *SpotPolicy) validate() error {
 }
 
 // scheduleRevocations draws one revocation time per eligible VM.
-func (g *engine) scheduleRevocations() {
+func (g *Engine) scheduleRevocations() {
 	p := g.cfg.Spot
 	if p == nil {
 		return
@@ -57,7 +57,7 @@ func (g *engine) scheduleRevocations() {
 
 // revoke kills a VM: running activations are aborted back to the
 // ready queue, the VM never accepts work again.
-func (g *engine) revoke(v *VMState) {
+func (g *Engine) revoke(v *VMState) {
 	if g.remaining == 0 || !v.booted {
 		return
 	}

@@ -1,0 +1,170 @@
+// Package telemetry is the instrumentation layer threaded through the
+// learning and execution stages: a Sink interface receiving typed
+// events — per-episode learning stats, scheduler decisions, DES kernel
+// counters, and engine execution spans — with built-in sinks for JSONL
+// trace files (NewJSONL), an in-memory aggregator feeding
+// metrics.Summary (NewAggregator, with a Prometheus-text-format
+// snapshot writer), and fan-out composition (Multi).
+//
+// The layer is zero-cost when disabled: instrumented code holds a Sink
+// that is nil by default and guards every emission with a nil check,
+// so the allocation-free learning hot path is untouched unless a sink
+// is installed. Sinks must be safe for concurrent use — the execution
+// engine emits spans from one goroutine per worker.
+package telemetry
+
+// Event is one typed telemetry record. The concrete types below are
+// the full event vocabulary; Kind returns the stable wire name used
+// by the JSONL encoding.
+type Event interface {
+	Kind() string
+}
+
+// EpisodeEvent records one learning episode (package core): the
+// quantities behind the paper's Tables II–III and reward curves.
+type EpisodeEvent struct {
+	// Episode is the zero-based episode number; -1 marks the final
+	// greedy plan-extraction pass.
+	Episode int `json:"episode"`
+	// Makespan is the episode's simulated makespan in virtual seconds.
+	Makespan float64 `json:"makespan"`
+	// Reward is the episode's accumulated crisp reward.
+	Reward float64 `json:"reward"`
+	// Alpha and Epsilon are the learning rate and exploitation
+	// probability in effect (after schedules).
+	Alpha   float64 `json:"alpha"`
+	Epsilon float64 `json:"epsilon"`
+	// QDelta is the L2 norm of all TD updates applied this episode —
+	// a convergence signal that decays as the table settles.
+	QDelta float64 `json:"q_delta"`
+	// Updates counts TD updates applied this episode.
+	Updates int `json:"updates"`
+	// State is the workflow's terminal state ("finished-ok", ...).
+	State string `json:"state"`
+	// Decisions and Events are the episode's scheduler invocations and
+	// DES kernel steps.
+	Decisions int   `json:"decisions"`
+	Events    int64 `json:"events"`
+}
+
+// Kind implements Event.
+func (EpisodeEvent) Kind() string { return "episode" }
+
+// DecisionEvent records one scheduling decision of the learning agent:
+// activation → VM, with the greedy-vs-explore flag of the ε policy.
+type DecisionEvent struct {
+	// Episode is the emitting episode; -1 for plan extraction.
+	Episode int `json:"episode"`
+	// Time is the simulation clock at the decision.
+	Time float64 `json:"time"`
+	// Task is the activation's dense index; Activation its ID.
+	Task       int    `json:"task"`
+	Activation string `json:"activation"`
+	// VM is the chosen VM ID.
+	VM int `json:"vm"`
+	// Greedy reports whether the policy exploited the Q table (true)
+	// or explored (false). Policies that cannot tell report false.
+	Greedy bool `json:"greedy"`
+}
+
+// Kind implements Event.
+func (DecisionEvent) Kind() string { return "decision" }
+
+// KernelEvent summarises one simulation run's DES kernel counters
+// (package sim emits it when the run finishes).
+type KernelEvent struct {
+	// Scheduler is the algorithm name driving the run.
+	Scheduler string `json:"scheduler"`
+	// State is the workflow's terminal state.
+	State string `json:"state"`
+	// Makespan is the run's makespan in virtual seconds.
+	Makespan float64 `json:"makespan"`
+	// Decisions counts scheduler invocations.
+	Decisions int `json:"decisions"`
+	// Events counts DES events executed; Scheduled counts events
+	// queued (executed + canceled + pending at exit).
+	Events    int64 `json:"events"`
+	Scheduled int64 `json:"scheduled"`
+	// FreelistHits/Misses split event allocations between recycled
+	// and fresh; their ratio is the freelist hit rate.
+	FreelistHits   int64 `json:"freelist_hits"`
+	FreelistMisses int64 `json:"freelist_misses"`
+	// MaxQueueDepth is the future-event list's high-water mark.
+	MaxQueueDepth int `json:"max_queue_depth"`
+}
+
+// Kind implements Event.
+func (KernelEvent) Kind() string { return "kernel" }
+
+// SpanEvent records one activation's execution span in the concurrent
+// engine, in virtual seconds from run start. Workers emit spans
+// concurrently; sinks must tolerate that.
+type SpanEvent struct {
+	Task     string `json:"task"`
+	Activity string `json:"activity"`
+	VM       int    `json:"vm"`
+	// Worker is the executing worker's index within the engine's pool.
+	Worker int     `json:"worker"`
+	Start  float64 `json:"start"`
+	Finish float64 `json:"finish"`
+}
+
+// Kind implements Event.
+func (SpanEvent) Kind() string { return "span" }
+
+// EngineRunEvent summarises one execution-engine run.
+type EngineRunEvent struct {
+	Makespan    float64 `json:"makespan"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Tasks       int     `json:"tasks"`
+	// PeakWorkers is the maximum number of concurrently busy workers
+	// observed during the run.
+	PeakWorkers int `json:"peak_workers"`
+}
+
+// Kind implements Event.
+func (EngineRunEvent) Kind() string { return "engine_run" }
+
+// Sink receives telemetry events. Implementations must be safe for
+// concurrent use. A nil Sink means telemetry is disabled; emitting
+// code checks for nil before constructing events, which keeps the
+// disabled path free of allocations.
+type Sink interface {
+	Emit(Event)
+}
+
+// Discard is a Sink that drops every event — the explicit no-op for
+// call sites that want a non-nil sink.
+var Discard Sink = discard{}
+
+type discard struct{}
+
+func (discard) Emit(Event) {}
+
+// Multi fans events out to every non-nil sink, in order. It returns
+// nil when no usable sink remains, so callers can pass the result
+// straight to a (nil-checked) sink field.
+func Multi(sinks ...Sink) Sink {
+	out := make(multi, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil && s != Discard {
+			out = append(out, s)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	default:
+		return out
+	}
+}
+
+type multi []Sink
+
+func (m multi) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}

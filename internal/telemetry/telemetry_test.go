@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type capture struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (c *capture) Emit(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+func TestMultiSkipsNilAndDiscard(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() should be nil")
+	}
+	if Multi(nil, Discard, nil) != nil {
+		t.Error("Multi of only nil/Discard should be nil")
+	}
+	c := &capture{}
+	if got := Multi(nil, c, Discard); got != c {
+		t.Errorf("single usable sink should be returned unwrapped, got %T", got)
+	}
+	c2 := &capture{}
+	m := Multi(c, nil, c2)
+	m.Emit(EpisodeEvent{Episode: 3})
+	if len(c.events) != 1 || len(c2.events) != 1 {
+		t.Errorf("fan-out delivered %d/%d events, want 1/1", len(c.events), len(c2.events))
+	}
+}
+
+func TestEventKinds(t *testing.T) {
+	kinds := map[Event]string{
+		EpisodeEvent{}:   "episode",
+		DecisionEvent{}:  "decision",
+		KernelEvent{}:    "kernel",
+		SpanEvent{}:      "span",
+		EngineRunEvent{}: "engine_run",
+	}
+	for ev, want := range kinds {
+		if got := ev.Kind(); got != want {
+			t.Errorf("%T.Kind() = %q, want %q", ev, got, want)
+		}
+	}
+}
+
+func TestJSONLEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Emit(EpisodeEvent{Episode: 0, Makespan: 12.5, Reward: -3, Alpha: 0.5, Epsilon: 0.1})
+	j.Emit(DecisionEvent{Episode: 0, Task: 4, Activation: "mProject_4", VM: 2, Greedy: true})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], `{"kind":"episode","event":{"episode":0,`) {
+		t.Errorf("episode line = %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"kind":"decision"`) || !strings.Contains(lines[1], `"greedy":true`) {
+		t.Errorf("decision line = %s", lines[1])
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJSONLStickyError(t *testing.T) {
+	j := NewJSONL(failWriter{})
+	j.Emit(EpisodeEvent{})
+	if j.Err() == nil {
+		t.Fatal("write failure not surfaced")
+	}
+	j.Emit(EpisodeEvent{}) // must not panic once failed
+	if j.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestAggregator(t *testing.T) {
+	a := NewAggregator()
+	a.Emit(EpisodeEvent{Episode: 0, Reward: -2, Makespan: 100, QDelta: 4})
+	a.Emit(EpisodeEvent{Episode: 1, Reward: -1, Makespan: 80, QDelta: 2})
+	a.Emit(EpisodeEvent{Episode: -1, Reward: 0, Makespan: 70}) // extraction: excluded
+	a.Emit(DecisionEvent{Greedy: true})
+	a.Emit(DecisionEvent{Greedy: true})
+	a.Emit(DecisionEvent{Greedy: false})
+	a.Emit(KernelEvent{Events: 10, Scheduled: 12, FreelistHits: 9, FreelistMisses: 1, MaxQueueDepth: 5})
+	a.Emit(KernelEvent{Events: 10, Scheduled: 10, FreelistHits: 0, FreelistMisses: 10, MaxQueueDepth: 3})
+	a.Emit(SpanEvent{Start: 1, Finish: 3})
+	a.Emit(EngineRunEvent{Makespan: 50, Tasks: 1, PeakWorkers: 4})
+
+	s := a.Snapshot()
+	if s.Episodes != 2 {
+		t.Errorf("Episodes = %d, want 2 (extraction pass must not count)", s.Episodes)
+	}
+	if s.Makespan.Mean != 90 {
+		t.Errorf("Makespan.Mean = %v, want 90", s.Makespan.Mean)
+	}
+	if s.Decisions != 3 || s.GreedyDecisions != 2 {
+		t.Errorf("decisions %d/%d, want 3/2", s.Decisions, s.GreedyDecisions)
+	}
+	if got := s.GreedyRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("GreedyRate = %v", got)
+	}
+	if s.SimRuns != 2 || s.KernelEvents != 20 || s.MaxQueueDepth != 5 {
+		t.Errorf("kernel aggregates: %+v", s)
+	}
+	if got := s.FreelistHitRate(); got != 0.45 {
+		t.Errorf("FreelistHitRate = %v, want 0.45", got)
+	}
+	if s.Spans != 1 || s.BusySeconds != 2 {
+		t.Errorf("spans %d busy %v", s.Spans, s.BusySeconds)
+	}
+	if s.EngineRuns != 1 || s.PeakWorkers != 4 {
+		t.Errorf("engine aggregates: %+v", s)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	prom := buf.String()
+	for _, want := range []string{
+		"reassign_episodes_total 2",
+		"reassign_decisions_total 3",
+		"reassign_des_freelist_hit_rate 0.45",
+		"reassign_engine_peak_workers 4",
+		"# TYPE reassign_episodes_total counter",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prom output missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+func TestEmptySnapshotRates(t *testing.T) {
+	var s Snapshot
+	if s.FreelistHitRate() != 0 || s.GreedyRate() != 0 {
+		t.Error("empty snapshot rates must be 0, not NaN")
+	}
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("empty snapshot renders NaN")
+	}
+}
