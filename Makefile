@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench guard test build vet
+.PHONY: check race race-replicas bench benchsmoke guard test build vet
 
 ## check: vet, build, and test everything (the tier-1 gate)
 check: vet build test
@@ -18,9 +18,19 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/engine/... ./internal/expt/... ./internal/telemetry/...
 
+## race-replicas: race-detector pass over replica-parallel learning
+## (concurrent learners sharing a fan-out telemetry sink)
+race-replicas:
+	$(GO) test -race -run Replica -count=1 ./internal/core/...
+
 ## bench: run the benchmark trajectory and record BENCH_core.json
 bench:
 	$(GO) run ./cmd/benchjson -o BENCH_core.json
+
+## benchsmoke: one-iteration pass over the replica ladder, keeping the
+## parallel learning path exercised in CI without benchmark noise
+benchsmoke:
+	$(GO) test -run '^$$' -bench BenchmarkLearningReplicas -benchtime 1x .
 
 ## guard: fail if the headline benchmark's allocs/op regress >10%
 ## vs the committed BENCH_core.json baseline

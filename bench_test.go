@@ -23,9 +23,11 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"testing"
 
+	"reassign/internal/benchsuite"
 	"reassign/internal/cloud"
 	"reassign/internal/core"
 	"reassign/internal/expt"
@@ -126,6 +128,16 @@ func BenchmarkLearning100Episodes(b *testing.B) {
 		if _, err := l.Learn(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLearningReplicas measures replica-parallel learning: K
+// concurrent 100-episode learners per op on the same workload as
+// BenchmarkLearning100Episodes. The ensemble's results are
+// bit-identical for any GOMAXPROCS; only the wall clock scales.
+func BenchmarkLearningReplicas(b *testing.B) {
+	for _, k := range []int{1, 4, 8} {
+		b.Run(strconv.Itoa(k), benchsuite.LearningReplicas(k))
 	}
 }
 

@@ -1,7 +1,13 @@
 // Command benchguard is the CI benchmark regression gate: it re-runs
-// the headline BenchmarkLearning100Episodes trajectory and compares it
-// against the committed baseline (BENCH_core.json), failing when
-// allocs/op regress by more than the threshold.
+// the governed benchmark suite (internal/benchsuite) and compares it
+// against the committed baseline (BENCH_core.json), failing when any
+// shared benchmark's allocs/op regress by more than the threshold.
+//
+// Only benchmarks present in BOTH the baseline and the current suite
+// are gated: a benchmark added to the suite before the baseline is
+// regenerated is reported and skipped (new code must not fail the
+// gate for existing), and a baseline entry for a since-removed
+// benchmark is noted and ignored.
 //
 // Allocation counts are deterministic, which makes them an honest
 // regression signal on shared CI runners; wall-clock time is reported
@@ -17,51 +23,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"testing"
 
-	"reassign/internal/cloud"
-	"reassign/internal/core"
-	"reassign/internal/sim"
-	"reassign/internal/trace"
+	"reassign/internal/benchsuite"
 )
-
-type entry struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Iterations  int     `json:"iterations"`
-}
-
-const benchName = "BenchmarkLearning100Episodes"
-
-// learning100 is the guarded benchmark: one full 100-episode ReASSIgN
-// learning run per op, matching BenchmarkLearning100Episodes at the
-// repository root (telemetry disabled — the zero-cost default).
-func learning100(b *testing.B) {
-	w := trace.Montage50(rand.New(rand.NewSource(1)))
-	fleet, err := cloud.FleetTable1(16)
-	if err != nil {
-		b.Fatal(err)
-	}
-	fluct := cloud.DefaultFluctuation()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		l, err := core.NewLearner(core.Config{
-			Workflow: w, Fleet: fleet,
-			Params: core.DefaultParams(), Episodes: 100,
-			Sim: sim.Config{Fluct: &fluct},
-		}, core.WithSeed(int64(i)))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := l.Learn(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -74,7 +40,7 @@ func run() error {
 	testing.Init()
 	baselinePath := flag.String("baseline", "BENCH_core.json", "baseline benchmark JSON")
 	threshold := flag.Float64("threshold", 0.10, "maximum tolerated allocs/op regression (fraction)")
-	benchtime := flag.String("benchtime", "1s", "minimum run time for the benchmark")
+	benchtime := flag.String("benchtime", "1s", "minimum run time per benchmark")
 	flag.Parse()
 
 	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
@@ -85,34 +51,67 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("baseline: %w", err)
 	}
-	var baseline map[string]entry
+	var baseline map[string]benchsuite.Entry
 	if err := json.Unmarshal(data, &baseline); err != nil {
 		return fmt.Errorf("baseline: %w", err)
 	}
-	base, ok := baseline[benchName]
-	if !ok {
-		return fmt.Errorf("baseline %s has no %s entry", *baselinePath, benchName)
-	}
-	if base.AllocsPerOp <= 0 {
-		return fmt.Errorf("baseline allocs/op is %d; refusing to gate against it", base.AllocsPerOp)
-	}
 
-	r := testing.Benchmark(learning100)
-	allocs := r.AllocsPerOp()
-	nsPerOp := float64(r.T.Nanoseconds()) / float64(r.N)
+	suite := benchsuite.Suite()
+	inSuite := make(map[string]bool, len(suite))
+	gated := 0
+	var failures []error
+	for _, bench := range suite {
+		inSuite[bench.Name] = true
+		base, ok := baseline[bench.Name]
+		if !ok {
+			fmt.Printf("%s: new benchmark, not in baseline — skipping (regenerate %s to gate it)\n",
+				bench.Name, *baselinePath)
+			continue
+		}
+		gated++
+		r := testing.Benchmark(bench.Fn)
+		fresh := benchsuite.Record(r)
 
-	allocRatio := float64(allocs)/float64(base.AllocsPerOp) - 1
-	timeRatio := nsPerOp/base.NsPerOp - 1
-	fmt.Printf("%s: %d allocs/op (baseline %d, %+.1f%%), %.2f ms/op (baseline %.2f, %+.1f%%), %d iterations\n",
-		benchName, allocs, base.AllocsPerOp, 100*allocRatio,
-		nsPerOp/1e6, base.NsPerOp/1e6, 100*timeRatio, r.N)
+		if base.AllocsPerOp <= 0 {
+			// A zero-alloc baseline has no meaningful ratio: any fresh
+			// allocation is a regression, none is a pass.
+			fmt.Printf("%s: %d allocs/op (baseline 0), %.2f ms/op, %d iterations\n",
+				bench.Name, fresh.AllocsPerOp, fresh.NsPerOp/1e6, fresh.Iterations)
+			if fresh.AllocsPerOp > 0 {
+				failures = append(failures, fmt.Errorf("%s: allocates (%d allocs/op) against a zero-alloc baseline",
+					bench.Name, fresh.AllocsPerOp))
+			}
+			continue
+		}
 
-	if allocRatio > *threshold {
-		return fmt.Errorf("allocs/op regressed %.1f%% (limit %.0f%%): %d vs baseline %d",
-			100*allocRatio, 100**threshold, allocs, base.AllocsPerOp)
+		allocRatio := float64(fresh.AllocsPerOp)/float64(base.AllocsPerOp) - 1
+		timeRatio := fresh.NsPerOp/base.NsPerOp - 1
+		fmt.Printf("%s: %d allocs/op (baseline %d, %+.1f%%), %.2f ms/op (baseline %.2f, %+.1f%%), %d iterations\n",
+			bench.Name, fresh.AllocsPerOp, base.AllocsPerOp, 100*allocRatio,
+			fresh.NsPerOp/1e6, base.NsPerOp/1e6, 100*timeRatio, fresh.Iterations)
+
+		if allocRatio > *threshold {
+			failures = append(failures, fmt.Errorf("%s: allocs/op regressed %.1f%% (limit %.0f%%): %d vs baseline %d",
+				bench.Name, 100*allocRatio, 100**threshold, fresh.AllocsPerOp, base.AllocsPerOp))
+		}
+		if timeRatio > 3**threshold {
+			fmt.Printf("warning: %s time/op drifted %+.1f%% — not failing (runner noise), but worth a look\n",
+				bench.Name, 100*timeRatio)
+		}
 	}
-	if timeRatio > 3**threshold {
-		fmt.Printf("warning: time/op drifted %+.1f%% — not failing (runner noise), but worth a look\n", 100*timeRatio)
+	for name := range baseline {
+		if !inSuite[name] {
+			fmt.Printf("%s: baseline entry has no suite benchmark — ignoring (stale baseline?)\n", name)
+		}
+	}
+	if gated == 0 {
+		return fmt.Errorf("no benchmark shared between the suite and %s; regenerate the baseline", *baselinePath)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", f)
+		}
+		return fmt.Errorf("%d of %d gated benchmarks regressed", len(failures), gated)
 	}
 	fmt.Println("benchguard: OK")
 	return nil

@@ -1,7 +1,8 @@
-// Command benchjson runs the benchmark trajectory — the Q-table
-// micro-benchmarks, the TD hot path, and the full 100-episode
-// learning run — and writes the results to a JSON file so successive
-// commits can be compared mechanically.
+// Command benchjson runs the governed benchmark suite
+// (internal/benchsuite) — Q-table micro-benchmarks, the TD hot path,
+// the full 100-episode learning run, and the replica-scaling ladder —
+// and writes the results to a JSON file so successive commits can be
+// compared mechanically.
 //
 // Usage:
 //
@@ -16,110 +17,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"testing"
 	"time"
 
-	"reassign/internal/cloud"
-	"reassign/internal/core"
-	"reassign/internal/rl"
-	"reassign/internal/sim"
-	"reassign/internal/trace"
+	"reassign/internal/benchsuite"
 )
-
-// entry is one benchmark's recorded trajectory point.
-type entry struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Iterations  int     `json:"iterations"`
-}
-
-func record(r testing.BenchmarkResult) entry {
-	return entry{
-		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
-		Iterations:  r.N,
-	}
-}
-
-// qtableBench mirrors the rl package's BenchmarkQTable{Map,Dense}:
-// a MaxRect + TDUpdate + Best round per op on a 50×16 action space.
-func qtableBench(mk func() *rl.Table, numTasks, numVMs int) func(*testing.B) {
-	return func(b *testing.B) {
-		vms := make([]int, numVMs)
-		for i := range vms {
-			vms[i] = i
-		}
-		tasks := make([]int, numTasks)
-		for i := range tasks {
-			tasks[i] = i
-		}
-		tab := mk()
-		rng := rand.New(rand.NewSource(42))
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			k := rl.Key{Task: rng.Intn(numTasks), VM: rng.Intn(numVMs)}
-			next := tab.MaxRect(tasks, vms)
-			tab.TDUpdate(k, 0.5, 1.0, 0.9, next)
-			tab.Best(k.Task, vms)
-		}
-	}
-}
-
-// tdHotPath runs one full learning episode per op, as in the core
-// package's BenchmarkTDHotPath.
-func tdHotPath(mk func(i int, numTasks, numVMs int) *rl.Table) func(*testing.B) {
-	return func(b *testing.B) {
-		w := trace.Montage50(rand.New(rand.NewSource(6)))
-		fleet, err := cloud.FleetTable1(16)
-		if err != nil {
-			b.Fatal(err)
-		}
-		fluct := cloud.DefaultFluctuation()
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			agent, err := core.NewScheduler(core.DefaultParams(), mk(i, w.Len(), len(fleet.VMs)), rand.New(rand.NewSource(int64(i))))
-			if err != nil {
-				b.Fatal(err)
-			}
-			if _, err := sim.Run(w, fleet, agent, sim.Config{Seed: int64(i), Fluct: &fluct}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-}
-
-// learning100 is the headline trajectory benchmark: one full
-// 100-episode ReASSIgN learning run (Montage 50, 16-vCPU fleet) per
-// op, matching BenchmarkLearning100Episodes at the repository root.
-func learning100(b *testing.B) {
-	w := trace.Montage50(rand.New(rand.NewSource(1)))
-	fleet, err := cloud.FleetTable1(16)
-	if err != nil {
-		b.Fatal(err)
-	}
-	fluct := cloud.DefaultFluctuation()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		l, err := core.NewLearner(core.Config{
-			Workflow: w, Fleet: fleet,
-			Params: core.DefaultParams(), Episodes: 100,
-			Sim: sim.Config{Fluct: &fluct},
-		}, core.WithSeed(int64(i)))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := l.Learn(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
 
 func main() {
 	// Register the testing flags (test.benchtime in particular) so
@@ -129,25 +32,6 @@ func main() {
 	benchtime := flag.Duration("benchtime", time.Second, "minimum run time per benchmark")
 	flag.Parse()
 
-	benches := []struct {
-		name string
-		fn   func(*testing.B)
-	}{
-		{"BenchmarkQTableMap", qtableBench(func() *rl.Table {
-			return rl.NewTable(rand.New(rand.NewSource(1)), 1.0)
-		}, 50, 16)},
-		{"BenchmarkQTableDense", qtableBench(func() *rl.Table {
-			return rl.NewDenseTable(50, 16, rand.New(rand.NewSource(1)), 1.0)
-		}, 50, 16)},
-		{"BenchmarkTDHotPath/map", tdHotPath(func(i, numTasks, numVMs int) *rl.Table {
-			return rl.NewTable(rand.New(rand.NewSource(int64(i))), 1.0)
-		})},
-		{"BenchmarkTDHotPath/dense", tdHotPath(func(i, numTasks, numVMs int) *rl.Table {
-			return rl.NewDenseTable(numTasks, numVMs, rand.New(rand.NewSource(int64(i))), 1.0)
-		})},
-		{"BenchmarkLearning100Episodes", learning100},
-	}
-
 	// testing.Benchmark honours -test.benchtime only via the flag
 	// package; set it explicitly so our -benchtime flag takes effect.
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -155,12 +39,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	results := make(map[string]entry, len(benches))
+	benches := benchsuite.Suite()
+	results := make(map[string]benchsuite.Entry, len(benches))
 	for _, bench := range benches {
-		r := testing.Benchmark(bench.fn)
-		results[bench.name] = record(r)
+		r := testing.Benchmark(bench.Fn)
+		e := benchsuite.Record(r)
+		results[bench.Name] = e
 		fmt.Printf("%-32s %12.0f ns/op %12d B/op %9d allocs/op\n",
-			bench.name, results[bench.name].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp())
+			bench.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
 	}
 
 	f, err := os.Create(*out)

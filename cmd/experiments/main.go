@@ -35,6 +35,7 @@ func run() error {
 	table := flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
 	episodes := flag.Int("episodes", 100, "learning episodes per configuration")
 	seed := flag.Int64("seed", 1, "random seed")
+	replicas := flag.Int("replicas", 1, "parallel learning replicas per configuration (best plan wins)")
 	ablations := flag.Bool("ablations", false, "run the ablation suite instead of Tables I-V")
 	baselines := flag.Bool("baselines", false, "run the wider baseline comparison")
 	studies := flag.Bool("studies", false, "run the beyond-paper studies (elasticity, spot revocations)")
@@ -46,6 +47,10 @@ func run() error {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1, got %d", *replicas)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -93,7 +98,7 @@ func run() error {
 		sinks = append(sinks, agg)
 	}
 
-	o := expt.Options{Seed: *seed, Episodes: *episodes, Sink: telemetry.Multi(sinks...)}
+	o := expt.Options{Seed: *seed, Episodes: *episodes, Replicas: *replicas, Sink: telemetry.Multi(sinks...)}
 	defer func() {
 		if jsonl != nil {
 			if err := jsonl.Err(); err != nil {
@@ -193,7 +198,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return emit("study_scaling", sc)
+		if err := emit("study_scaling", sc); err != nil {
+			return err
+		}
+		rs, err := expt.ReplicaScaling(o, nil)
+		if err != nil {
+			return err
+		}
+		return emit("study_replicas", rs)
 	}
 	if *baselines {
 		for _, vcpus := range []int{16, 32, 64} {

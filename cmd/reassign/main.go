@@ -51,6 +51,7 @@ func run() error {
 	vcpus := flag.Int("vcpus", 16, "Table I fleet: 16, 32 or 64 vCPUs")
 	seed := flag.Int64("seed", 1, "random seed")
 	episodes := flag.Int("episodes", 100, "ReASSIgN learning episodes")
+	replicas := flag.Int("replicas", 1, "run K parallel learning replicas with split seeds and keep the best plan")
 	alpha := flag.Float64("alpha", 0.5, "ReASSIgN learning rate α")
 	gamma := flag.Float64("gamma", 1.0, "ReASSIgN discount γ")
 	epsilon := flag.Float64("epsilon", 0.1, "ReASSIgN exploitation probability ε (paper convention)")
@@ -68,6 +69,10 @@ func run() error {
 	traceOut := flag.String("trace", "", "write a JSONL telemetry trace (episodes, decisions, kernel counters, spans) to this file")
 	metricsOut := flag.String("metrics", "", "write aggregated metrics in Prometheus text format to this file on exit")
 	flag.Parse()
+
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1, got %d", *replicas)
+	}
 
 	// Telemetry: a JSONL trace and/or an in-memory aggregator, fanned
 	// out behind one sink. Both nil leaves instrumentation disabled.
@@ -131,15 +136,30 @@ func run() error {
 			}
 			opts = append(opts, core.WithTable(tab))
 		}
+		if *replicas > 1 {
+			opts = append(opts, core.WithReplicas(*replicas))
+		}
 		l, err := core.NewLearner(core.Config{
 			Workflow: w, Fleet: fleet, Params: p, Episodes: *episodes, Sim: cfg,
 		}, opts...)
 		if err != nil {
 			return err
 		}
-		res, err := l.Learn()
-		if err != nil {
-			return err
+		var res *core.Result
+		var ensemble *core.ReplicaResult
+		if *replicas > 1 {
+			ensemble, err = l.LearnReplicas()
+			if err != nil {
+				return err
+			}
+			res = ensemble.BestResult()
+			fmt.Printf("replicas: %d learners in %v wall clock; best is replica %d (seed %d)\n",
+				*replicas, ensemble.LearningTime, ensemble.Best, ensemble.Seeds[ensemble.Best])
+		} else {
+			res, err = l.Learn()
+			if err != nil {
+				return err
+			}
 		}
 		plan, makespan = res.Plan, res.PlanMakespan
 		fmt.Printf("learning: %d episodes in %v (best episode makespan %.2fs)\n",
@@ -165,10 +185,16 @@ func run() error {
 			fmt.Printf("curve:    written to %s\n", *curveOut)
 		}
 		if *qOut != "" {
-			if err := res.Table.SaveFile(*qOut); err != nil {
+			tab := res.Table
+			if ensemble != nil {
+				// Persist the replica consensus rather than one replica's
+				// table: averaged values seed the next execution better.
+				tab = ensemble.EnsembleTable(*seed)
+			}
+			if err := tab.SaveFile(*qOut); err != nil {
 				return err
 			}
-			fmt.Printf("q-table:  saved to %s (%d entries)\n", *qOut, res.Table.Len())
+			fmt.Printf("q-table:  saved to %s (%d entries)\n", *qOut, tab.Len())
 		}
 	} else {
 		s, err := lookupScheduler(*schedName, *seed)

@@ -1,0 +1,186 @@
+// Package benchsuite defines the repository's governed benchmark
+// suite — the set of benchmarks recorded in BENCH_core.json and gated
+// in CI — in one place, so the writer (cmd/benchjson), the gate
+// (cmd/benchguard) and the `go test -bench` entry points (bench_test.go)
+// cannot drift apart.
+package benchsuite
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/rl"
+	"reassign/internal/sim"
+	"reassign/internal/trace"
+)
+
+// Entry is one benchmark's recorded trajectory point, the JSON value
+// of BENCH_core.json.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Record converts a testing.BenchmarkResult into an Entry.
+func Record(r testing.BenchmarkResult) Entry {
+	return Entry{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// Bench is one governed benchmark: the BENCH_core.json key and the
+// function behind it.
+type Bench struct {
+	Name string
+	Fn   func(*testing.B)
+}
+
+// Suite returns the governed benchmarks in a stable order: the
+// Q-table micro-benchmarks, the TD hot path, the headline 100-episode
+// learning run, and the replica-scaling ladder.
+func Suite() []Bench {
+	return []Bench{
+		{"BenchmarkQTableMap", QTable(func() *rl.Table {
+			return rl.NewTable(rand.New(rand.NewSource(1)), 1.0)
+		}, 50, 16)},
+		{"BenchmarkQTableDense", QTable(func() *rl.Table {
+			return rl.NewDenseTable(50, 16, rand.New(rand.NewSource(1)), 1.0)
+		}, 50, 16)},
+		{"BenchmarkTDHotPath/map", TDHotPath(func(i, numTasks, numVMs int) *rl.Table {
+			return rl.NewTable(rand.New(rand.NewSource(int64(i))), 1.0)
+		})},
+		{"BenchmarkTDHotPath/dense", TDHotPath(func(i, numTasks, numVMs int) *rl.Table {
+			return rl.NewDenseTable(numTasks, numVMs, rand.New(rand.NewSource(int64(i))), 1.0)
+		})},
+		{"BenchmarkLearning100Episodes", Learning100},
+		{"BenchmarkLearningReplicas/1", LearningReplicas(1)},
+		{"BenchmarkLearningReplicas/4", LearningReplicas(4)},
+		{"BenchmarkLearningReplicas/8", LearningReplicas(8)},
+	}
+}
+
+// QTable benchmarks a MaxRect + TDUpdate + Best round per op on a
+// numTasks×numVMs action space.
+func QTable(mk func() *rl.Table, numTasks, numVMs int) func(*testing.B) {
+	return func(b *testing.B) {
+		vms := make([]int, numVMs)
+		for i := range vms {
+			vms[i] = i
+		}
+		tasks := make([]int, numTasks)
+		for i := range tasks {
+			tasks[i] = i
+		}
+		tab := mk()
+		rng := rand.New(rand.NewSource(42))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := rl.Key{Task: rng.Intn(numTasks), VM: rng.Intn(numVMs)}
+			next := tab.MaxRect(tasks, vms)
+			tab.TDUpdate(k, 0.5, 1.0, 0.9, next)
+			tab.Best(k.Task, vms)
+		}
+	}
+}
+
+// TDHotPath runs one full learning episode per op.
+func TDHotPath(mk func(i int, numTasks, numVMs int) *rl.Table) func(*testing.B) {
+	return func(b *testing.B) {
+		w := trace.Montage50(rand.New(rand.NewSource(6)))
+		fleet, err := cloud.FleetTable1(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fluct := cloud.DefaultFluctuation()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			agent, err := core.NewScheduler(core.DefaultParams(), mk(i, w.Len(), len(fleet.VMs)), rand.New(rand.NewSource(int64(i))))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sim.Run(w, fleet, agent, sim.Config{Seed: int64(i), Fluct: &fluct}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Learning100 is the headline trajectory benchmark: one full
+// 100-episode ReASSIgN learning run (Montage 50, 16-vCPU fleet) per
+// op, telemetry disabled (the zero-cost default).
+func Learning100(b *testing.B) {
+	w := trace.Montage50(rand.New(rand.NewSource(1)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fluct := cloud.DefaultFluctuation()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := core.NewLearner(core.Config{
+			Workflow: w, Fleet: fleet,
+			Params: core.DefaultParams(), Episodes: 100,
+			Sim: sim.Config{Fluct: &fluct},
+		}, core.WithSeed(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := l.Learn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// LearningReplicas benchmarks the replica ensemble: k concurrent
+// 100-episode learners per op on the Learning100 workload. On a
+// k-core machine the wall clock should stay near the single-replica
+// time (k× the learning throughput); on fewer cores it degrades
+// toward k× the single time, with the outcome bit-identical either
+// way.
+func LearningReplicas(k int) func(*testing.B) {
+	return func(b *testing.B) {
+		w := trace.Montage50(rand.New(rand.NewSource(1)))
+		fleet, err := cloud.FleetTable1(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fluct := cloud.DefaultFluctuation()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l, err := core.NewLearner(core.Config{
+				Workflow: w, Fleet: fleet,
+				Params: core.DefaultParams(), Episodes: 100,
+				Sim: sim.Config{Fluct: &fluct},
+			}, core.WithSeed(int64(i)), core.WithReplicas(k))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := l.LearnReplicas(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// ByName returns the suite benchmark with the given BENCH_core.json
+// key.
+func ByName(name string) (Bench, error) {
+	for _, bench := range Suite() {
+		if bench.Name == name {
+			return bench, nil
+		}
+	}
+	return Bench{}, fmt.Errorf("benchsuite: unknown benchmark %q", name)
+}

@@ -50,6 +50,9 @@ type Learner struct {
 	// sink receives telemetry events when set (WithSink); nil keeps
 	// the hot path allocation-free.
 	sink telemetry.Sink
+	// replicas > 1 makes Learn run that many concurrent learners and
+	// keep the best plan (WithReplicas / LearnReplicas).
+	replicas int
 }
 
 // EpisodeStats records one learning episode.
@@ -80,8 +83,17 @@ type Result struct {
 	BestEpisodeMakespan float64
 }
 
-// Learn runs the episode loop and extracts the final plan.
+// Learn runs the episode loop and extracts the final plan. With
+// WithReplicas(k>1) it instead runs k concurrent learners and returns
+// the best replica's result (LearnReplicas exposes the full ensemble).
 func (l *Learner) Learn() (*Result, error) {
+	if l.replicas > 1 {
+		rr, err := l.LearnReplicas()
+		if err != nil {
+			return nil, err
+		}
+		return rr.BestResult(), nil
+	}
 	if l.Workflow == nil || l.Fleet == nil {
 		return nil, fmt.Errorf("core: learner needs a workflow and a fleet")
 	}
@@ -106,12 +118,18 @@ func (l *Learner) Learn() (*Result, error) {
 		table = rl.NewDenseTable(l.Workflow.Len(), len(l.Fleet.VMs), rand.New(rand.NewSource(rng.Int63())), 1.0)
 	}
 
-	res := &Result{Table: table, BestEpisodeMakespan: math.Inf(1)}
+	res := &Result{
+		Table:               table,
+		Episodes:            make([]EpisodeStats, 0, episodes),
+		BestEpisodeMakespan: math.Inf(1),
+	}
 	start := time.Now()
 	// One agent serves every episode: Prepare resets per-episode state
 	// and reset re-seeds exploration, so the scratch buffers sized on
-	// episode 0 are reused for the rest of the loop.
+	// episode 0 are reused for the rest of the loop. Likewise one sim
+	// engine serves every episode, Reset between runs.
 	var agent *Scheduler
+	var eng *sim.Engine
 	for ep := 0; ep < episodes; ep++ {
 		params := l.Params
 		if l.AlphaSchedule != nil {
@@ -147,7 +165,15 @@ func (l *Learner) Learn() (*Result, error) {
 		if cfg.Sink == nil {
 			cfg.Sink = l.sink
 		}
-		simRes, err := sim.Run(l.Workflow, l.Fleet, agent, cfg)
+		var simRes *sim.Result
+		if eng == nil {
+			eng, err = sim.NewEngine(l.Workflow, l.Fleet, agent, cfg)
+		} else {
+			err = eng.Reset(cfg)
+		}
+		if err == nil {
+			simRes, err = eng.Run()
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: episode %d: %w", ep, err)
 		}

@@ -67,6 +67,21 @@ func WithTable(t *rl.Table) Option {
 	}
 }
 
+// WithReplicas runs k independent learners concurrently in Learn,
+// each seeded from a deterministic split of the Learner's seed, and
+// keeps the best resulting plan (see LearnReplicas). k = 1 is the
+// plain sequential loop. Results are bit-identical for any
+// GOMAXPROCS setting.
+func WithReplicas(k int) Option {
+	return func(l *Learner) error {
+		if k < 1 {
+			return fmt.Errorf("core: WithReplicas(%d): need at least one replica", k)
+		}
+		l.replicas = k
+		return nil
+	}
+}
+
 // WithAlphaSchedule overrides the fixed learning rate with a
 // per-episode schedule.
 func WithAlphaSchedule(s rl.Schedule) Option {

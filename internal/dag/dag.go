@@ -8,6 +8,7 @@ package dag
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // File is a data artifact consumed or produced by an activation.
@@ -70,8 +71,11 @@ type Workflow struct {
 
 	// validated caches a successful Validate; any structural mutation
 	// (Add, AddDep) clears it, so repeated runs over an unchanged
-	// workflow skip the O(V+E) re-check.
-	validated bool
+	// workflow skip the O(V+E) re-check. It is atomic because replica
+	// learners validate a shared workflow concurrently (the check
+	// itself is read-only and idempotent, so two racing validations
+	// are harmless).
+	validated atomic.Bool
 }
 
 // New returns an empty workflow with the given name.
@@ -107,7 +111,7 @@ func (w *Workflow) Add(id, activity string, runtime float64) (*Activation, error
 	a := &Activation{ID: id, Index: len(w.acts), Activity: activity, Runtime: runtime}
 	w.acts = append(w.acts, a)
 	w.byID[id] = a
-	w.validated = false
+	w.validated.Store(false)
 	return a, nil
 }
 
@@ -142,7 +146,7 @@ func (w *Workflow) AddDep(parentID, childID string) error {
 	}
 	p.children = append(p.children, c)
 	c.parents = append(c.parents, p)
-	w.validated = false
+	w.validated.Store(false)
 	return nil
 }
 
@@ -211,7 +215,7 @@ func (w *Workflow) TotalRuntime() float64 {
 // Validate checks structural invariants: at least one activation,
 // consistent parent/child symmetry, and acyclicity.
 func (w *Workflow) Validate() error {
-	if w.validated {
+	if w.validated.Load() {
 		return nil
 	}
 	if len(w.acts) == 0 {
@@ -232,7 +236,7 @@ func (w *Workflow) Validate() error {
 	if _, err := w.TopoOrder(); err != nil {
 		return err
 	}
-	w.validated = true
+	w.validated.Store(true)
 	return nil
 }
 

@@ -289,9 +289,14 @@ func (s *Simulator) RunUntil(t float64) {
 
 // Reset empties the queue and rewinds the clock to zero, clearing the
 // kernel counters. Event references from before the reset become
-// stale no-ops.
+// stale no-ops. Pending events are recycled into the free list and the
+// queue's backing array is kept, so a reset simulator re-runs without
+// re-allocating its event pool (the sim.Engine.Reset episode loop).
 func (s *Simulator) Reset() {
-	s.queue = nil
+	for _, ev := range s.queue {
+		s.recycle(ev)
+	}
+	s.queue = s.queue[:0]
 	s.now = 0
 	s.seq = 0
 	s.steps = 0

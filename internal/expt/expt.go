@@ -62,6 +62,11 @@ type Options struct {
 	// the harness performs (episodes, decisions, kernel counters). It
 	// must be safe for concurrent use: RunSweep learns in parallel.
 	Sink telemetry.Sink
+	// Replicas > 1 runs every learning pipeline as that many parallel
+	// replicas with deterministically split seeds, keeping the best
+	// plan (core.WithReplicas). LearningTime then reports the
+	// ensemble's wall clock.
+	Replicas int
 }
 
 func (o Options) withDefaults() Options {
@@ -96,18 +101,34 @@ func (o Options) withDefaults() Options {
 }
 
 // learn runs one ReASSIgN learning pipeline and returns its result.
+// With o.Replicas > 1 it runs the replica ensemble and returns the
+// best replica's result, with LearningTime replaced by the ensemble's
+// wall clock (the honest Table II quantity for the parallel pipeline).
 func learn(o Options, fleet *cloud.Fleet, alpha, gamma, epsilon float64) (*core.Result, error) {
 	p := core.DefaultParams()
 	p.Alpha, p.Gamma, p.Epsilon = alpha, gamma, epsilon
+	opts := []core.Option{core.WithSeed(o.Seed), core.WithSink(o.Sink)}
+	if o.Replicas > 1 {
+		opts = append(opts, core.WithReplicas(o.Replicas))
+	}
 	l, err := core.NewLearner(core.Config{
 		Workflow: o.Workflow,
 		Fleet:    fleet,
 		Params:   p,
 		Episodes: o.Episodes,
 		Sim:      sim.Config{Fluct: o.TrainFluct},
-	}, core.WithSeed(o.Seed), core.WithSink(o.Sink))
+	}, opts...)
 	if err != nil {
 		return nil, err
+	}
+	if o.Replicas > 1 {
+		rr, err := l.LearnReplicas()
+		if err != nil {
+			return nil, err
+		}
+		res := rr.BestResult()
+		res.LearningTime = rr.LearningTime
+		return res, nil
 	}
 	return l.Learn()
 }

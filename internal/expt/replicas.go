@@ -1,0 +1,61 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"reassign/internal/cloud"
+	"reassign/internal/metrics"
+)
+
+// DefaultReplicaCounts is the replica ladder ReplicaScaling walks.
+var DefaultReplicaCounts = []int{1, 2, 4, 8}
+
+// ReplicaScaling is the replica-aware variant of Tables II and III:
+// for each replica count it learns the C1 scenario (α=1.0, γ=1.0,
+// ε=0.1) on every Table I fleet as a parallel ensemble and reports
+// the ensemble's wall-clock learning time next to the best replica's
+// plan makespan. Learning time should drop toward 1/K on a K-core
+// machine while the makespan column improves (or holds): more
+// replicas explore more of the plan space for the same wall clock.
+//
+// A nil counts uses DefaultReplicaCounts. o.Replicas is ignored —
+// the ladder supplies the counts.
+func ReplicaScaling(o Options, counts []int) (*metrics.Table, error) {
+	o = o.withDefaults()
+	if len(counts) == 0 {
+		counts = DefaultReplicaCounts
+	}
+	headers := []string{"replicas"}
+	for _, v := range o.VCPUs {
+		headers = append(headers, fmt.Sprintf("%d vCPUs learn (ms)", v), fmt.Sprintf("%d vCPUs plan (s)", v))
+	}
+	t := metrics.NewTable("Replica scaling: C1 ensemble learning time and best-plan makespan", headers...)
+	for _, k := range counts {
+		if k < 1 {
+			return nil, fmt.Errorf("expt: replica count %d: need at least one replica", k)
+		}
+		row := []any{k}
+		for _, vcpus := range o.VCPUs {
+			fleet, err := cloud.FleetTable1(vcpus)
+			if err != nil {
+				return nil, err
+			}
+			ro := o
+			ro.Replicas = k
+			lr, err := learn(ro, fleet, 1.0, 1.0, 0.1)
+			if err != nil {
+				return nil, fmt.Errorf("expt: %d replicas on %d vCPUs: %w", k, vcpus, err)
+			}
+			mk, err := EvalPlan(o, fleet, lr.Plan)
+			if err != nil {
+				return nil, fmt.Errorf("expt: %d replicas on %d vCPUs: %w", k, vcpus, err)
+			}
+			row = append(row,
+				fmt.Sprintf("%.1f", float64(lr.LearningTime)/float64(time.Millisecond)),
+				fmt.Sprintf("%.1f", mk))
+		}
+		t.AddRowF(row...)
+	}
+	return t, nil
+}

@@ -2,6 +2,7 @@ package expt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -152,8 +153,10 @@ func RunSweep(o Options) (*SweepResult, error) {
 		}()
 	}
 	wg.Wait()
-	if len(errs) > 0 {
-		return nil, errs[0]
+	// Join every cell's error: a sweep that fails in several cells
+	// reports all of them, not just whichever worker lost the race.
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,0 +1,83 @@
+package rl
+
+import "math/rand"
+
+// Copy returns an independent deep copy of the table with rng as its
+// random source for entries that materialise after the copy. The copy
+// shares no state with the original, so replicas can learn on copies
+// of one continuation table concurrently. A nil rng falls back to the
+// same default as the constructors.
+func (t *Table) Copy(rng *rand.Rand) *Table {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	c := &Table{
+		seenN:    t.seenN,
+		numTasks: t.numTasks,
+		numVMs:   t.numVMs,
+		rng:      rng,
+		initSpan: t.initSpan,
+	}
+	if t.dense != nil {
+		c.dense = append([]float64(nil), t.dense...)
+		c.seen = append([]bool(nil), t.seen...)
+		if len(t.overflow) > 0 {
+			c.overflow = make(map[Key]float64, len(t.overflow))
+			for k, v := range t.overflow {
+				c.overflow[k] = v
+			}
+		}
+		return c
+	}
+	c.values = make(map[Key]float64, len(t.values))
+	for k, v := range t.values {
+		c.values[k] = v
+	}
+	return c
+}
+
+// Average returns a new table holding the entry-wise mean of the
+// given tables: each key materialised by at least one table averages
+// over the tables that materialised it (unmaterialised entries do not
+// drag the mean toward zero). This is the replica-ensemble merge for
+// cross-execution continuation — K replicas explore independently and
+// their consensus values seed the next execution's learning.
+//
+// The result is dense when every input is dense with equal dimensions
+// (inheriting tables[0]'s rectangle and initSpan), sparse otherwise.
+// rng becomes the result's source for future materialisation. Average
+// panics on an empty table list.
+func Average(rng *rand.Rand, tables ...*Table) *Table {
+	if len(tables) == 0 {
+		panic("rl: Average of no tables")
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	first := tables[0]
+	allDense := first.dense != nil
+	for _, t := range tables[1:] {
+		if t.dense == nil || t.numTasks != first.numTasks || t.numVMs != first.numVMs {
+			allDense = false
+			break
+		}
+	}
+	var out *Table
+	if allDense {
+		out = NewDenseTable(first.numTasks, first.numVMs, rng, first.initSpan)
+	} else {
+		out = NewTable(rng, first.initSpan)
+	}
+	sum := make(map[Key]float64)
+	count := make(map[Key]int)
+	for _, t := range tables {
+		for _, e := range t.Snapshot() {
+			sum[e.Key] += e.Value
+			count[e.Key]++
+		}
+	}
+	for k, s := range sum {
+		out.Set(k, s/float64(count[k]))
+	}
+	return out
+}

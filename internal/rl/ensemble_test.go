@@ -1,0 +1,104 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCopyIsIndependent(t *testing.T) {
+	for _, dense := range []bool{true, false} {
+		name := "sparse"
+		mk := func() *Table { return NewTable(rand.New(rand.NewSource(1)), 1.0) }
+		if dense {
+			name = "dense"
+			mk = func() *Table { return NewDenseTable(10, 4, rand.New(rand.NewSource(1)), 1.0) }
+		}
+		t.Run(name, func(t *testing.T) {
+			orig := mk()
+			orig.Set(Key{Task: 1, VM: 2}, 3.5)
+			orig.Set(Key{Task: 20, VM: 9}, -1.0) // overflow in dense mode
+			cp := orig.Copy(rand.New(rand.NewSource(2)))
+			if cp.Len() != orig.Len() {
+				t.Fatalf("copy has %d entries, original %d", cp.Len(), orig.Len())
+			}
+			if got := cp.Value(Key{Task: 1, VM: 2}); got != 3.5 {
+				t.Fatalf("copied value = %v, want 3.5", got)
+			}
+			// Writes to the copy must not touch the original and vice
+			// versa — including lazily materialised entries.
+			cp.Set(Key{Task: 1, VM: 2}, 99)
+			if got := orig.Value(Key{Task: 1, VM: 2}); got != 3.5 {
+				t.Fatalf("original mutated through copy: %v", got)
+			}
+			orig.Set(Key{Task: 2, VM: 0}, 7)
+			if _, ok := cp.Peek(Key{Task: 2, VM: 0}); ok {
+				t.Fatal("copy sees entry materialised on the original")
+			}
+			if dense {
+				nt, nv := cp.Dims()
+				if nt != 10 || nv != 4 {
+					t.Fatalf("copy dims = %dx%d, want 10x4", nt, nv)
+				}
+				if !cp.Dense() {
+					t.Fatal("copy of a dense table should be dense")
+				}
+			}
+		})
+	}
+}
+
+func TestAverageArithmetic(t *testing.T) {
+	a := NewDenseTable(4, 3, rand.New(rand.NewSource(1)), 0)
+	b := NewDenseTable(4, 3, rand.New(rand.NewSource(2)), 0)
+	k1 := Key{Task: 0, VM: 0}
+	k2 := Key{Task: 1, VM: 2}
+	k3 := Key{Task: 3, VM: 1}
+	a.Set(k1, 2)
+	b.Set(k1, 4)
+	a.Set(k2, 10) // only a materialised k2
+	b.Set(k3, -6) // only b materialised k3
+
+	avg := Average(rand.New(rand.NewSource(3)), a, b)
+	if !avg.Dense() {
+		t.Fatal("average of equal-dims dense tables should be dense")
+	}
+	if got, _ := avg.Peek(k1); got != 3 {
+		t.Fatalf("avg[k1] = %v, want 3 (mean of 2 and 4)", got)
+	}
+	// Entries materialised by only one table average over that table
+	// alone, not dragged toward zero by the other.
+	if got, _ := avg.Peek(k2); got != 10 {
+		t.Fatalf("avg[k2] = %v, want 10", got)
+	}
+	if got, _ := avg.Peek(k3); got != -6 {
+		t.Fatalf("avg[k3] = %v, want -6", got)
+	}
+	if avg.Len() != 3 {
+		t.Fatalf("avg has %d entries, want 3", avg.Len())
+	}
+}
+
+func TestAverageMixedBackingsFallsBackToSparse(t *testing.T) {
+	a := NewDenseTable(4, 3, rand.New(rand.NewSource(1)), 0)
+	b := NewTable(rand.New(rand.NewSource(2)), 0)
+	k := Key{Task: 2, VM: 1}
+	a.Set(k, 1)
+	b.Set(k, 5)
+	avg := Average(nil, a, b)
+	if avg.Dense() {
+		t.Fatal("average over mixed backings should be sparse")
+	}
+	if got, _ := avg.Peek(k); math.Abs(got-3) > 1e-15 {
+		t.Fatalf("avg = %v, want 3", got)
+	}
+}
+
+func TestAveragePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Average() of no tables should panic")
+		}
+	}()
+	Average(nil)
+}

@@ -108,6 +108,16 @@ type Env struct {
 	vms      []*VMState
 	rng      *rand.Rand
 
+	// acts caches workflow.Activations() for the memoised estimate
+	// path: acts[i].Index == i for a validated workflow.
+	acts []*dag.Activation
+	// baseDur memoises EstimateExec over the activation × fleet-VM
+	// rectangle (built lazily on first estimate, kept across
+	// Engine.Reset). baseDurDT records the DataTransfer flag the matrix
+	// was built under, so a config flip rebuilds it.
+	baseDur   []float64
+	baseDurDT bool
+
 	// Global aggregates across all finished activations (Eq. 5).
 	global VMStats
 }
@@ -116,12 +126,46 @@ type Env struct {
 // of an activation on a VM: runtime scaled by core speed, plus full
 // input staging if data transfer is enabled. It deliberately ignores
 // fluctuation — that is the unmodelled part of the environment.
+//
+// Estimates over the workflow's activations and the initial fleet are
+// served from a matrix memoised once per (workflow, fleet); only
+// autoscaled VMs beyond the fleet (or foreign activations) fall back
+// to recomputing.
 func (e *Env) EstimateExec(a *dag.Activation, vm *cloud.VM) float64 {
+	nv := len(e.fleet.VMs)
+	if id := vm.ID; id >= 0 && id < nv && e.fleet.VMs[id] == vm &&
+		a.Index >= 0 && a.Index < len(e.acts) && e.acts[a.Index] == a {
+		if e.baseDur == nil || e.baseDurDT != e.cfg.DataTransfer {
+			e.buildBaseDur()
+		}
+		return e.baseDur[a.Index*nv+id]
+	}
+	return e.estimateExec(a, vm)
+}
+
+// estimateExec is the uncached estimate.
+func (e *Env) estimateExec(a *dag.Activation, vm *cloud.VM) float64 {
 	d := a.Runtime / vm.Type.Speed
 	if e.cfg.DataTransfer && vm.Type.NetMBps > 0 {
 		d += float64(a.InputBytes()) / (vm.Type.NetMBps * 1e6)
 	}
 	return d
+}
+
+// buildBaseDur (re)fills the activation × VM estimate matrix under the
+// current DataTransfer setting.
+func (e *Env) buildBaseDur() {
+	nv := len(e.fleet.VMs)
+	if e.baseDur == nil {
+		e.baseDur = make([]float64, len(e.acts)*nv)
+	}
+	for _, a := range e.acts {
+		row := e.baseDur[a.Index*nv : (a.Index+1)*nv]
+		for j, vm := range e.fleet.VMs {
+			row[j] = e.estimateExec(a, vm)
+		}
+	}
+	e.baseDurDT = e.cfg.DataTransfer
 }
 
 // DataTransferEnabled reports whether input staging costs time in
@@ -197,9 +241,10 @@ func Run(w *dag.Workflow, fleet *cloud.Fleet, sched Scheduler, cfg Config) (*Res
 	return eng.Run()
 }
 
-// NewEngine validates the inputs and returns a single-use simulation
-// engine. Construction is separated from Run so callers can fail fast
-// on bad configuration before committing to a run.
+// NewEngine validates the inputs and returns a simulation engine.
+// Construction is separated from Run so callers can fail fast on bad
+// configuration before committing to a run. An Engine runs once;
+// Reset re-arms it for further runs without re-allocating its state.
 func NewEngine(w *dag.Workflow, fleet *cloud.Fleet, sched Scheduler, cfg Config) (*Engine, error) {
 	if w == nil {
 		return nil, fmt.Errorf("sim: nil workflow")
@@ -213,21 +258,8 @@ func NewEngine(w *dag.Workflow, fleet *cloud.Fleet, sched Scheduler, cfg Config)
 	if fleet == nil || fleet.Len() == 0 {
 		return nil, fmt.Errorf("sim: empty fleet")
 	}
-	if cfg.MaxRetries < 0 {
-		return nil, fmt.Errorf("sim: negative MaxRetries")
-	}
-	if cfg.ProvisionDelay < 0 || cfg.ProvisionJitter < 0 {
-		return nil, fmt.Errorf("sim: negative provisioning delay")
-	}
-	if cfg.Autoscale != nil {
-		if err := cfg.Autoscale.validate(); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.Spot != nil {
-		if err := cfg.Spot.validate(); err != nil {
-			return nil, err
-		}
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
 	}
 	return &Engine{
 		w:     w,
@@ -238,8 +270,33 @@ func NewEngine(w *dag.Workflow, fleet *cloud.Fleet, sched Scheduler, cfg Config)
 	}, nil
 }
 
-// Engine drives one simulation run on the DES kernel. Construct it
-// with NewEngine; an Engine is single-use — Run consumes it.
+// validateConfig checks the per-run configuration (the part Reset can
+// replace).
+func validateConfig(cfg Config) error {
+	if cfg.MaxRetries < 0 {
+		return fmt.Errorf("sim: negative MaxRetries")
+	}
+	if cfg.ProvisionDelay < 0 || cfg.ProvisionJitter < 0 {
+		return fmt.Errorf("sim: negative provisioning delay")
+	}
+	if cfg.Autoscale != nil {
+		if err := cfg.Autoscale.validate(); err != nil {
+			return err
+		}
+	}
+	if cfg.Spot != nil {
+		if err := cfg.Spot.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Engine drives simulation runs on the DES kernel. Construct it with
+// NewEngine. A fresh Engine runs once — a second Run returns an error
+// — but Reset re-arms it for another run while reusing every internal
+// buffer, which is what makes the learning episode loop (100 runs of
+// the same workflow on the same fleet) allocation-light.
 type Engine struct {
 	w     *dag.Workflow
 	fleet *cloud.Fleet
@@ -247,11 +304,34 @@ type Engine struct {
 	cfg   Config
 	sim   *des.Simulator
 
+	// rng drives all per-run randomness; it is re-seeded (not
+	// re-allocated) on each run, which produces the identical stream.
+	rng *rand.Rand
+
 	env    *Env
 	tasks  []*Task // by activation index
 	ready  []*Task
 	vms    []*VMState
 	result *Result
+
+	// Backing arrays behind vms/tasks: allocated on the first run,
+	// re-initialised in place by later runs. Their element addresses
+	// are stable across Reset, so the pre-bound event closures below
+	// stay valid.
+	vmBacking   []VMState
+	taskBacking []Task
+	// releaseFns[i] moves task i into the ready queue; completeFns[i]
+	// completes task i on the VM recorded in running. Binding them once
+	// per engine removes the two per-task closure allocations that used
+	// to dominate an episode's event scheduling.
+	releaseFns  []func()
+	completeFns []func()
+
+	// Reused result backing. A Result returned by Run borrows these;
+	// Reset reclaims them, invalidating that Result's Records and PerVM
+	// (single-use engines — no Reset — hand them over for good).
+	recBuf   []Record
+	perVMBuf map[int]VMStats
 
 	// Reused per-decision scratch: the Context handed to Pick and its
 	// backing slices, plus the pre-bound sorter and cycle closure.
@@ -276,53 +356,142 @@ type Engine struct {
 	fileHome map[string]*VMState
 }
 
-// Run executes the simulation to completion. An Engine is single-use;
-// a second Run returns an error.
-func (g *Engine) Run() (*Result, error) {
+// Reset re-arms a finished (or errored) engine for another run under
+// cfg, reusing every internal buffer: VM and task state, the DES
+// event pool, scratch slices and the result backing. Workflow, fleet
+// and scheduler are fixed at construction; only the configuration may
+// change. A reset run with the same cfg is bit-identical to a fresh
+// engine's run (only the DES freelist counters differ).
+//
+// Reset invalidates the Result returned by the previous Run: its
+// Records slice and PerVM map are reclaimed as backing for the next
+// run. Callers that need them afterwards must copy first.
+func (g *Engine) Reset(cfg Config) error {
+	if err := validateConfig(cfg); err != nil {
+		return err
+	}
 	if g.result != nil {
-		return nil, fmt.Errorf("sim: engine already ran")
+		// Keep any capacity the previous run's retries grew.
+		g.recBuf = g.result.Records[:0]
+		g.result = nil
 	}
-	if g.cfg.Horizon > 0 {
-		g.sim.SetHorizon(g.cfg.Horizon)
+	g.cfg = cfg
+	g.sim.Reset()
+	return nil
+}
+
+// setup (re)initialises all per-run state. The first call allocates
+// the backing arrays; later calls (after Reset) reuse them. The order
+// of rng draws — spot revocations, then provisioning jitter — matches
+// the original single-use construction, keeping reset runs
+// bit-identical to fresh ones.
+func (g *Engine) setup() {
+	g.sim.SetHorizon(g.cfg.Horizon)
+	if g.rng == nil {
+		g.rng = rand.New(rand.NewSource(g.cfg.Seed))
+	} else {
+		// Re-seeding yields the same stream as a fresh source.
+		g.rng.Seed(g.cfg.Seed)
 	}
-	rng := rand.New(rand.NewSource(g.cfg.Seed))
-	// Backing arrays: one allocation for all VM states / tasks instead
-	// of one each — this constructor runs once per learning episode.
-	vmBacking := make([]VMState, g.fleet.Len())
-	g.vms = make([]*VMState, 0, g.fleet.Len())
+	if g.vmBacking == nil {
+		g.vmBacking = make([]VMState, g.fleet.Len())
+		g.vms = make([]*VMState, 0, g.fleet.Len())
+	}
+	g.vms = g.vms[:0] // drops autoscaled VMs from a previous run
 	for i, vm := range g.fleet.VMs {
-		vmBacking[i] = VMState{VM: vm, Slots: vm.Type.VCPUs, booted: true}
-		g.vms = append(g.vms, &vmBacking[i])
+		st := &g.vmBacking[i]
+		fileAt := st.fileAt // keep the allocation, drop the contents
+		if len(fileAt) > 0 {
+			clear(fileAt)
+		}
+		*st = VMState{VM: vm, Slots: vm.Type.VCPUs, booted: true, fileAt: fileAt}
+		g.vms = append(g.vms, st)
 	}
-	g.env = &Env{cfg: g.cfg, fleet: g.fleet, workflow: g.w, vms: g.vms, rng: rng}
+	if g.env == nil {
+		g.env = &Env{fleet: g.fleet, workflow: g.w, acts: g.w.Activations()}
+	}
+	g.env.cfg = g.cfg
+	g.env.vms = g.vms
+	g.env.rng = g.rng
+	g.env.global = VMStats{}
 	if g.cfg.Autoscale != nil {
 		g.scaler = newScaler(g.cfg.Autoscale, g.fleet.Len())
+	} else {
+		g.scaler = nil
 	}
-	g.running = make(map[*Task]runningTask, g.fleet.Len())
+	if g.running == nil {
+		g.running = make(map[*Task]runningTask, g.fleet.Len())
+	} else {
+		clear(g.running)
+	}
 	g.scheduleRevocations()
 	n := g.w.Len()
-	taskBacking := make([]Task, n)
-	g.tasks = make([]*Task, n)
+	if g.taskBacking == nil {
+		g.taskBacking = make([]Task, n)
+		g.tasks = make([]*Task, n)
+		g.ready = make([]*Task, 0, n)
+		g.ctxReady = make([]*Task, 0, n)
+		g.ctxIdle = make([]*VMState, 0, len(g.vms))
+		g.cycleFn = func() {
+			g.cyclePosted = false
+			g.cycle()
+		}
+	}
 	for _, a := range g.w.Activations() {
-		taskBacking[a.Index] = Task{Act: a, State: Locked, waitingOn: len(a.Parents())}
-		g.tasks[a.Index] = &taskBacking[a.Index]
+		g.taskBacking[a.Index] = Task{Act: a, State: Locked, waitingOn: len(a.Parents())}
+		g.tasks[a.Index] = &g.taskBacking[a.Index]
 	}
-	g.ready = make([]*Task, 0, n)
-	g.ctxReady = make([]*Task, 0, n)
-	g.ctxIdle = make([]*VMState, 0, len(g.vms))
-	g.cycleFn = func() {
-		g.cyclePosted = false
-		g.cycle()
+	if g.releaseFns == nil {
+		g.releaseFns = make([]func(), n)
+		g.completeFns = make([]func(), n)
+		for i := range g.tasks {
+			t := g.tasks[i]
+			g.releaseFns[i] = func() {
+				t.State = Ready
+				t.ReadyAt = g.sim.Now()
+				g.ready = append(g.ready, t)
+				g.postCycle()
+			}
+			g.completeFns[i] = func() {
+				if run, ok := g.running[t]; ok {
+					g.complete(t, run.vm)
+				}
+			}
+		}
 	}
-	g.remaining = len(g.tasks)
+	g.ready = g.ready[:0]
+	g.remaining = n
+	g.anyFailed = false
+	g.cyclePosted = false
+	g.peakBooted = 0
+	if g.fileHome != nil {
+		clear(g.fileHome)
+	}
+	if g.recBuf == nil {
+		g.recBuf = make([]Record, 0, n)
+	}
+	if g.perVMBuf == nil {
+		g.perVMBuf = make(map[int]VMStats, len(g.vms))
+	} else {
+		clear(g.perVMBuf)
+	}
 	g.result = &Result{
 		Scheduler: g.sched.Name(),
-		Records:   make([]Record, 0, n),
-		PerVM:     make(map[int]VMStats, len(g.vms)),
+		Records:   g.recBuf,
+		PerVM:     g.perVMBuf,
 	}
 	if !g.cfg.SkipPlan {
 		g.result.Plan = make(map[string]int, n)
 	}
+}
+
+// Run executes the simulation to completion. A second Run without an
+// intervening Reset returns an error.
+func (g *Engine) Run() (*Result, error) {
+	if g.result != nil {
+		return nil, fmt.Errorf("sim: engine already ran (Reset re-arms it)")
+	}
+	g.setup()
 	if err := g.sched.Prepare(g.w, g.fleet, g.env); err != nil {
 		return nil, fmt.Errorf("sim: scheduler %s: %w", g.sched.Name(), err)
 	}
@@ -334,7 +503,7 @@ func (g *Engine) Run() (*Result, error) {
 			v.booted = false
 			bootAt := g.cfg.ProvisionDelay
 			if g.cfg.ProvisionJitter > 0 {
-				bootAt += rng.Float64() * g.cfg.ProvisionJitter
+				bootAt += g.rng.Float64() * g.cfg.ProvisionJitter
 			}
 			v := v
 			g.sim.At(bootAt, func() {
@@ -416,15 +585,10 @@ func (g *Engine) Run() (*Result, error) {
 	return g.result, nil
 }
 
-// release moves a task into the ready queue after the engine delay.
+// release moves a task into the ready queue after the engine delay,
+// via the task's pre-bound event closure.
 func (g *Engine) release(t *Task) {
-	releaseAt := g.sim.Now() + g.cfg.EngineDelay
-	g.sim.At(releaseAt, func() {
-		t.State = Ready
-		t.ReadyAt = g.sim.Now()
-		g.ready = append(g.ready, t)
-		g.postCycle()
-	})
+	g.sim.At(g.sim.Now()+g.cfg.EngineDelay, g.releaseFns[t.Act.Index])
 }
 
 // postCycle queues a scheduling pass if none is pending. Priority 1
@@ -546,7 +710,10 @@ func (g *Engine) start(as Assignment) bool {
 	dur := g.duration(t, v)
 	t.StartAt = start
 	fin := start + dur + g.cfg.PostScriptDelay
-	ref := g.sim.At(fin, func() { g.complete(t, v) })
+	// The pre-bound closure resolves the VM through g.running, so the
+	// map entry must exist before the event can fire; inserting first
+	// is safe because the event is strictly in the future.
+	ref := g.sim.At(fin, g.completeFns[t.Act.Index])
 	g.running[t] = runningTask{ref: ref, vm: v}
 	return true
 }

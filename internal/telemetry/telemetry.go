@@ -45,6 +45,9 @@ type EpisodeEvent struct {
 	// DES kernel steps.
 	Decisions int   `json:"decisions"`
 	Events    int64 `json:"events"`
+	// Replica identifies the emitting learner in replica-parallel
+	// learning (WithReplicaLabel); 0 otherwise.
+	Replica int `json:"replica"`
 }
 
 // Kind implements Event.
@@ -65,6 +68,9 @@ type DecisionEvent struct {
 	// Greedy reports whether the policy exploited the Q table (true)
 	// or explored (false). Policies that cannot tell report false.
 	Greedy bool `json:"greedy"`
+	// Replica identifies the emitting learner in replica-parallel
+	// learning; 0 otherwise.
+	Replica int `json:"replica"`
 }
 
 // Kind implements Event.
@@ -91,6 +97,9 @@ type KernelEvent struct {
 	FreelistMisses int64 `json:"freelist_misses"`
 	// MaxQueueDepth is the future-event list's high-water mark.
 	MaxQueueDepth int `json:"max_queue_depth"`
+	// Replica identifies the emitting learner in replica-parallel
+	// learning; 0 otherwise.
+	Replica int `json:"replica"`
 }
 
 // Kind implements Event.
@@ -166,5 +175,39 @@ type multi []Sink
 func (m multi) Emit(e Event) {
 	for _, s := range m {
 		s.Emit(e)
+	}
+}
+
+// WithReplicaLabel wraps s so that every episode, decision and kernel
+// event passing through carries the given replica number; other event
+// types pass unchanged. Replica-parallel learning installs one wrapper
+// per replica over a shared sink, so interleaved events stay
+// attributable. A nil (or Discard) sink stays disabled: the wrapper is
+// nil too.
+func WithReplicaLabel(s Sink, replica int) Sink {
+	if s == nil || s == Discard {
+		return nil
+	}
+	return &replicaLabel{sink: s, replica: replica}
+}
+
+type replicaLabel struct {
+	sink    Sink
+	replica int
+}
+
+func (r *replicaLabel) Emit(e Event) {
+	switch ev := e.(type) {
+	case EpisodeEvent:
+		ev.Replica = r.replica
+		r.sink.Emit(ev)
+	case DecisionEvent:
+		ev.Replica = r.replica
+		r.sink.Emit(ev)
+	case KernelEvent:
+		ev.Replica = r.replica
+		r.sink.Emit(ev)
+	default:
+		r.sink.Emit(e)
 	}
 }
