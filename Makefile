@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race race-replicas bench benchsmoke guard test build vet
+.PHONY: check race race-replicas bench benchsmoke guard test build vet audit fuzz-smoke
 
 ## check: vet, build, and test everything (the tier-1 gate)
 check: vet build test
@@ -16,7 +16,7 @@ test:
 
 ## race: race-detector pass over the simulation and learning packages
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/engine/... ./internal/expt/... ./internal/telemetry/...
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/engine/... ./internal/expt/... ./internal/telemetry/... ./internal/invariant/...
 
 ## race-replicas: race-detector pass over replica-parallel learning
 ## (concurrent learners sharing a fan-out telemetry sink)
@@ -36,3 +36,17 @@ benchsmoke:
 ## vs the committed BENCH_core.json baseline
 guard:
 	$(GO) run ./cmd/benchguard -baseline BENCH_core.json -threshold 0.10
+
+## audit: the simulation correctness harness — invariant auditor
+## sweeps, fresh-vs-reset differential grid, and the spot/autoscale
+## determinism regression tests (-count=1 defeats the test cache)
+audit:
+	$(GO) test -count=1 ./internal/invariant/...
+	$(GO) test -count=1 -run 'TraceStable|Deterministic|Gapped|Pins|FreesAutoscale|Reset' ./internal/sim/...
+
+## fuzz-smoke: a short native-fuzzing pass over the DES kernel and
+## both workflow parsers, on top of replaying the checked-in corpus
+fuzz-smoke:
+	$(GO) test ./internal/des -fuzz FuzzKernel -fuzztime 10s
+	$(GO) test ./internal/dax -fuzz FuzzRead -fuzztime 10s
+	$(GO) test ./internal/wfjson -fuzz FuzzRead -fuzztime 10s

@@ -19,6 +19,7 @@ import (
 	"runtime/pprof"
 
 	"reassign/internal/expt"
+	"reassign/internal/invariant"
 	"reassign/internal/metrics"
 	"reassign/internal/report"
 	"reassign/internal/telemetry"
@@ -31,7 +32,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	table := flag.Int("table", 0, "regenerate one table (1-5); 0 = all")
 	episodes := flag.Int("episodes", 100, "learning episodes per configuration")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -46,6 +47,7 @@ func run() error {
 	metricsOut := flag.String("metrics", "", "write aggregated metrics in Prometheus text format to this file on exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	audit := flag.Bool("audit", false, "attach the runtime invariant auditor to every simulation and fail on violations")
 	flag.Parse()
 
 	if *replicas < 1 {
@@ -99,6 +101,25 @@ func run() error {
 	}
 
 	o := expt.Options{Seed: *seed, Episodes: *episodes, Replicas: *replicas, Sink: telemetry.Multi(sinks...)}
+	if *audit {
+		aud := invariant.New()
+		o.Hook = aud
+		// Every return path reports the audit outcome; a violation
+		// turns an otherwise successful invocation into a failure.
+		defer func() {
+			if err != nil {
+				return
+			}
+			if aerr := aud.Err(); aerr != nil {
+				for _, v := range aud.Violations() {
+					fmt.Fprintf(os.Stderr, "audit: %s\n", v)
+				}
+				err = aerr
+				return
+			}
+			fmt.Printf("audit: %d run(s), 0 invariant violations\n", aud.Runs())
+		}()
+	}
 	defer func() {
 		if jsonl != nil {
 			if err := jsonl.Err(); err != nil {

@@ -27,6 +27,7 @@ import (
 	"reassign/internal/dax"
 	"reassign/internal/engine"
 	"reassign/internal/gantt"
+	"reassign/internal/invariant"
 	"reassign/internal/metrics"
 	"reassign/internal/plot"
 	"reassign/internal/provenance"
@@ -68,6 +69,7 @@ func run() error {
 	ascii := flag.Bool("ascii", false, "print an ASCII Gantt chart of the schedule")
 	traceOut := flag.String("trace", "", "write a JSONL telemetry trace (episodes, decisions, kernel counters, spans) to this file")
 	metricsOut := flag.String("metrics", "", "write aggregated metrics in Prometheus text format to this file on exit")
+	audit := flag.Bool("audit", false, "attach the runtime invariant auditor to every simulation and fail on violations")
 	flag.Parse()
 
 	if *replicas < 1 {
@@ -116,6 +118,11 @@ func run() error {
 	}
 	if *spot > 0 {
 		cfg.Spot = &sim.SpotPolicy{MeanLifetime: *spot, KeepOne: true}
+	}
+	var aud *invariant.Auditor
+	if *audit {
+		aud = invariant.New()
+		cfg.Hook = aud
 	}
 
 	fmt.Printf("workflow: %s (%d activations, %d edges)\n", w.Name, w.Len(), w.Edges())
@@ -288,6 +295,15 @@ func run() error {
 			return err
 		}
 		fmt.Printf("metrics:  written to %s\n", *metricsOut)
+	}
+	if aud != nil {
+		if err := aud.Err(); err != nil {
+			for _, v := range aud.Violations() {
+				fmt.Fprintf(os.Stderr, "audit: %s\n", v)
+			}
+			return err
+		}
+		fmt.Printf("audit:    %d run(s), 0 invariant violations\n", aud.Runs())
 	}
 	return nil
 }

@@ -1,0 +1,61 @@
+package dax
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the DAX parser. Inputs must
+// either be rejected with an error or produce a workflow that
+// round-trips: Write followed by Read preserves the activation count
+// and the dependency count. The parser must never panic.
+func FuzzRead(f *testing.F) {
+	valid := `<?xml version="1.0" encoding="UTF-8"?>
+<adag name="fuzz">
+  <job id="ID0" name="mA" runtime="1.5">
+    <uses file="f1" link="output" size="100"/>
+  </job>
+  <job id="ID1" name="mB" runtime="2.0">
+    <uses file="f1" link="input" size="100"/>
+  </job>
+  <child ref="ID1"><parent ref="ID0"/></child>
+</adag>`
+	f.Add([]byte(valid))
+	f.Add([]byte(`<adag name="empty"></adag>`))
+	f.Add([]byte(`<adag><job id="a" runtime="nope"/></adag>`))
+	f.Add([]byte(`not xml at all`))
+	f.Add([]byte(`<adag><child ref="missing"><parent ref="gone"/></child></adag>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wf, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		edges := func() int {
+			n := 0
+			for _, a := range wf.Activations() {
+				n += len(a.Parents())
+			}
+			return n
+		}
+		wantLen, wantEdges := wf.Len(), edges()
+
+		var buf bytes.Buffer
+		if err := Write(&buf, wf); err != nil {
+			t.Fatalf("Write failed on a workflow Read accepted: %v", err)
+		}
+		wf2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read rejected its own Write output: %v", err)
+		}
+		if wf2.Len() != wantLen {
+			t.Fatalf("round-trip changed activation count: %d -> %d", wantLen, wf2.Len())
+		}
+		n := 0
+		for _, a := range wf2.Activations() {
+			n += len(a.Parents())
+		}
+		if n != wantEdges {
+			t.Fatalf("round-trip changed dependency count: %d -> %d", wantEdges, n)
+		}
+	})
+}

@@ -29,7 +29,7 @@ func ablationLearn(o Options, mutate func(*core.Params), episodes int) (float64,
 		Fleet:    fleet,
 		Params:   p,
 		Episodes: episodes,
-		Sim:      sim.Config{Fluct: o.TrainFluct},
+		Sim:      sim.Config{Fluct: o.TrainFluct, Hook: o.Hook},
 	}, core.WithSeed(o.Seed), core.WithSink(o.Sink))
 	if err != nil {
 		return 0, err
@@ -171,7 +171,7 @@ func AblationSchedules(o Options) (*metrics.Table, error) {
 		l, err := core.NewLearner(core.Config{
 			Workflow: o.Workflow, Fleet: fleet,
 			Params: core.DefaultParams(), Episodes: o.Episodes,
-			Sim: sim.Config{Fluct: o.TrainFluct},
+			Sim: sim.Config{Fluct: o.TrainFluct, Hook: o.Hook},
 		}, core.WithSeed(o.Seed), core.WithSink(o.Sink),
 			core.WithAlphaSchedule(c.alphaSch), core.WithEpsilonSchedule(c.epsSch))
 		if err != nil {
@@ -208,7 +208,7 @@ func AblationCostWeight(o Options) (*metrics.Table, error) {
 		l, err := core.NewLearner(core.Config{
 			Workflow: o.Workflow, Fleet: fleet, Params: p,
 			Episodes: o.Episodes,
-			Sim:      sim.Config{Fluct: o.TrainFluct},
+			Sim:      sim.Config{Fluct: o.TrainFluct, Hook: o.Hook},
 		}, core.WithSeed(o.Seed), core.WithSink(o.Sink))
 		if err != nil {
 			return nil, err
@@ -221,7 +221,7 @@ func AblationCostWeight(o Options) (*metrics.Table, error) {
 		var mk, cost float64
 		for rep := 0; rep < PlanEvalReps; rep++ {
 			r, err := sim.Run(o.Workflow, fleet, &sched.Plan{PlanName: "p", Assign: assign},
-				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep)})
+				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep), Hook: o.Hook})
 			if err != nil {
 				return nil, err
 			}
@@ -275,7 +275,7 @@ func AblationClustering(o Options) (*metrics.Table, error) {
 			}
 			w = cw.Workflow
 		}
-		res, err := sim.Run(w, fleet, &sched.HEFT{}, sim.Config{Fluct: o.TrainFluct, Seed: o.Seed})
+		res, err := sim.Run(w, fleet, &sched.HEFT{}, sim.Config{Fluct: o.TrainFluct, Seed: o.Seed, Hook: o.Hook})
 		if err != nil {
 			return err
 		}
@@ -308,7 +308,7 @@ func BaselineComparison(o Options, vcpus int) (*metrics.Table, error) {
 	mean := func(s sim.Scheduler) (mk, cost float64, err error) {
 		for rep := 0; rep < PlanEvalReps; rep++ {
 			res, err := sim.Run(o.Workflow, fleet, s,
-				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep), DataTransfer: true})
+				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep), DataTransfer: true, Hook: o.Hook})
 			if err != nil {
 				return 0, 0, err
 			}

@@ -63,7 +63,7 @@ func ScheduleCharts(o Options) ([]*gantt.Chart, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := sim.Config{Fluct: o.TrainFluct, Seed: o.Seed}
+	cfg := sim.Config{Fluct: o.TrainFluct, Seed: o.Seed, Hook: o.Hook}
 	h := &sched.HEFT{}
 	heftRes, err := sim.Run(o.Workflow, fleet, h, cfg)
 	if err != nil {

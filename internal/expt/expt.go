@@ -67,6 +67,10 @@ type Options struct {
 	// plan (core.WithReplicas). LearningTime then reports the
 	// ensemble's wall clock.
 	Replicas int
+	// Hook, when non-nil, observes every simulation the harness runs
+	// (e.g. the invariant auditor behind the -audit flag). It must be
+	// safe for concurrent use: RunSweep learns in parallel.
+	Hook sim.Hook
 }
 
 func (o Options) withDefaults() Options {
@@ -116,7 +120,7 @@ func learn(o Options, fleet *cloud.Fleet, alpha, gamma, epsilon float64) (*core.
 		Fleet:    fleet,
 		Params:   p,
 		Episodes: o.Episodes,
-		Sim:      sim.Config{Fluct: o.TrainFluct},
+		Sim:      sim.Config{Fluct: o.TrainFluct, Hook: o.Hook},
 	}, opts...)
 	if err != nil {
 		return nil, err

@@ -40,7 +40,7 @@ func StudyElasticity(o Options) (*metrics.Table, error) {
 				}
 			}
 			res, err := sim.Run(o.Workflow, fleet, sched.MCT{},
-				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep), Autoscale: auto})
+				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep), Autoscale: auto, Hook: o.Hook})
 			if err != nil {
 				return nil, err
 			}
@@ -81,7 +81,7 @@ func StudySpot(o Options) (*metrics.Table, error) {
 				spot = &sim.SpotPolicy{MeanLifetime: life, KeepOne: true}
 			}
 			res, err := sim.Run(o.Workflow, fleet, sched.MCT{},
-				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep), Spot: spot})
+				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep), Spot: spot, Hook: o.Hook})
 			if err != nil {
 				return nil, err
 			}
@@ -128,7 +128,7 @@ func StudyScaling(o Options) (*metrics.Table, error) {
 		var sum float64
 		for rep := 0; rep < PlanEvalReps; rep++ {
 			res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "p", Assign: assign},
-				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep)})
+				sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep), Hook: o.Hook})
 			if err != nil {
 				return 0, err
 			}
@@ -146,7 +146,7 @@ func StudyScaling(o Options) (*metrics.Table, error) {
 			w = trace.MontageN(rng, size)
 		}
 		h := &sched.HEFT{}
-		if _, err := sim.Run(w, fleet, h, sim.Config{}); err != nil {
+		if _, err := sim.Run(w, fleet, h, sim.Config{Hook: o.Hook}); err != nil {
 			return nil, err
 		}
 		heftMk, err := evalPlan(w, core.NewPlan(h.Assign()))
@@ -156,7 +156,7 @@ func StudyScaling(o Options) (*metrics.Table, error) {
 		l, err := core.NewLearner(core.Config{
 			Workflow: w, Fleet: fleet, Params: core.DefaultParams(),
 			Episodes: o.Episodes,
-			Sim:      sim.Config{Fluct: o.TrainFluct},
+			Sim:      sim.Config{Fluct: o.TrainFluct, Hook: o.Hook},
 		}, core.WithSeed(o.Seed), core.WithSink(o.Sink))
 		if err != nil {
 			return nil, err

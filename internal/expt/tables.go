@@ -63,7 +63,7 @@ func EvalPlan(o Options, fleet *cloud.Fleet, plan core.Plan) (float64, error) {
 	var sum float64
 	for rep := 0; rep < PlanEvalReps; rep++ {
 		res, err := sim.Run(o.Workflow, fleet, &sched.Plan{PlanName: "plan", Assign: assign},
-			sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep)})
+			sim.Config{Fluct: o.TrainFluct, Seed: o.Seed + 5000 + int64(rep), Hook: o.Hook})
 		if err != nil {
 			return 0, err
 		}
@@ -259,7 +259,7 @@ func RunTable4(o Options) ([]Table4Row, error) {
 
 		// HEFT plan from the simulator's planner.
 		h := &sched.HEFT{}
-		if _, err := sim.Run(o.Workflow, fleet, h, sim.Config{}); err != nil {
+		if _, err := sim.Run(o.Workflow, fleet, h, sim.Config{Hook: o.Hook}); err != nil {
 			return nil, fmt.Errorf("expt: HEFT on %d vCPUs: %w", vcpus, err)
 		}
 		mk, err := execPlan(core.NewPlan(h.Assign()))
@@ -318,7 +318,7 @@ func Table5(o Options) (*metrics.Table, error) {
 		return nil, err
 	}
 	h := &sched.HEFT{}
-	if _, err := sim.Run(o.Workflow, fleet, h, sim.Config{}); err != nil {
+	if _, err := sim.Run(o.Workflow, fleet, h, sim.Config{Hook: o.Hook}); err != nil {
 		return nil, err
 	}
 	plans := map[string]core.Plan{"HEFT": core.NewPlan(h.Assign())}
@@ -370,7 +370,7 @@ func Table5BigVMShare(o Options) (map[string]float64, error) {
 		return float64(n) / float64(plan.Len())
 	}
 	h := &sched.HEFT{}
-	if _, err := sim.Run(o.Workflow, fleet, h, sim.Config{}); err != nil {
+	if _, err := sim.Run(o.Workflow, fleet, h, sim.Config{Hook: o.Hook}); err != nil {
 		return nil, err
 	}
 	out := map[string]float64{"HEFT": share(core.NewPlan(h.Assign()))}

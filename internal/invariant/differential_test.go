@@ -1,0 +1,294 @@
+package invariant
+
+import (
+	"math/rand"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/dag"
+	"reassign/internal/rl"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+	"reassign/internal/trace"
+)
+
+// freshVsReset runs cfg twice — once on a fresh engine, once on an
+// engine that previously ran a different seed and was Reset — and
+// demands bit-identical results. Both runs are audited.
+func freshVsReset(t *testing.T, aud *Auditor, w *dag.Workflow, fl *cloud.Fleet, cfg sim.Config) {
+	t.Helper()
+	cfg.Hook = aud
+	fresh, err := sim.Run(w, fl, sched.MCT{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.NewEngine(w, fl, sched.MCT{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the engine with a different seed first, so the reset run
+	// has stale state (ready queues, autoscaled VMs, spot corpses) to
+	// overwrite — the harder equivalence.
+	other := cfg
+	other.Seed = cfg.Seed + 1000
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Reset(other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Reset(cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffResults(fresh, got); len(diffs) > 0 {
+		for _, d := range diffs {
+			t.Errorf("  %s", d)
+		}
+		t.Fatalf("fresh and reset runs diverge (%d fields)", len(diffs))
+	}
+}
+
+// TestFreshVsResetScenarioGrid is the byte-stable-trace contract:
+// across seeds and the full scenario grid (fluctuation, data
+// transfer, failures, delays, spot on multi-vCPU fleets, autoscaling
+// and spot×autoscale), a fresh engine and a reset one must produce
+// bit-identical results. Every run is audited too.
+func TestFreshVsResetScenarioGrid(t *testing.T) {
+	w := montage(t, 3)
+	fl16 := fleet16(t)
+	// Multi-vCPU spot fleet: revocations kill several concurrent
+	// tasks at once, the case that exposed map-ordered aborts.
+	multi := cloud.MustFleet("multi", []cloud.VMType{cloud.T2Large, cloud.T22XLarge}, []int{2, 1})
+	fluct := cloud.DefaultFluctuation()
+
+	cases := []struct {
+		name  string
+		fleet *cloud.Fleet
+		cfg   sim.Config
+	}{
+		{"plain", fl16, sim.Config{}},
+		{"fluct", fl16, sim.Config{Fluct: &fluct}},
+		{"dt", fl16, sim.Config{DataTransfer: true}},
+		{"failures", fl16, sim.Config{Fluct: &fluct,
+			Failure: cloud.FailureModel{Rate: 0.1}, MaxRetries: 3}},
+		{"delays", fl16, sim.Config{Fluct: &fluct,
+			EngineDelay: 0.5, QueueDelay: 0.25, PostScriptDelay: 0.1,
+			ProvisionDelay: 2, ProvisionJitter: 1}},
+		{"spot-multi-vcpu", multi, sim.Config{Fluct: &fluct,
+			Spot: &sim.SpotPolicy{MeanLifetime: 300, KeepOne: true}}},
+		{"autoscale", fl16, sim.Config{
+			Autoscale: &sim.Autoscale{Type: cloud.T2Micro, MaxVMs: 12,
+				BootDelay: 5, IdleTimeout: 150, QueuePerFreeSlot: 0.5}}},
+		{"spot+autoscale", multi, sim.Config{
+			Spot: &sim.SpotPolicy{MeanLifetime: 250, KeepOne: true},
+			Autoscale: &sim.Autoscale{Type: cloud.T2Large, MaxVMs: 5,
+				BootDelay: 5, IdleTimeout: 150, QueuePerFreeSlot: 0.5}}},
+	}
+
+	aud := New()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, seed := range []int64{3, 17, 99} {
+				cfg := tc.cfg
+				cfg.Seed = seed
+				freshVsReset(t, aud, w, tc.fleet, cfg)
+			}
+		})
+	}
+	if err := aud.Err(); err != nil {
+		dumpViolations(t, aud)
+		t.Fatal(err)
+	}
+}
+
+// TestFreshVsResetClustered runs the same contract on a clustered
+// workflow with data transfer.
+func TestFreshVsResetClustered(t *testing.T) {
+	cw, err := sim.Clustering{Horizontal: true, GroupSize: 3, Vertical: true}.Apply(montage(t, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud := New()
+	for _, seed := range []int64{3, 17, 99} {
+		freshVsReset(t, aud, cw.Workflow, fleet16(t), sim.Config{Seed: seed, DataTransfer: true})
+	}
+	if err := aud.Err(); err != nil {
+		dumpViolations(t, aud)
+		t.Fatal(err)
+	}
+}
+
+// TestMapVsDenseReplayDifferential trains one learner on a sparse
+// (map) Q table and one on a dense table built from the same init
+// seed, then replays both final plans through the simulator: the
+// traces must be bit-identical, not just the makespans.
+func TestMapVsDenseReplayDifferential(t *testing.T) {
+	w := montage(t, 6)
+	fl := fleet16(t)
+	learn := func(table *rl.Table) *core.Result {
+		l := &core.Learner{Workflow: w, Fleet: fl, Params: core.DefaultParams(),
+			Episodes: 8, Seed: 17, Table: table}
+		res, err := l.Learn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	const initSeed = 23
+	a := learn(rl.NewTable(rand.New(rand.NewSource(initSeed)), 1.0))
+	b := learn(rl.NewDenseTable(w.Len(), len(fl.VMs), rand.New(rand.NewSource(initSeed)), 1.0))
+	if a.PlanMakespan != b.PlanMakespan {
+		t.Fatalf("plan makespans diverge: %v (map) vs %v (dense)", a.PlanMakespan, b.PlanMakespan)
+	}
+
+	replay := func(p core.Plan) *sim.Result {
+		assign := make(map[string]int, p.Len())
+		for _, e := range p.Entries() {
+			assign[e.Activation] = e.VM
+		}
+		aud := New()
+		res, err := sim.Run(w, fl, &sched.Plan{PlanName: "replay", Assign: assign},
+			sim.Config{Seed: 5, Hook: aud})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := aud.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if diffs := DiffResults(replay(a.Plan), replay(b.Plan)); len(diffs) > 0 {
+		for _, d := range diffs {
+			t.Errorf("  %s", d)
+		}
+		t.Fatal("map-trained and dense-trained plan replays diverge")
+	}
+}
+
+// TestSoloVsReplicaDifferential checks the replica-splitting
+// contract: replica i of a K-replica ensemble is bit-identical to a
+// solo learner run with the seed the ensemble assigned to it.
+func TestSoloVsReplicaDifferential(t *testing.T) {
+	w := montage(t, 1)
+	fl := fleet16(t)
+	ens, err := core.NewLearner(core.Config{Workflow: w, Fleet: fl, Episodes: 10},
+		core.WithSeed(42), core.WithReplicas(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := ens.LearnReplicas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range rr.Seeds {
+		solo, err := core.NewLearner(core.Config{Workflow: w, Fleet: fl, Episodes: 10},
+			core.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := solo.Learn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rres := rr.Results[i]
+		if sres.PlanMakespan != rres.PlanMakespan {
+			t.Fatalf("replica %d: plan makespan %v, solo %v", i, rres.PlanMakespan, sres.PlanMakespan)
+		}
+		se, re := sres.Plan.Entries(), rres.Plan.Entries()
+		if len(se) != len(re) {
+			t.Fatalf("replica %d: plan sizes %d vs %d", i, len(re), len(se))
+		}
+		for j := range se {
+			if se[j] != re[j] {
+				t.Fatalf("replica %d: plan entry %d diverges: %+v vs %+v", i, j, re[j], se[j])
+			}
+		}
+	}
+}
+
+// TestHEFTPlannedMakespanOracle uses HEFT's static schedule length as
+// a lower-bound oracle: under zero delays and zero fluctuation the
+// simulated replay of the plan can queue but never beat the plan's
+// own estimate, because the simulator charges exactly the execution
+// times HEFT planned with.
+func TestHEFTPlannedMakespanOracle(t *testing.T) {
+	fl := fleet16(t)
+	cases := []struct {
+		name string
+		w    *dag.Workflow
+	}{
+		{"montage50", montage(t, 3)},
+		{"forkjoin", trace.ForkJoin(rand.New(rand.NewSource(4)), 3, 8, 50)},
+		{"chains", trace.Chains(rand.New(rand.NewSource(5)), 6, 4, 30)},
+	}
+	const eps = 1e-9
+	aud := New()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := &sched.HEFT{}
+			res, err := sim.Run(tc.w, fl, h, sim.Config{Hook: aud})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.State != sim.FinishedOK {
+				t.Fatalf("state = %v", res.State)
+			}
+			if h.PlannedMakespan <= 0 {
+				t.Fatalf("PlannedMakespan = %v, want > 0", h.PlannedMakespan)
+			}
+			if res.Makespan < h.PlannedMakespan-eps {
+				t.Fatalf("simulated makespan %v beats the static plan %v: the oracle bound is broken",
+					res.Makespan, h.PlannedMakespan)
+			}
+		})
+	}
+	if err := aud.Err(); err != nil {
+		dumpViolations(t, aud)
+		t.Fatal(err)
+	}
+}
+
+// TestDiffResultsAndClone covers the differential helpers themselves:
+// a clone diffs clean against its original, stays independent of it,
+// and every mutated field is reported.
+func TestDiffResultsAndClone(t *testing.T) {
+	res, err := sim.Run(montage(t, 3), fleet16(t), sched.MCT{}, sim.Config{Seed: 7,
+		Autoscale: &sim.Autoscale{Type: cloud.T2Micro, MaxVMs: 12,
+			BootDelay: 5, QueuePerFreeSlot: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := CloneResult(res)
+	if diffs := DiffResults(res, clone); len(diffs) != 0 {
+		t.Fatalf("clone diffs against original: %v", diffs)
+	}
+
+	// Mutating the clone must not touch the original...
+	clone.Records[0].Success = !clone.Records[0].Success
+	for k := range clone.Plan {
+		clone.Plan[k]++
+		break
+	}
+	if diffs := DiffResults(res, CloneResult(res)); len(diffs) != 0 {
+		t.Fatalf("original changed under clone mutation: %v", diffs)
+	}
+	// ...and each mutation must be reported.
+	clone.Makespan += 1
+	clone.Cost += 0.5
+	if clone.Elasticity == nil {
+		t.Fatal("autoscaled run has no elasticity report")
+	}
+	clone.Elasticity.Acquired++
+	diffs := DiffResults(res, clone)
+	if len(diffs) < 5 {
+		t.Fatalf("only %d diffs reported for 5 mutations: %v", len(diffs), diffs)
+	}
+}

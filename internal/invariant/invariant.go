@@ -1,0 +1,516 @@
+// Package invariant is the simulation correctness harness: a runtime
+// auditor that watches sim.Engine runs through the sim.Hook interface
+// and checks structural invariants at every transition, plus
+// differential helpers (DiffResults, CloneResult) used by the
+// determinism test suites and the -audit mode of the binaries.
+//
+// The auditor checks, during the run:
+//
+//   - the virtual clock never goes backwards and is never NaN;
+//   - VM slot accounting never goes negative and never exceeds the
+//     VM's vCPU count, cross-checked against the engine's own
+//     FreeSlots bookkeeping;
+//   - the scheduling context is well-formed at every decision: the
+//     ready queue is sorted by (ReadyAt, Index) without duplicates,
+//     idle VMs are actually idle, and the VM list is sorted by
+//     strictly increasing IDs (which also catches duplicate IDs from
+//     autoscaler allocation bugs);
+//   - dead VMs (spot-revoked or idle-retired) never accept work;
+//
+// and at the end of the run:
+//
+//   - every task reached exactly one terminal state, with one
+//     execution record per attempt;
+//   - Result.Records and Result.PerVM agree (count, exec, wait and
+//     busy conservation);
+//   - Makespan, Cost, BusyCost, Elasticity and Revocations are
+//     consistent with the observed events.
+//
+// A single Auditor may observe any number of runs, including runs of
+// concurrent engines (replica learning): per-run state lives in the
+// RunHook returned by RunStart, and only violation reporting is
+// mutex-guarded.
+package invariant
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"reassign/internal/sim"
+)
+
+// Violation is one invariant breach observed during a run.
+type Violation struct {
+	// Run is the auditor-assigned ordinal of the run (0-based, in
+	// RunStart order).
+	Run int
+	// Time is the virtual clock when the breach was observed.
+	Time float64
+	// Rule is a short stable identifier, e.g. "slot-overcommit".
+	Rule string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("run %d t=%.6g [%s] %s", v.Run, v.Time, v.Rule, v.Detail)
+}
+
+// Auditor checks structural invariants across simulation runs. Install
+// it via sim.Config.Hook; read the outcome with Err or Violations.
+// The zero value is not usable; call New.
+type Auditor struct {
+	mu         sync.Mutex
+	runs       int
+	total      int // violations observed (including dropped)
+	violations []Violation
+	limit      int
+}
+
+// Option configures an Auditor.
+type Option func(*Auditor)
+
+// WithLimit caps the number of stored violations (default 100).
+// Violations beyond the cap are still counted by Total.
+func WithLimit(n int) Option {
+	return func(a *Auditor) { a.limit = n }
+}
+
+// New returns an Auditor ready to be installed as a sim.Config.Hook.
+func New(opts ...Option) *Auditor {
+	a := &Auditor{limit: 100}
+	for _, o := range opts {
+		o(a)
+	}
+	return a
+}
+
+// RunStart implements sim.Hook.
+func (a *Auditor) RunStart(env *sim.Env) sim.RunHook {
+	a.mu.Lock()
+	run := a.runs
+	a.runs++
+	a.mu.Unlock()
+	r := &runAudit{
+		a:     a,
+		run:   run,
+		env:   env,
+		busy:  make(map[*sim.VMState]int),
+		dead:  make(map[*sim.VMState]bool),
+		tasks: make(map[*sim.Task]*taskAudit),
+		ids:   make(map[int]bool),
+	}
+	vms := env.VMStates()
+	r.initialVMs = len(vms)
+	r.checkVMOrder(0, vms, "fleet")
+	for _, v := range vms {
+		r.maxID = max(r.maxID, v.VM.ID)
+		r.ids[v.VM.ID] = true
+	}
+	return r
+}
+
+// Runs returns how many runs the auditor has observed (started).
+func (a *Auditor) Runs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.runs
+}
+
+// Total returns the number of violations observed, including any
+// dropped beyond the storage limit.
+func (a *Auditor) Total() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Violations returns a copy of the stored violations.
+func (a *Auditor) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Violation, len(a.violations))
+	copy(out, a.violations)
+	return out
+}
+
+// Err returns nil when no invariant was violated, and otherwise an
+// error summarising the first violation and the total count.
+func (a *Auditor) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.total == 0 {
+		return nil
+	}
+	return fmt.Errorf("invariant: %d violation(s) across %d run(s); first: %s",
+		a.total, a.runs, a.violations[0])
+}
+
+func (a *Auditor) report(v Violation) {
+	a.mu.Lock()
+	a.total++
+	if len(a.violations) < a.limit {
+		a.violations = append(a.violations, v)
+	}
+	a.mu.Unlock()
+}
+
+// taskAudit is the auditor's view of one task's lifecycle.
+type taskAudit struct {
+	starts   int // TaskStart events (attempts)
+	records  int // TaskFinish + TaskAbort events (execution records)
+	terminal int // terminal finishes + cancellations
+	running  bool
+}
+
+// runAudit is the per-run observer returned by RunStart.
+type runAudit struct {
+	a   *Auditor
+	run int
+	env *sim.Env
+
+	last       float64 // clock high-water mark
+	initialVMs int
+	maxID      int
+	ids        map[int]bool
+	busy       map[*sim.VMState]int
+	dead       map[*sim.VMState]bool
+	tasks      map[*sim.Task]*taskAudit
+
+	added, retired, revoked int
+	readyEvents             int
+}
+
+func (r *runAudit) fail(now float64, rule, format string, args ...any) {
+	r.a.report(Violation{Run: r.run, Time: now, Rule: rule, Detail: fmt.Sprintf(format, args...)})
+}
+
+// clock enforces monotonicity of the virtual clock across every hook.
+func (r *runAudit) clock(now float64) {
+	if math.IsNaN(now) {
+		r.fail(now, "clock-nan", "virtual clock is NaN")
+		return
+	}
+	if now < r.last {
+		r.fail(now, "clock-monotonic", "clock went backwards: %v after %v", now, r.last)
+		return
+	}
+	r.last = now
+}
+
+func (r *runAudit) task(t *sim.Task) *taskAudit {
+	ta := r.tasks[t]
+	if ta == nil {
+		ta = &taskAudit{}
+		r.tasks[t] = ta
+	}
+	return ta
+}
+
+// checkVMOrder verifies a VM list is sorted by strictly increasing ID
+// — the engine's documented ordering, and the property that makes
+// duplicate IDs (autoscaler collisions) visible.
+func (r *runAudit) checkVMOrder(now float64, vms []*sim.VMState, what string) {
+	for i := 1; i < len(vms); i++ {
+		if vms[i-1].VM.ID >= vms[i].VM.ID {
+			r.fail(now, "vm-id-order", "%s VM list not strictly increasing: id %d at %d, id %d at %d",
+				what, vms[i-1].VM.ID, i-1, vms[i].VM.ID, i)
+		}
+	}
+}
+
+// Decision implements sim.RunHook.
+func (r *runAudit) Decision(now float64, ctx *sim.Context) {
+	r.clock(now)
+	if ctx.Now != now {
+		r.fail(now, "ctx-clock", "context Now %v != clock %v", ctx.Now, now)
+	}
+	seen := make(map[*sim.Task]bool, len(ctx.Ready))
+	for i, t := range ctx.Ready {
+		if seen[t] {
+			r.fail(now, "ready-duplicate", "task %s appears twice in the ready queue", t.Act.ID)
+		}
+		seen[t] = true
+		if t.State != sim.Ready {
+			r.fail(now, "ready-state", "task %s in ready queue with state %v", t.Act.ID, t.State)
+		}
+		if i == 0 {
+			continue
+		}
+		p := ctx.Ready[i-1]
+		if p.ReadyAt > t.ReadyAt || (p.ReadyAt == t.ReadyAt && p.Act.Index >= t.Act.Index) {
+			r.fail(now, "ready-order", "ready queue not sorted by (ReadyAt, Index): (%v,%d) before (%v,%d)",
+				p.ReadyAt, p.Act.Index, t.ReadyAt, t.Act.Index)
+		}
+	}
+	for _, v := range ctx.IdleVMs {
+		if !v.Idle() {
+			r.fail(now, "idle-not-idle", "%v listed idle but is not", v)
+		}
+		if r.dead[v] {
+			r.fail(now, "idle-dead", "%v listed idle but was retired/revoked", v)
+		}
+	}
+	r.checkVMOrder(now, ctx.IdleVMs, "idle")
+	r.checkVMOrder(now, ctx.AllVMs, "all")
+}
+
+// TaskReady implements sim.RunHook.
+func (r *runAudit) TaskReady(now float64, t *sim.Task) {
+	r.clock(now)
+	r.readyEvents++
+	if t.State != sim.Ready {
+		r.fail(now, "ready-state", "task %s became ready with state %v", t.Act.ID, t.State)
+	}
+	if t.ReadyAt != now {
+		r.fail(now, "ready-time", "task %s ReadyAt %v != now %v", t.Act.ID, t.ReadyAt, now)
+	}
+}
+
+// TaskStart implements sim.RunHook.
+func (r *runAudit) TaskStart(now float64, t *sim.Task, v *sim.VMState) {
+	r.clock(now)
+	ta := r.task(t)
+	ta.starts++
+	if ta.running {
+		r.fail(now, "double-start", "task %s started while already running", t.Act.ID)
+	}
+	ta.running = true
+	if t.State != sim.Running {
+		r.fail(now, "start-state", "task %s started with state %v", t.Act.ID, t.State)
+	}
+	if t.Attempts != ta.starts {
+		r.fail(now, "attempt-count", "task %s Attempts %d after %d observed starts", t.Act.ID, t.Attempts, ta.starts)
+	}
+	if r.dead[v] {
+		r.fail(now, "dead-vm-start", "task %s started on retired/revoked %v", t.Act.ID, v)
+	}
+	if !v.Booted() {
+		r.fail(now, "unbooted-start", "task %s started on unbooted %v", t.Act.ID, v)
+	}
+	r.busy[v]++
+	if r.busy[v] > v.Slots {
+		r.fail(now, "slot-overcommit", "%v holds %d tasks with %d slots", v, r.busy[v], v.Slots)
+	}
+	if free := v.Slots - r.busy[v]; v.FreeSlots() != free {
+		r.fail(now, "slot-divergence", "%v reports %d free slots, auditor counts %d", v, v.FreeSlots(), free)
+	}
+}
+
+// finish records the end of one execution attempt (completion or
+// abort) on v.
+func (r *runAudit) finish(now float64, t *sim.Task, v *sim.VMState, rule string) *taskAudit {
+	ta := r.task(t)
+	ta.records++
+	if !ta.running {
+		r.fail(now, rule, "task %s finished while not running", t.Act.ID)
+	}
+	ta.running = false
+	r.busy[v]--
+	if r.busy[v] < 0 {
+		r.fail(now, "slot-negative", "%v released below zero", v)
+	}
+	return ta
+}
+
+// TaskFinish implements sim.RunHook.
+func (r *runAudit) TaskFinish(now float64, t *sim.Task, v *sim.VMState, terminal, success bool) {
+	r.clock(now)
+	ta := r.finish(now, t, v, "finish-not-running")
+	if terminal {
+		ta.terminal++
+		if success && t.State != sim.Succeeded {
+			r.fail(now, "finish-state", "task %s succeeded with state %v", t.Act.ID, t.State)
+		}
+	}
+	if t.FinishAt != now {
+		r.fail(now, "finish-time", "task %s FinishAt %v != now %v", t.Act.ID, t.FinishAt, now)
+	}
+	if t.StartAt > t.FinishAt {
+		r.fail(now, "finish-before-start", "task %s started %v after finishing %v", t.Act.ID, t.StartAt, t.FinishAt)
+	}
+}
+
+// TaskAbort implements sim.RunHook.
+func (r *runAudit) TaskAbort(now float64, t *sim.Task, v *sim.VMState) {
+	r.clock(now)
+	r.finish(now, t, v, "abort-not-running")
+	if !r.dead[v] {
+		r.fail(now, "abort-live-vm", "task %s aborted on live %v", t.Act.ID, v)
+	}
+}
+
+// TaskCancel implements sim.RunHook.
+func (r *runAudit) TaskCancel(now float64, t *sim.Task) {
+	r.clock(now)
+	ta := r.task(t)
+	ta.terminal++
+	if ta.starts != ta.records {
+		r.fail(now, "cancel-in-flight", "task %s cancelled with an attempt in flight", t.Act.ID)
+	}
+	if t.State != sim.Failed {
+		r.fail(now, "cancel-state", "task %s cancelled with state %v", t.Act.ID, t.State)
+	}
+}
+
+// VMAdded implements sim.RunHook.
+func (r *runAudit) VMAdded(now float64, v *sim.VMState) {
+	r.clock(now)
+	r.added++
+	if r.ids[v.VM.ID] {
+		r.fail(now, "vm-id-collision", "acquired VM reuses existing id %d", v.VM.ID)
+	}
+	if v.VM.ID <= r.maxID {
+		r.fail(now, "vm-id-order", "acquired VM id %d not above fleet max %d", v.VM.ID, r.maxID)
+	}
+	r.ids[v.VM.ID] = true
+	r.maxID = max(r.maxID, v.VM.ID)
+	r.checkVMOrder(now, r.env.VMStates(), "all")
+}
+
+// VMRetired implements sim.RunHook.
+func (r *runAudit) VMRetired(now float64, v *sim.VMState) {
+	r.clock(now)
+	r.retired++
+	if r.dead[v] {
+		r.fail(now, "retire-dead", "%v retired twice", v)
+	}
+	if r.busy[v] != 0 {
+		r.fail(now, "retire-busy", "%v retired with %d running tasks", v, r.busy[v])
+	}
+	r.dead[v] = true
+}
+
+// VMRevoked implements sim.RunHook.
+func (r *runAudit) VMRevoked(now float64, v *sim.VMState) {
+	r.clock(now)
+	r.revoked++
+	if r.dead[v] {
+		r.fail(now, "revoke-dead", "%v revoked twice", v)
+	}
+	r.dead[v] = true
+}
+
+// RunEnd implements sim.RunHook.
+func (r *runAudit) RunEnd(res *sim.Result) {
+	now := r.last
+	const eps = 1e-9
+
+	// Task lifecycle: exactly one terminal state, one record per
+	// attempt, nothing left running.
+	records := 0
+	for t, ta := range r.tasks {
+		records += ta.records
+		if ta.running {
+			r.fail(now, "task-still-running", "task %s still running at run end", t.Act.ID)
+		}
+		if ta.starts != ta.records {
+			r.fail(now, "attempt-record-mismatch", "task %s: %d attempts but %d records",
+				t.Act.ID, ta.starts, ta.records)
+		}
+		if ta.terminal != 1 {
+			r.fail(now, "terminal-count", "task %s reached %d terminal states, want exactly 1",
+				t.Act.ID, ta.terminal)
+		}
+	}
+	if len(res.Records) != records {
+		r.fail(now, "record-conservation", "result has %d records, auditor observed %d",
+			len(res.Records), records)
+	}
+	if res.State == sim.FinishedOK {
+		w := r.env.Workflow()
+		if len(r.tasks) != w.Len() {
+			r.fail(now, "task-coverage", "finished-ok run touched %d of %d tasks", len(r.tasks), w.Len())
+		}
+		ok := make(map[string]int, w.Len())
+		for _, rec := range res.Records {
+			if rec.Success {
+				ok[rec.TaskID]++
+			}
+		}
+		for _, a := range w.Activations() {
+			if ok[a.ID] != 1 {
+				r.fail(now, "success-count", "activation %s has %d successful records, want 1", a.ID, ok[a.ID])
+			}
+		}
+	}
+
+	// Makespan is the latest record finish.
+	var maxFinish float64
+	for _, rec := range res.Records {
+		if rec.FinishAt > maxFinish {
+			maxFinish = rec.FinishAt
+		}
+	}
+	if res.Makespan != maxFinish {
+		r.fail(now, "makespan", "Makespan %v != max record finish %v", res.Makespan, maxFinish)
+	}
+
+	// Conservation between Records and PerVM aggregates.
+	type agg struct {
+		n          int
+		exec, wait float64
+	}
+	perVM := make(map[int]agg, len(res.PerVM))
+	for _, rec := range res.Records {
+		if !rec.Success {
+			continue
+		}
+		a := perVM[rec.VMID]
+		a.n++
+		a.exec += rec.ExecTime()
+		a.wait += rec.QueueTime()
+		perVM[rec.VMID] = a
+		if _, known := res.PerVM[rec.VMID]; !known {
+			r.fail(now, "stats-missing-vm", "record on vm%d but no PerVM entry", rec.VMID)
+		}
+	}
+	for id, st := range res.PerVM {
+		a := perVM[id]
+		if st.N != a.n || math.Abs(st.SumExec-a.exec) > eps || math.Abs(st.SumWait-a.wait) > eps {
+			r.fail(now, "stats-conservation",
+				"vm%d stats (n=%d exec=%v wait=%v) disagree with records (n=%d exec=%v wait=%v)",
+				id, st.N, st.SumExec, st.SumWait, a.n, a.exec, a.wait)
+		}
+		if math.Abs(st.Busy-a.exec) > eps {
+			r.fail(now, "busy-conservation", "vm%d busy %v != successful exec sum %v", id, st.Busy, a.exec)
+		}
+	}
+
+	// Cost and BusyCost consistency.
+	fleet := r.env.Fleet()
+	base := fleet.Cost(res.Makespan)
+	if res.Elasticity == nil {
+		if math.Abs(res.Cost-base) > eps {
+			r.fail(now, "cost", "Cost %v != fleet cost %v", res.Cost, base)
+		}
+	} else if res.Cost < base-eps {
+		r.fail(now, "cost", "Cost %v below fleet-only cost %v despite acquired VMs", res.Cost, base)
+	}
+	var busyCost float64
+	for _, v := range r.env.VMStates() {
+		busyCost += v.Stats().Busy * v.VM.Type.PricePerHour / (3600 * float64(v.Slots))
+	}
+	if math.Abs(res.BusyCost-busyCost) > eps {
+		r.fail(now, "busy-cost", "BusyCost %v != recomputed %v", res.BusyCost, busyCost)
+	}
+
+	// Elasticity and revocation reports match the observed events.
+	if res.Elasticity != nil {
+		e := res.Elasticity
+		if e.Acquired != r.added {
+			r.fail(now, "elasticity-acquired", "report says %d acquired, auditor observed %d", e.Acquired, r.added)
+		}
+		if e.Released != r.retired {
+			r.fail(now, "elasticity-released", "report says %d released, auditor observed %d", e.Released, r.retired)
+		}
+		if e.PeakVMs > r.initialVMs+r.added {
+			r.fail(now, "elasticity-peak", "peak %d exceeds initial %d + acquired %d", e.PeakVMs, r.initialVMs, r.added)
+		}
+	}
+	if res.Revocations != r.revoked {
+		r.fail(now, "revocation-count", "result says %d revocations, auditor observed %d", res.Revocations, r.revoked)
+	}
+}

@@ -50,25 +50,52 @@ func (a *Autoscale) validate() error {
 
 // scaler is the per-run autoscaler state.
 type scaler struct {
-	policy      *Autoscale
-	lastScale   float64
-	acquired    int
-	pinned      int // size of the initial fleet
+	policy    *Autoscale
+	lastScale float64
+	acquired  int
+	released  int // acquired VMs retired for idleness
+	// nextID is the ID the next acquired VM receives: one past the
+	// highest ID in the fleet so far. Allocating len(g.vms) instead
+	// would collide with hand-built fleets whose IDs have gaps.
+	nextID int
+	// isAcquired marks VMs added by scale-out. Only acquired VMs may
+	// be retired; the initial fleet is pinned whatever its IDs are.
+	isAcquired map[*VMState]bool
+	// dead holds VMs that can never work again — idle-retired or
+	// spot-revoked. They do not count against MaxVMs.
+	dead        map[*VMState]bool
 	idleSince   map[*VMState]float64
-	retired     map[*VMState]bool
 	acquireTime map[*VMState]float64 // boot completion per acquired VM
 	releaseTime map[*VMState]float64
 }
 
-func newScaler(p *Autoscale, initial int) *scaler {
+func newScaler(p *Autoscale, maxID int) *scaler {
 	return &scaler{
 		policy:      p,
 		lastScale:   -1e18,
-		pinned:      initial,
+		nextID:      maxID + 1,
+		isAcquired:  make(map[*VMState]bool),
+		dead:        make(map[*VMState]bool),
 		idleSince:   make(map[*VMState]float64),
-		retired:     make(map[*VMState]bool),
 		acquireTime: make(map[*VMState]float64),
 		releaseTime: make(map[*VMState]float64),
+	}
+}
+
+// vmRevoked tells the scaler a spot revocation killed v: the corpse
+// stops counting against MaxVMs (so scale-out can replace it), stops
+// being tracked for idleness, and — if it was acquired — stops
+// billing at the revocation instant.
+func (sc *scaler) vmRevoked(v *VMState, now float64) {
+	if sc.dead[v] {
+		return
+	}
+	sc.dead[v] = true
+	delete(sc.idleSince, v)
+	if sc.isAcquired[v] {
+		if _, ok := sc.releaseTime[v]; !ok {
+			sc.releaseTime[v] = now
+		}
 	}
 }
 
@@ -85,7 +112,7 @@ func (g *Engine) autoscaleStep() {
 	// Scale in: retire acquired VMs idle past the timeout.
 	if p.IdleTimeout > 0 {
 		for _, v := range g.vms {
-			if sc.retired[v] || !v.booted {
+			if sc.dead[v] || !v.booted {
 				continue
 			}
 			if v.busy > 0 {
@@ -97,16 +124,22 @@ func (g *Engine) autoscaleStep() {
 				sc.idleSince[v] = now
 				continue
 			}
-			if v.VM.ID >= sc.pinned && now-since >= p.IdleTimeout {
-				sc.retired[v] = true
+			if sc.isAcquired[v] && now-since >= p.IdleTimeout {
+				sc.dead[v] = true
+				sc.released++
 				sc.releaseTime[v] = now
+				delete(sc.idleSince, v)
 				v.booted = false // never idle again
+				if g.hook != nil {
+					g.hook.VMRetired(now, v)
+				}
 			}
 		}
 	}
 
-	// Scale out: sustained backlog and room to grow.
-	if p.MaxVMs <= 0 || len(g.vms)-len(sc.retired) >= p.MaxVMs {
+	// Scale out: sustained backlog and room to grow. Dead VMs (retired
+	// or spot-revoked) no longer occupy capacity.
+	if p.MaxVMs <= 0 || len(g.vms)-len(sc.dead) >= p.MaxVMs {
 		return
 	}
 	if now-sc.lastScale < p.Cooldown {
@@ -127,21 +160,28 @@ func (g *Engine) autoscaleStep() {
 	}
 	sc.lastScale = now
 	sc.acquired++
-	vm := &cloud.VM{ID: len(g.vms), Type: p.Type}
+	vm := &cloud.VM{ID: sc.nextID, Type: p.Type}
+	sc.nextID++
 	if len(g.fleet.VMs) > 0 {
 		vm.Site = g.fleet.VMs[0].Site
 	}
 	v := newVMState(vm)
 	v.booted = false
+	sc.isAcquired[v] = true
 	g.vms = append(g.vms, v)
 	g.env.vms = g.vms
 	sc.acquireTime[v] = now + p.BootDelay
+	if g.hook != nil {
+		g.hook.VMAdded(now, v)
+	}
 	g.sim.At(now+p.BootDelay, func() {
-		if !sc.retired[v] {
+		if !sc.dead[v] {
 			v.booted = true
 			g.postCycle()
 		}
 	})
+	// Acquired VMs are spot instances too when a spot policy is active.
+	g.scheduleSpotRevocation(v, now+p.BootDelay)
 }
 
 // ElasticityReport summarises autoscaling activity in a Result.

@@ -183,3 +183,113 @@ func TestAutoscaleDeterministic(t *testing.T) {
 		t.Fatal("expected scale-out on the montage burst")
 	}
 }
+
+// TestAutoscaleGappedFleetIDs is the regression test for acquired-VM
+// ID allocation: allocating len(g.vms) collides with hand-built
+// fleets whose IDs have gaps (here {0, 2} — the old code would hand
+// an acquired VM the existing ID 2 and silently merge two VMs'
+// Result.PerVM stats). IDs must continue from the fleet maximum.
+func TestAutoscaleGappedFleetIDs(t *testing.T) {
+	fleet := &cloud.Fleet{Name: "gapped", VMs: []*cloud.VM{
+		{ID: 0, Type: cloud.T2Micro},
+		{ID: 2, Type: cloud.T2Micro},
+	}}
+	w := wideWorkflow(16, 100)
+	res, err := Run(w, fleet, &greedyFirst{}, Config{
+		Autoscale: &Autoscale{Type: cloud.T2Micro, MaxVMs: 4, BootDelay: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elasticity.Acquired != 2 {
+		t.Fatalf("acquired %d VMs, want 2", res.Elasticity.Acquired)
+	}
+	want := map[int]bool{0: true, 2: true, 3: true, 4: true}
+	if len(res.PerVM) != len(want) {
+		t.Fatalf("PerVM has %d entries (%v), want 4 distinct VMs", len(res.PerVM), res.PerVM)
+	}
+	for id := range res.PerVM {
+		if !want[id] {
+			t.Fatalf("unexpected VM ID %d in PerVM (want IDs 0,2 and fresh 3,4)", id)
+		}
+	}
+}
+
+// TestAutoscalePinsInitialFleetWithHighIDs is the regression test for
+// scale-in pinning: the old code treated any VM with ID ≥ initial
+// fleet size as acquired, so a hand-built fleet with IDs {5, 7} had
+// its *initial* VMs retired for idleness. Pinning must track
+// acquired-ness, not ID ranges.
+func TestAutoscalePinsInitialFleetWithHighIDs(t *testing.T) {
+	fleet := &cloud.Fleet{Name: "high-ids", VMs: []*cloud.VM{
+		{ID: 5, Type: cloud.T2Micro},
+		{ID: 7, Type: cloud.T2Micro},
+	}}
+	// A serial chain keeps one VM busy while the other idles far past
+	// the timeout — it must survive anyway.
+	w := chain(10, 10, 10, 10)
+	res, err := Run(w, fleet, &greedyFirst{}, Config{
+		Autoscale: &Autoscale{IdleTimeout: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != FinishedOK {
+		t.Fatalf("state = %v", res.State)
+	}
+	if res.Elasticity.Released != 0 {
+		t.Fatalf("released %d initial-fleet VMs; the initial fleet is pinned", res.Elasticity.Released)
+	}
+}
+
+// TestSpotRevokedVMFreesAutoscaleCapacity is the regression test for
+// the spot×autoscale interaction: a revoked VM used to keep counting
+// against MaxVMs forever, so a 2-VM-cap fleet that lost a VM to a
+// revocation could never scale back out. The corpse must free its
+// capacity slot and the scaler must acquire a replacement.
+func TestSpotRevokedVMFreesAutoscaleCapacity(t *testing.T) {
+	fleet := cloud.MustFleet("pair", []cloud.VMType{cloud.T2Micro}, []int{2})
+	w := wideWorkflow(20, 100)
+	run := func(seed int64) *Result {
+		res, err := Run(w, fleet, &greedyFirst{}, Config{
+			Seed: seed,
+			Spot: &SpotPolicy{MeanLifetime: 150, KeepOne: true},
+			// The cap equals the initial fleet size: scale-out is only
+			// possible at all once a corpse stops occupying capacity.
+			Autoscale: &Autoscale{Type: cloud.T2Micro, MaxVMs: 2,
+				BootDelay: 1, QueuePerFreeSlot: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	// Probe seeds for a revocation landing mid-run with backlog left.
+	var res *Result
+	for seed := int64(1); seed <= 20; seed++ {
+		if r := run(seed); r.Revocations >= 1 && r.Elasticity != nil {
+			res = r
+			break
+		}
+	}
+	if res == nil {
+		t.Fatal("no probed seed produced a mid-run revocation; retune the scenario")
+	}
+	if res.State != FinishedOK {
+		t.Fatalf("state = %v", res.State)
+	}
+	if res.Elasticity.Acquired < 1 {
+		t.Fatalf("acquired %d VMs after the revocation, want ≥1 (corpse still occupies capacity?)",
+			res.Elasticity.Acquired)
+	}
+	// The replacement VM (fresh ID ≥ 2) must actually have done work.
+	worked := false
+	for id := range res.PerVM {
+		if id >= 2 {
+			worked = true
+		}
+	}
+	if !worked {
+		t.Fatalf("no record on any replacement VM: %v", res.PerVM)
+	}
+}

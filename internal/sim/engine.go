@@ -98,6 +98,10 @@ type Config struct {
 	// per-episode plans, and at 100 episodes per run the map builds are
 	// measurable in the hot path.
 	SkipPlan bool
+	// Hook, when non-nil, observes engine-internal transitions (task
+	// lifecycle, VM churn, scheduling decisions) for invariant auditing.
+	// Nil keeps every call site a single pointer comparison.
+	Hook Hook
 }
 
 // Env provides estimation helpers and live aggregates to schedulers.
@@ -347,6 +351,13 @@ type Engine struct {
 	cyclePosted bool // a scheduling pass is already queued
 	scaler      *scaler
 	peakBooted  int
+	// hook is this run's observer (cfg.Hook.RunStart), nil when
+	// observation is disabled.
+	hook RunHook
+	// abortBuf is reused scratch for collecting the tasks a spot
+	// revocation kills, so they can be aborted in task-index order
+	// rather than map order.
+	abortBuf []*Task
 	// running maps in-flight tasks to their completion event and VM,
 	// so spot revocations can abort them.
 	running map[*Task]runningTask
@@ -415,7 +426,16 @@ func (g *Engine) setup() {
 	g.env.rng = g.rng
 	g.env.global = VMStats{}
 	if g.cfg.Autoscale != nil {
-		g.scaler = newScaler(g.cfg.Autoscale, g.fleet.Len())
+		// Seed ID allocation from the highest fleet ID, not the fleet
+		// size: hand-built fleets may have gapped IDs, and a duplicate
+		// ID would silently merge two VMs' Result.PerVM stats.
+		maxID := 0
+		for _, vm := range g.fleet.VMs {
+			if vm.ID > maxID {
+				maxID = vm.ID
+			}
+		}
+		g.scaler = newScaler(g.cfg.Autoscale, maxID)
 	} else {
 		g.scaler = nil
 	}
@@ -423,6 +443,11 @@ func (g *Engine) setup() {
 		g.running = make(map[*Task]runningTask, g.fleet.Len())
 	} else {
 		clear(g.running)
+	}
+	if g.cfg.Hook != nil {
+		g.hook = g.cfg.Hook.RunStart(g.env)
+	} else {
+		g.hook = nil
 	}
 	g.scheduleRevocations()
 	n := g.w.Len()
@@ -450,6 +475,9 @@ func (g *Engine) setup() {
 				t.State = Ready
 				t.ReadyAt = g.sim.Now()
 				g.ready = append(g.ready, t)
+				if g.hook != nil {
+					g.hook.TaskReady(t.ReadyAt, t)
+				}
 				g.postCycle()
 			}
 			g.completeFns[i] = func() {
@@ -552,12 +580,18 @@ func (g *Engine) Run() (*Result, error) {
 		sc := g.scaler
 		g.result.Elasticity = &ElasticityReport{
 			Acquired: sc.acquired,
-			Released: len(sc.retired),
+			Released: sc.released,
 			PeakVMs:  g.peakBooted,
 		}
 		// Acquired VMs bill hourly from acquisition to release (or the
-		// end of the run).
-		for v, bootAt := range sc.acquireTime {
+		// end of the run). Iterate the VM list, not the acquireTime map:
+		// float additions in map order would make Cost's low bits depend
+		// on iteration order, breaking byte-stable traces.
+		for _, v := range g.vms {
+			bootAt, ok := sc.acquireTime[v]
+			if !ok {
+				continue
+			}
 			end := g.result.Makespan
 			if t, ok := sc.releaseTime[v]; ok {
 				end = t
@@ -568,6 +602,9 @@ func (g *Engine) Run() (*Result, error) {
 		}
 	}
 	g.result.Kernel = g.sim.Stats()
+	if g.hook != nil {
+		g.hook.RunEnd(g.result)
+	}
 	if g.cfg.Sink != nil {
 		ks := g.result.Kernel
 		g.cfg.Sink.Emit(telemetry.KernelEvent{
@@ -630,6 +667,9 @@ func (g *Engine) cycle() {
 	for g.workflowState() == Available {
 		ctx := g.buildContext()
 		g.result.Decisions++
+		if g.hook != nil {
+			g.hook.Decision(g.sim.Now(), ctx)
+		}
 		assigns := g.sched.Pick(ctx)
 		if len(assigns) == 0 {
 			return // scheduler chose "do nothing"
@@ -715,6 +755,9 @@ func (g *Engine) start(as Assignment) bool {
 	// is safe because the event is strictly in the future.
 	ref := g.sim.At(fin, g.completeFns[t.Act.Index])
 	g.running[t] = runningTask{ref: ref, vm: v}
+	if g.hook != nil {
+		g.hook.TaskStart(g.sim.Now(), t, v)
+	}
 	return true
 }
 
@@ -763,6 +806,10 @@ func (g *Engine) complete(t *Task, v *VMState) {
 		t.ReadyAt = g.sim.Now()
 		g.ready = append(g.ready, t)
 		g.record(t, v, false)
+		if g.hook != nil {
+			g.hook.TaskFinish(g.sim.Now(), t, v, false, false)
+			g.hook.TaskReady(t.ReadyAt, t)
+		}
 		g.postCycle()
 		return
 	}
@@ -772,9 +819,15 @@ func (g *Engine) complete(t *Task, v *VMState) {
 	if failed {
 		t.State = Failed
 		g.anyFailed = true
+		if g.hook != nil {
+			g.hook.TaskFinish(g.sim.Now(), t, v, true, false)
+		}
 		g.cancelDescendants(t)
 	} else {
 		t.State = Succeeded
+		if g.hook != nil {
+			g.hook.TaskFinish(g.sim.Now(), t, v, true, true)
+		}
 		if g.result.Plan != nil {
 			g.result.Plan[t.Act.ID] = v.VM.ID
 		}
@@ -827,6 +880,9 @@ func (g *Engine) cancelDescendants(t *Task) {
 		if dt.State == Locked {
 			dt.State = Failed
 			g.remaining--
+			if g.hook != nil {
+				g.hook.TaskCancel(g.sim.Now(), dt)
+			}
 		}
 	}
 }

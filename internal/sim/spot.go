@@ -2,7 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+
+	"reassign/internal/cloud"
 )
 
 // SpotPolicy models spot/preemptible instances: eligible VMs are
@@ -34,7 +37,14 @@ func (p *SpotPolicy) validate() error {
 	return nil
 }
 
-// scheduleRevocations draws one revocation time per eligible VM.
+// eligible reports whether the policy may revoke VMs of this type.
+func (p *SpotPolicy) eligible(t cloud.VMType) bool {
+	return p.EligibleType == "" || strings.EqualFold(t.Name, p.EligibleType)
+}
+
+// scheduleRevocations draws one revocation time per eligible VM of
+// the initial fleet. Acquired VMs draw theirs at acquisition time
+// (scheduleSpotRevocation).
 func (g *Engine) scheduleRevocations() {
 	p := g.cfg.Spot
 	if p == nil {
@@ -42,7 +52,7 @@ func (g *Engine) scheduleRevocations() {
 	}
 	kept := false
 	for _, v := range g.vms {
-		if p.EligibleType != "" && !strings.EqualFold(v.VM.Type.Name, p.EligibleType) {
+		if !p.eligible(v.VM.Type) {
 			continue
 		}
 		if p.KeepOne && !kept {
@@ -55,20 +65,54 @@ func (g *Engine) scheduleRevocations() {
 	}
 }
 
+// scheduleSpotRevocation draws a revocation time for a VM acquired by
+// the autoscaler mid-run. Its spot lifetime starts when it boots;
+// KeepOne only protects the initial fleet.
+func (g *Engine) scheduleSpotRevocation(v *VMState, bootAt float64) {
+	p := g.cfg.Spot
+	if p == nil || !p.eligible(v.VM.Type) {
+		return
+	}
+	at := bootAt + g.env.rng.ExpFloat64()*p.MeanLifetime
+	g.sim.At(at, func() { g.revoke(v) })
+}
+
+// taskIndexSorter orders tasks by activation index.
+type taskIndexSorter []*Task
+
+func (s taskIndexSorter) Len() int           { return len(s) }
+func (s taskIndexSorter) Less(i, j int) bool { return s[i].Act.Index < s[j].Act.Index }
+func (s taskIndexSorter) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
 // revoke kills a VM: running activations are aborted back to the
-// ready queue, the VM never accepts work again.
+// ready queue in task-index order, the VM never accepts work again.
+// The autoscaler, when active, is told so the corpse stops counting
+// against MaxVMs and stops billing.
 func (g *Engine) revoke(v *VMState) {
 	if g.remaining == 0 || !v.booted {
 		return
 	}
 	v.booted = false
 	g.result.Revocations++
-	// Abort everything running on v.
+	if g.hook != nil {
+		g.hook.VMRevoked(g.sim.Now(), v)
+	}
+	if g.scaler != nil {
+		g.scaler.vmRevoked(v, g.sim.Now())
+	}
+	// Collect the affected tasks first: aborting while iterating
+	// g.running would emit their failure records in map order, which
+	// varies between runs and breaks the byte-stable-trace contract
+	// whenever a multi-vCPU VM dies with more than one task aboard.
+	g.abortBuf = g.abortBuf[:0]
 	for t, run := range g.running {
-		if run.vm != v {
-			continue
+		if run.vm == v {
+			g.abortBuf = append(g.abortBuf, t)
 		}
-		run.ref.Cancel()
+	}
+	sort.Sort(taskIndexSorter(g.abortBuf))
+	for _, t := range g.abortBuf {
+		g.running[t].ref.Cancel()
 		v.release()
 		delete(g.running, t)
 		// The aborted attempt shows up as an unsuccessful record
@@ -78,6 +122,10 @@ func (g *Engine) revoke(v *VMState) {
 		t.State = Ready
 		t.ReadyAt = g.sim.Now()
 		g.ready = append(g.ready, t)
+		if g.hook != nil {
+			g.hook.TaskAbort(g.sim.Now(), t, v)
+			g.hook.TaskReady(t.ReadyAt, t)
+		}
 	}
 	g.postCycle()
 }

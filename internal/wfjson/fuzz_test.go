@@ -1,0 +1,66 @@
+package wfjson
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead throws arbitrary bytes at the WfCommons JSON parser.
+// Inputs must either be rejected with an error or produce a workflow
+// that round-trips: Write followed by Read preserves the activation
+// count and the dependency count. The parser must never panic.
+func FuzzRead(f *testing.F) {
+	valid := `{
+  "name": "fuzz",
+  "workflow": {
+    "specification": {
+      "tasks": [
+        {"name": "a", "children": ["b"], "inputFiles": [], "outputFiles": ["f1"]},
+        {"name": "b", "parents": ["a"], "inputFiles": ["f1"], "outputFiles": []}
+      ],
+      "files": [{"id": "f1", "sizeInBytes": 100}]
+    },
+    "execution": {
+      "tasks": [
+        {"id": "a", "runtimeInSeconds": 1.5},
+        {"id": "b", "runtimeInSeconds": 2.0}
+      ]
+    }
+  }
+}`
+	f.Add([]byte(valid))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"workflow":{}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"workflow":{"specification":{"tasks":[{"name":"x","parents":["missing"]}]}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wf, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		wantLen := wf.Len()
+		wantEdges := 0
+		for _, a := range wf.Activations() {
+			wantEdges += len(a.Parents())
+		}
+
+		var buf bytes.Buffer
+		if err := Write(&buf, wf); err != nil {
+			t.Fatalf("Write failed on a workflow Read accepted: %v", err)
+		}
+		wf2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("Read rejected its own Write output: %v", err)
+		}
+		if wf2.Len() != wantLen {
+			t.Fatalf("round-trip changed activation count: %d -> %d", wantLen, wf2.Len())
+		}
+		gotEdges := 0
+		for _, a := range wf2.Activations() {
+			gotEdges += len(a.Parents())
+		}
+		if gotEdges != wantEdges {
+			t.Fatalf("round-trip changed dependency count: %d -> %d", wantEdges, gotEdges)
+		}
+	})
+}
