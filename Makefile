@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race race-replicas bench benchsmoke guard test build vet audit fuzz-smoke
+.PHONY: check race race-replicas race-exec exec-smoke bench benchsmoke guard test build vet audit fuzz-smoke
 
 ## check: vet, build, and test everything (the tier-1 gate)
 check: vet build test
@@ -22,6 +22,20 @@ race:
 ## (concurrent learners sharing a fan-out telemetry sink)
 race-replicas:
 	$(GO) test -race -run Replica -count=1 ./internal/core/...
+
+## race-exec: race-detector soak over the execution-stage runtime —
+## TCP loopback masters with worker connections killed mid-run
+race-exec:
+	$(GO) test -race -count=1 ./internal/exec/...
+
+## exec-smoke: end-to-end loopback smoke with real processes: a
+## reassign master on 127.0.0.1 joined by two execworker processes,
+## plus an in-process run under injected worker deaths
+exec-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/reassign ./cmd/reassign
+	$(GO) build -o bin/execworker ./cmd/execworker
+	bash scripts/exec_smoke.sh ./bin
 
 ## bench: run the benchmark trajectory and record BENCH_core.json
 bench:

@@ -13,19 +13,24 @@
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"reassign/internal/cloud"
 	"reassign/internal/core"
 	"reassign/internal/dag"
 	"reassign/internal/dax"
 	"reassign/internal/engine"
+	"reassign/internal/exec"
 	"reassign/internal/gantt"
 	"reassign/internal/invariant"
 	"reassign/internal/metrics"
@@ -60,10 +65,18 @@ func run() error {
 	autoscale := flag.Int("autoscale", 0, "enable elasticity: grow the fleet up to N VMs (t2.large, 45s boot, 120s idle timeout)")
 	spot := flag.Float64("spot", 0, "treat VMs as spot instances with this mean lifetime in seconds (one VM protected)")
 	execute := flag.Bool("execute", false, "execute the plan in the concurrent engine after scheduling")
-	planOut := flag.String("plan", "", "write the activation→VM plan (TSV) to this file")
+	workers := flag.Int("workers", 0, "execute on the master/worker runtime with this many workers (0: the simulation engine)")
+	listen := flag.String("listen", "", "with -workers, serve the master on this TCP address and wait for execworker processes (default: in-process deterministic workers)")
+	faultRate := flag.Float64("faultrate", 0, "with -workers, inject worker deaths with this per-event probability")
+	failRate := flag.Float64("failrate", 0, "with -workers, inject per-attempt task failures with this probability")
+	planOut := flag.String("plan", "", "write the activation→VM plan to this file (TSV, or JSON for .json paths)")
+	planIn := flag.String("planin", "", "skip scheduling and load the plan (TSV or JSON) from this file")
 	qOut := flag.String("qtable", "", "save the learned Q table (JSON) to this file")
 	qIn := flag.String("resume", "", "resume learning from a saved Q table")
+	seedProv := flag.String("seedprov", "", "seed the Q table from a provenance store (JSON) before learning")
 	provOut := flag.String("prov", "", "write execution provenance (JSON) to this file")
+	provCSV := flag.String("provcsv", "", "write execution provenance (CSV) to this file")
+	provCSVAttempts := flag.Bool("provcsv-attempts", false, "include per-attempt history rows in -provcsv output")
 	ganttOut := flag.String("gantt", "", "write the schedule as an SVG Gantt chart to this file")
 	curveOut := flag.String("learncurve", "", "write the per-episode makespan curve (SVG) to this file (ReASSIgN only)")
 	ascii := flag.Bool("ascii", false, "print an ASCII Gantt chart of the schedule")
@@ -132,7 +145,24 @@ func run() error {
 	var plan core.Plan
 	var makespan float64
 	var lastRes *sim.Result
-	if strings.EqualFold(*schedName, "reassign") {
+	var learnedTable *rl.Table
+	if *planIn != "" {
+		p, err := readPlan(*planIn)
+		if err != nil {
+			return err
+		}
+		if err := p.Validate(w, fleet); err != nil {
+			return err
+		}
+		// Replay the loaded plan once so the report still shows a
+		// simulated makespan.
+		res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "loaded", Assign: p.Map()}, cfg)
+		if err != nil {
+			return err
+		}
+		plan, makespan, lastRes = p, res.Makespan, res
+		fmt.Printf("plan:     loaded from %s\n", *planIn)
+	} else if strings.EqualFold(*schedName, "reassign") {
 		p := core.DefaultParams()
 		p.Alpha, p.Gamma, p.Epsilon = *alpha, *gamma, *epsilon
 		opts := []core.Option{core.WithSeed(*seed), core.WithSink(sink)}
@@ -145,6 +175,14 @@ func run() error {
 		}
 		if *replicas > 1 {
 			opts = append(opts, core.WithReplicas(*replicas))
+		}
+		if *seedProv != "" {
+			ps := provenance.NewStore()
+			if err := ps.LoadFile(*seedProv); err != nil {
+				return err
+			}
+			opts = append(opts, core.WithProvenanceSeed(ps))
+			fmt.Printf("seed:     Q table seeded from %s (%d records)\n", *seedProv, ps.Len())
 		}
 		l, err := core.NewLearner(core.Config{
 			Workflow: w, Fleet: fleet, Params: p, Episodes: *episodes, Sim: cfg,
@@ -191,17 +229,17 @@ func run() error {
 			}
 			fmt.Printf("curve:    written to %s\n", *curveOut)
 		}
+		learnedTable = res.Table
+		if ensemble != nil {
+			// Use the replica consensus rather than one replica's table:
+			// averaged values seed the next execution better.
+			learnedTable = ensemble.EnsembleTable(*seed)
+		}
 		if *qOut != "" {
-			tab := res.Table
-			if ensemble != nil {
-				// Persist the replica consensus rather than one replica's
-				// table: averaged values seed the next execution better.
-				tab = ensemble.EnsembleTable(*seed)
-			}
-			if err := tab.SaveFile(*qOut); err != nil {
+			if err := learnedTable.SaveFile(*qOut); err != nil {
 				return err
 			}
-			fmt.Printf("q-table:  saved to %s (%d entries)\n", *qOut, tab.Len())
+			fmt.Printf("q-table:  saved to %s (%d entries)\n", *qOut, learnedTable.Len())
 		}
 	} else {
 		s, err := lookupScheduler(*schedName, *seed)
@@ -253,26 +291,47 @@ func run() error {
 
 	if *execute {
 		store := provenance.NewStore()
-		e, err := engine.New(w, fleet, plan,
-			engine.WithFluctuation(fm),
-			engine.WithSeed(*seed+1000),
-			engine.WithStore(store, "cli"),
-			engine.WithSink(sink),
-		)
-		if err != nil {
-			return err
+		if *workers > 0 {
+			if err := runMaster(w, fleet, plan, store, sink, learnedTable,
+				*workers, *listen, *faultRate, *failRate, fm, *seed); err != nil {
+				return err
+			}
+		} else {
+			e, err := engine.New(w, fleet, plan,
+				engine.WithFluctuation(fm),
+				engine.WithSeed(*seed+1000),
+				engine.WithStore(store, "cli"),
+				engine.WithSink(sink),
+			)
+			if err != nil {
+				return err
+			}
+			rep, err := e.Execute(context.Background())
+			if err != nil {
+				return err
+			}
+			fmt.Printf("executed: %d activations, makespan %.3fs (%s), wall %v, peak workers %d\n",
+				len(rep.Tasks), rep.Makespan, metrics.FormatDuration(rep.Makespan), rep.Wall, rep.PeakWorkers)
 		}
-		rep, err := e.Execute(context.Background())
-		if err != nil {
-			return err
-		}
-		fmt.Printf("executed: %d activations, makespan %.3fs (%s), wall %v, peak workers %d\n",
-			len(rep.Tasks), rep.Makespan, metrics.FormatDuration(rep.Makespan), rep.Wall, rep.PeakWorkers)
 		if *provOut != "" {
 			if err := store.SaveFile(*provOut); err != nil {
 				return err
 			}
 			fmt.Printf("prov:     written to %s (%d records)\n", *provOut, store.Len())
+		}
+		if *provCSV != "" {
+			f, err := os.Create(*provCSV)
+			if err != nil {
+				return err
+			}
+			if err := store.WriteCSV(f, *provCSVAttempts); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("provcsv:  written to %s\n", *provCSV)
 		}
 	}
 
@@ -367,10 +426,105 @@ func printPlanSummary(plan core.Plan, fleet *cloud.Fleet) {
 }
 
 func writePlan(path string, plan core.Plan) error {
+	if strings.HasSuffix(path, ".json") {
+		data, err := json.MarshalIndent(plan, "", " ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(data, '\n'), 0o644)
+	}
 	var b strings.Builder
 	b.WriteString("activation\tvm\n")
 	for _, e := range plan.Entries() {
 		fmt.Fprintf(&b, "%s\t%d\n", e.Activation, e.VM)
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// readPlan loads a plan written by writePlan: the JSON entry array
+// for .json paths, the two-column TSV otherwise.
+func readPlan(path string) (core.Plan, error) {
+	var plan core.Plan
+	if strings.HasSuffix(path, ".json") {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return plan, err
+		}
+		if err := json.Unmarshal(data, &plan); err != nil {
+			return plan, fmt.Errorf("plan %s: %w", path, err)
+		}
+		return plan, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return plan, err
+	}
+	defer f.Close()
+	m := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || (line == 1 && strings.HasPrefix(text, "activation")) {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return plan, fmt.Errorf("plan %s:%d: want 'activation vm', got %q", path, line, text)
+		}
+		vm, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return plan, fmt.Errorf("plan %s:%d: bad VM %q", path, line, fields[1])
+		}
+		m[fields[0]] = vm
+	}
+	if err := sc.Err(); err != nil {
+		return plan, err
+	}
+	return core.NewPlan(m), nil
+}
+
+// runMaster executes the plan on the master/worker runtime: in-process
+// deterministic workers by default, or — with listen non-empty — a TCP
+// master that waits for execworker processes to join.
+func runMaster(w *dag.Workflow, fleet *cloud.Fleet, plan core.Plan,
+	store *provenance.Store, sink telemetry.Sink, table *rl.Table,
+	workers int, listen string, faultRate, failRate float64,
+	fm *cloud.FluctuationModel, seed int64) error {
+	var runner exec.Runner = exec.SimRunner{Fluct: fm, Seed: seed + 2000}
+	if failRate > 0 {
+		runner = exec.FailingRunner{Inner: runner, Rate: failRate, Seed: seed}
+	}
+	var tr exec.Transport
+	if listen != "" {
+		tcp := &exec.TCP{Addr: listen, Workers: workers}
+		if err := tcp.Listen(); err != nil {
+			return err
+		}
+		fmt.Printf("exec:     listening on %s, waiting for %d execworker(s)\n", tcp.ListenAddr(), workers)
+		tr = tcp
+	} else {
+		tr = &exec.InProc{Workers: workers, Runner: runner}
+	}
+	if faultRate > 0 {
+		tr = &exec.Fault{Inner: tr, Rate: faultRate, Seed: seed}
+	}
+	opts := []exec.Option{exec.WithStore(store, "cli"), exec.WithSink(sink)}
+	if table != nil {
+		opts = append(opts, exec.WithReassigner(exec.QTableReassigner{Table: table}))
+	}
+	m, err := exec.New(w, fleet, plan, tr, opts...)
+	if err != nil {
+		return err
+	}
+	rep, err := m.Run(context.Background())
+	if rep != nil && rep.Attempts > 0 {
+		fmt.Printf("executed: %d/%d activations, makespan %.3fs (%s), wall %v\n",
+			rep.Done, rep.Tasks, rep.Makespan, metrics.FormatDuration(rep.Makespan),
+			rep.Wall.Round(time.Millisecond))
+		fmt.Printf("exec:     %d attempts, %d retries, %d reassigned, %d worker(s) lost, %d abandoned\n",
+			rep.Attempts, rep.Retries, rep.Reassigned, rep.WorkerLost, rep.Abandoned)
+	}
+	return err
 }

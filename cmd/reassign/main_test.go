@@ -91,3 +91,37 @@ func TestWritePlan(t *testing.T) {
 		t.Fatalf("plan file content: %v", lines)
 	}
 }
+
+func TestPlanRoundTripTSVAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	plan := core.NewPlan(map[string]int{"ID00001": 3, "ID00000": 8, "ID00002": 0})
+	for _, name := range []string{"plan.tsv", "plan.json"} {
+		path := filepath.Join(dir, name)
+		if err := writePlan(path, plan); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		back, err := readPlan(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if back.Len() != 3 {
+			t.Fatalf("%s: %d entries", name, back.Len())
+		}
+		for _, e := range plan.Entries() {
+			if vm, ok := back.VM(e.Activation); !ok || vm != e.VM {
+				t.Fatalf("%s: %s → %d (ok %v), want %d", name, e.Activation, vm, ok, e.VM)
+			}
+		}
+	}
+	// JSON output is the entry-array form.
+	data, err := os.ReadFile(filepath.Join(dir, "plan.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(data)), "[") {
+		t.Fatalf("plan.json is not an entry array: %s", data)
+	}
+	if _, err := readPlan(filepath.Join(dir, "missing.tsv")); err == nil {
+		t.Fatal("missing plan accepted")
+	}
+}

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
 )
 
 // PlanEntry is one assignment of a scheduling plan.
@@ -89,6 +92,41 @@ func (p Plan) Map() map[string]int {
 // String renders a compact summary.
 func (p Plan) String() string {
 	return fmt.Sprintf("plan(%d activations)", len(p.entries))
+}
+
+// Validate checks the plan against a workflow and fleet at load time:
+// every entry must reference a VM provisioned in the fleet and (when w
+// is non-nil) an activation of the workflow, and every activation of
+// the workflow must be covered. Catching a stale or mistyped plan
+// here yields a clear error instead of a failure deep inside
+// dispatch. Either argument may be nil to skip its half of the check.
+func (p Plan) Validate(w *dag.Workflow, fleet *cloud.Fleet) error {
+	if fleet != nil {
+		known := make(map[int]bool, fleet.Len())
+		for _, vm := range fleet.VMs {
+			known[vm.ID] = true
+		}
+		for _, e := range p.entries {
+			if !known[e.VM] {
+				return fmt.Errorf("core: plan maps %s to VM %d, absent from fleet %s (%d VMs)",
+					e.Activation, e.VM, fleet.Name, fleet.Len())
+			}
+		}
+	}
+	if w != nil {
+		for _, e := range p.entries {
+			if w.Get(e.Activation) == nil {
+				return fmt.Errorf("core: plan entry %s does not name an activation of workflow %s",
+					e.Activation, w.Name)
+			}
+		}
+		for _, a := range w.Activations() {
+			if _, ok := p.byID[a.ID]; !ok {
+				return fmt.Errorf("core: plan misses activation %s", a.ID)
+			}
+		}
+	}
+	return nil
 }
 
 // MarshalJSON encodes the plan as a sorted array of entries, making

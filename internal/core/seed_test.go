@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/provenance"
+	"reassign/internal/rl"
+	"reassign/internal/trace"
+)
+
+func seedStore(taskID, activity string) *provenance.Store {
+	s := provenance.NewStore()
+	// History says the activity runs 5x faster on t2.2xlarge than its
+	// nominal runtime and 2x slower on t2.micro.
+	s.Add(provenance.Execution{
+		RunID: "r0", TaskID: taskID, Activity: activity,
+		VMType: "t2.2xlarge", StartAt: 0, FinishAt: 2, Success: true,
+	})
+	s.Add(provenance.Execution{
+		RunID: "r0", TaskID: taskID, Activity: activity,
+		VMType: "t2.micro", StartAt: 0, FinishAt: 20, Success: true,
+	})
+	return s
+}
+
+func TestSeedTablePrefersObservedFastVM(t *testing.T) {
+	w := dag.New("seed")
+	w.MustAdd("a", "proj", 10)
+	fleet, err := cloud.NewFleet("mix",
+		[]cloud.VMType{cloud.T2Micro, cloud.T22XLarge}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := SeedTable(seedStore("a", "proj"), w, fleet, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{0, 1}
+	best, val := table.Best(0, ids)
+	if best != 1 {
+		t.Fatalf("seeded best VM = %d, want the observed-fast vm1", best)
+	}
+	if val != 1.0 {
+		t.Fatalf("best seeded value = %v, want 1.0", val)
+	}
+	// The slow VM's cell is proportionally lower, inside the random
+	// init span.
+	slow := table.Value(rl.Key{Task: 0, VM: 0})
+	if slow <= 0 || slow >= 1 {
+		t.Fatalf("slow VM seeded value = %v, want in (0, 1)", slow)
+	}
+}
+
+func TestSeedTableRejectsEmptyInputs(t *testing.T) {
+	fleet, err := cloud.NewFleet("f", []cloud.VMType{cloud.T2Micro}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SeedTable(nil, nil, fleet, 1); err == nil {
+		t.Fatal("nil workflow accepted")
+	}
+	if _, err := SeedTable(nil, dag.New("empty"), fleet, 1); err == nil {
+		t.Fatal("empty workflow accepted")
+	}
+}
+
+func TestLearnerWithProvenanceSeed(t *testing.T) {
+	w := trace.Montage50(rand.New(rand.NewSource(4)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Execute-then-relearn: a store with a little history seeds the
+	// table and learning still converges to a full plan.
+	store := provenance.NewStore()
+	for _, a := range w.Activations()[:10] {
+		store.Add(provenance.Execution{
+			RunID: "prev", TaskID: a.ID, Activity: a.Activity,
+			VMType: "t2.2xlarge", StartAt: 0, FinishAt: a.Runtime / 4,
+			Success: true,
+		})
+	}
+	l, err := NewLearner(Config{
+		Workflow: w, Fleet: fleet, Params: DefaultParams(), Episodes: 5,
+	}, WithSeed(3), WithProvenanceSeed(store))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := l.Learn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Len() != 50 {
+		t.Fatalf("plan covers %d activations", res.Plan.Len())
+	}
+	if err := res.Plan.Validate(w, fleet); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLearner(Config{
+		Workflow: w, Fleet: fleet, Params: DefaultParams(), Episodes: 1,
+	}, WithProvenanceSeed(nil)); err == nil {
+		t.Fatal("nil store accepted")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	w := dag.New("v")
+	w.MustAdd("a", "act", 1)
+	w.MustAdd("b", "act", 1)
+	fleet, err := cloud.NewFleet("v", []cloud.VMType{cloud.T2Micro}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := NewPlan(map[string]int{"a": 0, "b": 1})
+	if err := good.Validate(w, fleet); err != nil {
+		t.Fatal(err)
+	}
+	// VM absent from the fleet.
+	if err := NewPlan(map[string]int{"a": 0, "b": 9}).Validate(w, fleet); err == nil {
+		t.Fatal("unknown VM accepted")
+	}
+	// Unknown activation.
+	if err := NewPlan(map[string]int{"a": 0, "b": 1, "zz": 0}).Validate(w, fleet); err == nil {
+		t.Fatal("unknown activation accepted")
+	}
+	// Missing activation.
+	if err := NewPlan(map[string]int{"a": 0}).Validate(w, fleet); err == nil {
+		t.Fatal("incomplete plan accepted")
+	}
+	// Nil halves skip their checks.
+	if err := NewPlan(map[string]int{"zz": 9}).Validate(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewPlan(map[string]int{"a": 0, "b": 0}).Validate(w, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewPlan(map[string]int{"zz": 0}).Validate(nil, fleet); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,8 +25,12 @@ type Activation struct {
 	Index    int     // dense index assigned by the workflow, 0..N-1
 	Activity string  // activity / transformation name
 	Runtime  float64 // reference execution time in seconds on a 1.0-speed VM
-	Inputs   []File
-	Outputs  []File
+	// Args is the job's command line (DAX <argument> flattened to
+	// argv), consumed by execution-stage command runners; empty for
+	// synthetic and simulation-only workflows.
+	Args    []string
+	Inputs  []File
+	Outputs []File
 
 	parents  []*Activation
 	children []*Activation
@@ -320,6 +324,7 @@ func (w *Workflow) Clone() *Workflow {
 	out := New(w.Name)
 	for _, a := range w.acts {
 		na := out.MustAdd(a.ID, a.Activity, a.Runtime)
+		na.Args = append([]string(nil), a.Args...)
 		na.Inputs = append([]File(nil), a.Inputs...)
 		na.Outputs = append([]File(nil), a.Outputs...)
 	}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 
 	"reassign/internal/dag"
 )
@@ -32,12 +33,59 @@ type xmlAdag struct {
 }
 
 type xmlJob struct {
-	ID        string    `xml:"id,attr"`
-	Namespace string    `xml:"namespace,attr,omitempty"`
-	Name      string    `xml:"name,attr"`
-	Version   string    `xml:"version,attr,omitempty"`
-	Runtime   string    `xml:"runtime,attr"`
-	Uses      []xmlUses `xml:"uses"`
+	ID        string       `xml:"id,attr"`
+	Namespace string       `xml:"namespace,attr,omitempty"`
+	Name      string       `xml:"name,attr"`
+	Version   string       `xml:"version,attr,omitempty"`
+	Runtime   string       `xml:"runtime,attr"`
+	Argument  *xmlArgument `xml:"argument"`
+	Uses      []xmlUses    `xml:"uses"`
+}
+
+// xmlArgument captures a job's <argument> element: mixed content of
+// text and <file>/<filename> references, flattened to an argv the
+// execution stage's command runner can exec directly.
+type xmlArgument struct {
+	Argv []string
+}
+
+// UnmarshalXML implements xml.Unmarshaler: character data is kept
+// verbatim and nested file references contribute their file name,
+// then the whole is split on whitespace.
+func (a *xmlArgument) UnmarshalXML(d *xml.Decoder, start xml.StartElement) error {
+	var buf strings.Builder
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			buf.Write(t)
+		case xml.StartElement:
+			for _, attr := range t.Attr {
+				if attr.Name.Local == "file" || attr.Name.Local == "name" {
+					buf.WriteString(" ")
+					buf.WriteString(attr.Value)
+					buf.WriteString(" ")
+					break
+				}
+			}
+			if err := d.Skip(); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			if t.Name == start.Name {
+				a.Argv = strings.Fields(buf.String())
+				return nil
+			}
+		}
+	}
+}
+
+// MarshalXML implements xml.Marshaler: the argv joined on spaces.
+func (a *xmlArgument) MarshalXML(e *xml.Encoder, start xml.StartElement) error {
+	return e.EncodeElement(strings.Join(a.Argv, " "), start)
 }
 
 type xmlUses struct {
@@ -75,6 +123,9 @@ func Read(r io.Reader) (*dag.Workflow, error) {
 		a, err := w.Add(j.ID, j.Name, rt)
 		if err != nil {
 			return nil, fmt.Errorf("dax: %w", err)
+		}
+		if j.Argument != nil {
+			a.Args = j.Argument.Argv
 		}
 		for _, u := range j.Uses {
 			size := int64(0)
@@ -147,6 +198,9 @@ func Write(w io.Writer, wf *dag.Workflow) error {
 			Name:      a.Activity,
 			Version:   "1.0",
 			Runtime:   strconv.FormatFloat(a.Runtime, 'f', -1, 64),
+		}
+		if len(a.Args) > 0 {
+			j.Argument = &xmlArgument{Argv: a.Args}
 		}
 		for _, f := range a.Inputs {
 			j.Uses = append(j.Uses, xmlUses{File: f.Name, Link: "input", Size: strconv.FormatInt(f.Size, 10)})

@@ -87,18 +87,8 @@ func New(w *dag.Workflow, fleet *cloud.Fleet, plan core.Plan, opts ...Option) (*
 	if err := w.Validate(); err != nil {
 		return nil, fmt.Errorf("engine: %w", err)
 	}
-	known := make(map[int]bool, fleet.Len())
-	for _, vm := range fleet.VMs {
-		known[vm.ID] = true
-	}
-	for _, a := range w.Activations() {
-		vmID, ok := plan.VM(a.ID)
-		if !ok {
-			return nil, fmt.Errorf("engine: plan misses activation %s", a.ID)
-		}
-		if !known[vmID] {
-			return nil, fmt.Errorf("engine: plan maps %s to unknown VM %d", a.ID, vmID)
-		}
+	if err := plan.Validate(w, fleet); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
 	}
 	e := &Engine{Workflow: w, Fleet: fleet, Plan: plan}
 	for _, opt := range opts {

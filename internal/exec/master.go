@@ -1,0 +1,739 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/dag"
+	"reassign/internal/provenance"
+	"reassign/internal/telemetry"
+)
+
+// Master executes a scheduling plan over a worker pool: the Go
+// analogue of the paper's SCMaster. It is single-threaded — all
+// concurrency lives behind the Transport — so its decisions are a
+// pure function of the event sequence, which is what makes in-process
+// runs bit-identical.
+type Master struct {
+	w     *dag.Workflow
+	fleet *cloud.Fleet
+	plan  core.Plan
+	tr    Transport
+
+	store *provenance.Store
+	runID string
+	sink  telemetry.Sink
+
+	maxAttempts int
+	backoffBase float64
+	backoffMax  float64
+	leaseTTL    float64
+	leaseFactor float64
+	reassigner  Reassigner
+	est         func(a *dag.Activation, vm *cloud.VM) float64
+
+	// Run state.
+	tasks      []*taskState
+	vms        []*vmState
+	vmByID     map[int]*vmState
+	alive      map[int]bool
+	aliveCount int
+	now        float64
+
+	done, abandoned                           int
+	attempts, retries, reassigned, workerLost int
+}
+
+type taskState struct {
+	a  *dag.Activation
+	vm int
+	// waiting counts unfinished parents; the task is released when it
+	// reaches zero.
+	waiting  int
+	attempts int
+	readyAt  float64
+	// nextAt gates redispatch after a backoff.
+	nextAt    float64
+	queued    bool
+	running   bool
+	done      bool
+	abandoned bool
+	worker    int
+	start     float64
+	lease     float64
+	finish    float64
+}
+
+type vmState struct {
+	vm    *cloud.VM
+	owner int
+	dead  bool
+	slots int
+	busy  int
+	queue []int // task indices awaiting dispatch on this VM
+}
+
+// Option configures a Master.
+type Option func(*Master)
+
+// WithStore records every attempt and final execution into a
+// provenance store under the given run ID.
+func WithStore(s *provenance.Store, runID string) Option {
+	return func(m *Master) {
+		m.store = s
+		if runID != "" {
+			m.runID = runID
+		}
+	}
+}
+
+// WithSink streams exec telemetry events to s.
+func WithSink(s telemetry.Sink) Option {
+	return func(m *Master) { m.sink = s }
+}
+
+// WithMaxAttempts caps the dispatch budget per activation (default 5;
+// the n-th failure with n == max abandons the activation and its
+// descendants).
+func WithMaxAttempts(n int) Option {
+	return func(m *Master) {
+		if n > 0 {
+			m.maxAttempts = n
+		}
+	}
+}
+
+// WithBackoff sets the exponential retry backoff: the k-th retry
+// waits min(base·2^(k−1), max) virtual seconds (defaults 1 and 60).
+func WithBackoff(base, max float64) Option {
+	return func(m *Master) {
+		if base > 0 {
+			m.backoffBase = base
+		}
+		if max > 0 {
+			m.backoffMax = max
+		}
+	}
+}
+
+// WithLease sets lease policy: an attempt's initial lease is
+// max(ttl, factor·estimate) virtual seconds and every worker
+// heartbeat extends it to now+ttl (defaults 30 and 4).
+func WithLease(ttl, factor float64) Option {
+	return func(m *Master) {
+		if ttl > 0 {
+			m.leaseTTL = ttl
+		}
+		if factor > 0 {
+			m.leaseFactor = factor
+		}
+	}
+}
+
+// WithReassigner sets the policy that repins activations orphaned by
+// a worker death (default EarliestFinish; pass a QTableReassigner to
+// fall back on the learned policy).
+func WithReassigner(r Reassigner) Option {
+	return func(m *Master) {
+		if r != nil {
+			m.reassigner = r
+		}
+	}
+}
+
+// WithEstimator overrides the execution-time estimate used for lease
+// sizing, dispatch durations and reassignment (default
+// runtime/speed, the simulator's nominal model).
+func WithEstimator(fn func(a *dag.Activation, vm *cloud.VM) float64) Option {
+	return func(m *Master) {
+		if fn != nil {
+			m.est = fn
+		}
+	}
+}
+
+// New builds a Master for one plan execution. The plan is validated
+// against the workflow and fleet up front (satellite of the same
+// check the simulation engine performs), so a stale plan fails here
+// with a named activation instead of deep inside dispatch.
+func New(w *dag.Workflow, fleet *cloud.Fleet, plan core.Plan, tr Transport, opts ...Option) (*Master, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("exec: nil transport")
+	}
+	if fleet == nil || fleet.Len() == 0 {
+		return nil, fmt.Errorf("exec: empty fleet")
+	}
+	if err := w.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	if err := plan.Validate(w, fleet); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	m := &Master{
+		w: w, fleet: fleet, plan: plan, tr: tr,
+		runID:       "exec",
+		maxAttempts: 5,
+		backoffBase: 1, backoffMax: 60,
+		leaseTTL: 30, leaseFactor: 4,
+		reassigner: EarliestFinish{},
+		est: func(a *dag.Activation, vm *cloud.VM) float64 {
+			return a.Runtime / vm.Type.Speed
+		},
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m, nil
+}
+
+// TaskResult summarises one activation after the run.
+type TaskResult struct {
+	ID       string
+	Activity string
+	VM       int
+	Worker   int
+	Attempts int
+	Start    float64
+	Finish   float64
+	Done     bool
+}
+
+// Report summarises one master run.
+type Report struct {
+	// Makespan is the virtual time of the last completion.
+	Makespan float64
+	// Wall is the real elapsed time of the run.
+	Wall time.Duration
+	// Tasks is the workflow size; Done counts completed activations.
+	Tasks int
+	Done  int
+	// Attempts counts dispatches, Retries the re-dispatches among
+	// them, Reassigned the repins off dead VMs.
+	Attempts   int
+	Retries    int
+	Reassigned int
+	// WorkerLost counts worker deaths observed.
+	WorkerLost int
+	// Abandoned counts activations whose attempt budget ran out (plus
+	// descendants doomed by them); Failed lists their IDs, sorted.
+	Abandoned int
+	Failed    []string
+	// Results holds one entry per activation, in completion order
+	// (unfinished activations last, in index order).
+	Results []TaskResult
+}
+
+// Run executes the plan to completion. It returns a non-nil Report
+// even on error, so partial progress is inspectable; the error is
+// non-nil when activations were abandoned, every worker died, or the
+// context was cancelled.
+func (m *Master) Run(ctx context.Context) (*Report, error) {
+	wallStart := time.Now()
+	workers, err := m.tr.Open(ctx)
+	if err != nil {
+		return &Report{Tasks: m.w.Len()}, err
+	}
+	defer m.tr.Close()
+	if len(workers) == 0 {
+		return &Report{Tasks: m.w.Len()}, fmt.Errorf("exec: transport opened with zero workers")
+	}
+	sort.Ints(workers)
+
+	m.alive = make(map[int]bool, len(workers))
+	for _, id := range workers {
+		m.alive[id] = true
+	}
+	m.aliveCount = len(workers)
+
+	// Partition the fleet across workers round-robin in VM-ID order:
+	// each worker owns a fixed VM subset, as the paper's slaves own
+	// their machines.
+	m.vms = make([]*vmState, 0, m.fleet.Len())
+	m.vmByID = make(map[int]*vmState, m.fleet.Len())
+	for i, vm := range m.fleet.VMs {
+		slots := vm.Type.VCPUs
+		if slots <= 0 {
+			slots = 1
+		}
+		vs := &vmState{vm: vm, owner: workers[i%len(workers)], slots: slots}
+		m.vms = append(m.vms, vs)
+		m.vmByID[vm.ID] = vs
+	}
+
+	m.tasks = make([]*taskState, m.w.Len())
+	for _, a := range m.w.Activations() {
+		vm, _ := m.plan.VM(a.ID) // plan validated complete in New
+		m.tasks[a.Index] = &taskState{a: a, vm: vm, waiting: len(a.Parents()), worker: -1}
+	}
+	for _, ts := range m.tasks {
+		if ts.waiting == 0 {
+			m.release(ts)
+		}
+	}
+
+	if err := m.dispatch(); err != nil {
+		return m.report(wallStart), err
+	}
+	n := m.w.Len()
+	for m.done+m.abandoned < n {
+		ev, err := m.tr.Next(ctx, m.deadline())
+		if err != nil {
+			if err == ErrIdle {
+				err = fmt.Errorf("exec: deadlock: %d/%d activations finished and no events pending", m.done, n)
+			}
+			return m.report(wallStart), err
+		}
+		if ev.Time > m.now {
+			m.now = ev.Time
+		}
+		switch ev.Kind {
+		case EvTick:
+			m.expireLeases()
+		case EvResult:
+			m.onResult(ev)
+		case EvHeartbeat:
+			m.onHeartbeat(ev)
+		case EvWorkerLost:
+			if err := m.onWorkerLost(ev.Worker); err != nil {
+				return m.report(wallStart), err
+			}
+		}
+		if err := m.dispatch(); err != nil {
+			return m.report(wallStart), err
+		}
+	}
+
+	rep := m.report(wallStart)
+	if m.sink != nil {
+		m.sink.Emit(telemetry.ExecRunEvent{
+			Makespan: rep.Makespan, WallSeconds: rep.Wall.Seconds(),
+			Tasks: rep.Tasks, Attempts: rep.Attempts, Retries: rep.Retries,
+			Reassigned: rep.Reassigned, WorkerLost: rep.WorkerLost,
+			Abandoned: rep.Abandoned,
+		})
+	}
+	if m.abandoned > 0 {
+		return rep, fmt.Errorf("exec: %d of %d activations abandoned (first: %s)",
+			m.abandoned, n, rep.Failed[0])
+	}
+	return rep, nil
+}
+
+// deadline computes the next virtual instant the master must wake at
+// even without an event: the earliest lease expiry or backoff gate.
+func (m *Master) deadline() float64 {
+	dl := Forever
+	for _, ts := range m.tasks {
+		if ts.running && ts.lease < dl {
+			dl = ts.lease
+		}
+		if ts.queued && ts.nextAt > m.now && ts.nextAt < dl {
+			dl = ts.nextAt
+		}
+	}
+	return dl
+}
+
+// release marks a task ready and queues it on its (possibly
+// reassigned) VM.
+func (m *Master) release(ts *taskState) {
+	ts.readyAt = m.now
+	m.enqueue(ts)
+}
+
+// enqueue places a task on its VM's queue, repinning first if the VM
+// has died since planning.
+func (m *Master) enqueue(ts *taskState) {
+	vs := m.vmByID[ts.vm]
+	if vs == nil || vs.dead {
+		vs = m.repin(ts)
+		if vs == nil {
+			return // no survivors; the run is already failing
+		}
+	}
+	ts.queued = true
+	vs.queue = append(vs.queue, ts.a.Index)
+}
+
+// repin moves a task off a dead VM via the Reassigner and returns the
+// new VM's state (nil when no VM survives).
+func (m *Master) repin(ts *taskState) *vmState {
+	var cands []*cloud.VM
+	for _, vs := range m.vms {
+		if !vs.dead {
+			cands = append(cands, vs.vm)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	rc := ReassignContext{
+		Activation: ts.a,
+		Candidates: cands,
+		Backlog:    m.backlog,
+		Estimate:   m.est,
+	}
+	to := m.reassigner.Pick(rc)
+	vs := m.vmByID[to]
+	if vs == nil || vs.dead {
+		// A misbehaving reassigner falls back to the first survivor.
+		vs = m.vmByID[cands[0].ID]
+	}
+	from := ts.vm
+	ts.vm = vs.vm.ID
+	m.reassigned++
+	if m.sink != nil {
+		m.sink.Emit(telemetry.ExecReassignEvent{
+			Task: ts.a.ID, FromVM: from, ToVM: ts.vm,
+			Time: m.now, Policy: m.reassigner.Name(),
+		})
+	}
+	return vs
+}
+
+// backlog estimates a VM's outstanding work per slot in virtual
+// seconds: queued plus in-flight attempt estimates.
+func (m *Master) backlog(vmID int) float64 {
+	vs := m.vmByID[vmID]
+	if vs == nil {
+		return math.Inf(1)
+	}
+	var sum float64
+	for _, i := range vs.queue {
+		sum += m.est(m.tasks[i].a, vs.vm)
+	}
+	for _, ts := range m.tasks {
+		if ts.running && ts.vm == vmID {
+			sum += m.est(ts.a, vs.vm)
+		}
+	}
+	return sum / float64(vs.slots)
+}
+
+// dispatch fills free slots on live VMs, lowest VM ID first, lowest
+// task index first — the deterministic order the in-process
+// bit-identical guarantee rests on. A send failure marks the owning
+// worker lost and recovery continues in the same pass.
+func (m *Master) dispatch() error {
+	for {
+		progress := false
+		for _, vs := range m.vms {
+			if vs.dead {
+				continue
+			}
+			for vs.busy < vs.slots {
+				ti := m.pickQueued(vs)
+				if ti < 0 {
+					break
+				}
+				ts := m.tasks[ti]
+				if err := m.send(ts, vs); err != nil {
+					if lerr := m.onWorkerLost(vs.owner); lerr != nil {
+						return lerr
+					}
+					progress = true
+					break
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// pickQueued removes and returns the lowest-index dispatchable task
+// on the VM's queue, or -1.
+func (m *Master) pickQueued(vs *vmState) int {
+	best, bestAt := -1, -1
+	for at, i := range vs.queue {
+		ts := m.tasks[i]
+		if ts.nextAt > m.now {
+			continue
+		}
+		if best == -1 || i < best {
+			best, bestAt = i, at
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	vs.queue = append(vs.queue[:bestAt], vs.queue[bestAt+1:]...)
+	return best
+}
+
+// send dispatches one attempt to the VM's owning worker.
+func (m *Master) send(ts *taskState, vs *vmState) error {
+	ts.attempts++
+	m.attempts++
+	est := m.est(ts.a, vs.vm)
+	lease := m.leaseTTL
+	if f := est * m.leaseFactor; f > lease {
+		lease = f
+	}
+	ts.queued = false
+	ts.running = true
+	ts.worker = vs.owner
+	ts.start = m.now
+	ts.lease = m.now + lease
+	vs.busy++
+	spec := TaskSpec{
+		TaskID: ts.a.ID, Index: ts.a.Index, Activity: ts.a.Activity,
+		VM: vs.vm.ID, VMType: vs.vm.Type.Name,
+		Attempt: ts.attempts, Duration: est, Args: ts.a.Args,
+	}
+	if err := m.tr.Send(vs.owner, spec); err != nil {
+		return err
+	}
+	if m.sink != nil {
+		m.sink.Emit(telemetry.ExecDispatchEvent{
+			Task: ts.a.ID, Attempt: ts.attempts, VM: vs.vm.ID,
+			Worker: vs.owner, Time: m.now, Lease: ts.lease,
+		})
+	}
+	return nil
+}
+
+// onResult handles an attempt finishing. Results from superseded
+// attempts (expired leases, dead workers) are ignored: the guard is
+// what makes the master idempotent under at-least-once delivery.
+func (m *Master) onResult(ev Event) {
+	a := m.w.Get(ev.TaskID)
+	if a == nil {
+		return
+	}
+	ts := m.tasks[a.Index]
+	if ts.done || ts.abandoned || !ts.running || ts.attempts != ev.Attempt || ts.worker != ev.Worker {
+		return
+	}
+	ts.running = false
+	if vs := m.vmByID[ts.vm]; vs != nil {
+		vs.busy--
+	}
+	if ev.Err == "" {
+		ts.done = true
+		ts.finish = m.now
+		m.done++
+		m.recordAttempt(ts, "ok", "")
+		if m.store != nil {
+			m.store.Add(provenance.Execution{
+				WorkflowName: m.w.Name, RunID: m.runID,
+				TaskID: ts.a.ID, Activity: ts.a.Activity,
+				VMID: ts.vm, VMType: m.vmByID[ts.vm].vm.Type.Name,
+				ReadyAt: ts.readyAt, StartAt: ts.start, FinishAt: ts.finish,
+				Attempts: ts.attempts, Success: true,
+			})
+		}
+		if m.sink != nil {
+			m.sink.Emit(telemetry.ExecCompleteEvent{
+				Task: ts.a.ID, Attempt: ts.attempts, VM: ts.vm,
+				Worker: ts.worker, Start: ts.start, Finish: ts.finish,
+			})
+		}
+		for _, c := range a.Children() {
+			cs := m.tasks[c.Index]
+			cs.waiting--
+			if cs.waiting == 0 && !cs.abandoned {
+				m.release(cs)
+			}
+		}
+		return
+	}
+	m.recordAttempt(ts, "failed", ev.Err)
+	m.retry(ts, "failed")
+}
+
+// onHeartbeat extends the leases of the worker's in-flight attempts.
+func (m *Master) onHeartbeat(ev Event) {
+	if !m.alive[ev.Worker] {
+		return
+	}
+	running := 0
+	for _, ts := range m.tasks {
+		if ts.running && ts.worker == ev.Worker {
+			running++
+			if ext := m.now + m.leaseTTL; ext > ts.lease {
+				ts.lease = ext
+			}
+		}
+	}
+	if m.sink != nil {
+		m.sink.Emit(telemetry.ExecHeartbeatEvent{Worker: ev.Worker, Running: running, Time: m.now})
+	}
+}
+
+// expireLeases retries every in-flight attempt whose lease has
+// lapsed: the worker may be wedged, partitioned, or silently dead.
+func (m *Master) expireLeases() {
+	for _, ts := range m.tasks {
+		if !ts.running || ts.lease > m.now {
+			continue
+		}
+		ts.running = false
+		if vs := m.vmByID[ts.vm]; vs != nil {
+			vs.busy--
+		}
+		m.recordAttempt(ts, "expired", "lease expired")
+		m.retry(ts, "expired")
+	}
+}
+
+// onWorkerLost recovers from a worker death: its VMs die with it,
+// in-flight attempts are recorded lost and retried (repinned by the
+// Reassigner), and its queued tasks are re-enqueued, which repins
+// them too. Idempotent per worker.
+func (m *Master) onWorkerLost(worker int) error {
+	if !m.alive[worker] {
+		return nil
+	}
+	m.alive[worker] = false
+	m.aliveCount--
+	m.workerLost++
+	var orphaned []int
+	for _, vs := range m.vms {
+		if vs.owner != worker {
+			continue
+		}
+		vs.dead = true
+		orphaned = append(orphaned, vs.queue...)
+		vs.queue = nil
+		vs.busy = 0
+	}
+	if m.aliveCount == 0 {
+		return fmt.Errorf("exec: all %d workers lost with %d/%d activations finished",
+			m.workerLost, m.done, m.w.Len())
+	}
+	for _, ts := range m.tasks {
+		if ts.running && ts.worker == worker {
+			ts.running = false
+			m.recordAttempt(ts, "lost", "worker lost")
+			m.retry(ts, "worker-lost")
+		}
+	}
+	sort.Ints(orphaned)
+	for _, i := range orphaned {
+		ts := m.tasks[i]
+		ts.queued = false
+		m.enqueue(ts) // repins via the dead-VM path
+	}
+	return nil
+}
+
+// retry schedules the next attempt with exponential backoff (none
+// for worker loss — the failure wasn't the task's fault), or
+// abandons the activation when its budget is spent.
+func (m *Master) retry(ts *taskState, reason string) {
+	if ts.attempts >= m.maxAttempts {
+		if m.sink != nil {
+			m.sink.Emit(telemetry.ExecRetryEvent{
+				Task: ts.a.ID, Attempt: ts.attempts, VM: ts.vm, Worker: ts.worker,
+				Reason: reason, Time: m.now, Abandoned: true,
+			})
+		}
+		m.abandon(ts)
+		return
+	}
+	if reason == "worker-lost" {
+		ts.nextAt = m.now
+	} else {
+		backoff := m.backoffBase * math.Pow(2, float64(ts.attempts-1))
+		if backoff > m.backoffMax {
+			backoff = m.backoffMax
+		}
+		ts.nextAt = m.now + backoff
+	}
+	m.retries++
+	if m.sink != nil {
+		m.sink.Emit(telemetry.ExecRetryEvent{
+			Task: ts.a.ID, Attempt: ts.attempts, VM: ts.vm, Worker: ts.worker,
+			Reason: reason, Time: m.now, NextAt: ts.nextAt,
+		})
+	}
+	m.enqueue(ts)
+}
+
+// abandon gives up on an activation and cascades to every descendant,
+// which can no longer become ready. Each doomed activation gets a
+// failed Execution row so provenance accounts for the whole workflow.
+func (m *Master) abandon(ts *taskState) {
+	stack := []*taskState{ts}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.done || t.abandoned {
+			continue
+		}
+		t.abandoned = true
+		t.queued = false
+		m.abandoned++
+		m.recordAttempt(t, "abandoned", "attempt budget exhausted")
+		if m.store != nil {
+			vmType := ""
+			if vs := m.vmByID[t.vm]; vs != nil {
+				vmType = vs.vm.Type.Name
+			}
+			m.store.Add(provenance.Execution{
+				WorkflowName: m.w.Name, RunID: m.runID,
+				TaskID: t.a.ID, Activity: t.a.Activity,
+				VMID: t.vm, VMType: vmType,
+				ReadyAt: t.readyAt, StartAt: t.start, FinishAt: m.now,
+				Attempts: t.attempts, Success: false,
+			})
+		}
+		for _, c := range t.a.Children() {
+			stack = append(stack, m.tasks[c.Index])
+		}
+	}
+}
+
+// recordAttempt appends one attempt row to the provenance store.
+func (m *Master) recordAttempt(ts *taskState, outcome, errMsg string) {
+	if m.store == nil {
+		return
+	}
+	m.store.AddAttempt(provenance.Attempt{
+		RunID: m.runID, TaskID: ts.a.ID, Activity: ts.a.Activity,
+		Number: ts.attempts, VMID: ts.vm, Worker: ts.worker,
+		StartAt: ts.start, EndAt: m.now,
+		Outcome: outcome, Error: errMsg,
+	})
+}
+
+// report assembles the run summary from current state.
+func (m *Master) report(wallStart time.Time) *Report {
+	rep := &Report{
+		Wall: time.Since(wallStart), Tasks: m.w.Len(), Done: m.done,
+		Attempts: m.attempts, Retries: m.retries, Reassigned: m.reassigned,
+		WorkerLost: m.workerLost, Abandoned: m.abandoned,
+	}
+	for _, ts := range m.tasks {
+		if ts.done && ts.finish > rep.Makespan {
+			rep.Makespan = ts.finish
+		}
+		if ts.abandoned {
+			rep.Failed = append(rep.Failed, ts.a.ID)
+		}
+		rep.Results = append(rep.Results, TaskResult{
+			ID: ts.a.ID, Activity: ts.a.Activity, VM: ts.vm, Worker: ts.worker,
+			Attempts: ts.attempts, Start: ts.start, Finish: ts.finish, Done: ts.done,
+		})
+	}
+	sort.Strings(rep.Failed)
+	sort.SliceStable(rep.Results, func(i, j int) bool {
+		a, b := rep.Results[i], rep.Results[j]
+		if a.Done != b.Done {
+			return a.Done
+		}
+		if !a.Done {
+			return false
+		}
+		return a.Finish < b.Finish
+	})
+	return rep
+}

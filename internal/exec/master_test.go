@@ -1,0 +1,469 @@
+package exec
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/dag"
+	"reassign/internal/provenance"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+	"reassign/internal/telemetry"
+	"reassign/internal/trace"
+)
+
+// diamond builds a 4-activation diamond: a → {b, c} → d, runtimes 10.
+func diamond(t *testing.T) *dag.Workflow {
+	t.Helper()
+	w := dag.New("diamond")
+	for _, id := range []string{"a", "b", "c", "d"} {
+		w.MustAdd(id, "act-"+id, 10)
+	}
+	w.MustDep("a", "b")
+	w.MustDep("a", "c")
+	w.MustDep("b", "d")
+	w.MustDep("c", "d")
+	return w
+}
+
+// twoLarge provisions two 2-slot t2.large VMs.
+func twoLarge(t *testing.T) *cloud.Fleet {
+	t.Helper()
+	fleet, err := cloud.NewFleet("test", []cloud.VMType{cloud.T2Large}, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fleet
+}
+
+func spreadPlan(w *dag.Workflow, fleet *cloud.Fleet) core.Plan {
+	m := make(map[string]int, w.Len())
+	for i, a := range w.Activations() {
+		m[a.ID] = fleet.VMs[i%fleet.Len()].ID
+	}
+	return core.NewPlan(m)
+}
+
+func TestRunCleanDiamond(t *testing.T) {
+	w, fleet := diamond(t), twoLarge(t)
+	store := provenance.NewStore()
+	m, err := New(w, fleet, spreadPlan(w, fleet),
+		&InProc{Workers: 2, Runner: SimRunner{}},
+		WithStore(store, "t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 4 || rep.Abandoned != 0 || rep.Attempts != 4 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// a (10) → b,c in parallel (10) → d (10): makespan 30.
+	if rep.Makespan != 30 {
+		t.Fatalf("makespan = %v, want 30", rep.Makespan)
+	}
+	if store.Len() != 4 {
+		t.Fatalf("provenance rows = %d, want 4", store.Len())
+	}
+	for _, a := range store.Attempts() {
+		if a.Outcome != "ok" {
+			t.Fatalf("attempt %+v not ok", a)
+		}
+	}
+	// d must start only after both b and c finished.
+	for _, e := range store.All() {
+		if e.TaskID == "d" && e.StartAt < 20 {
+			t.Fatalf("d started at %v, before its parents finished", e.StartAt)
+		}
+	}
+}
+
+func TestRunRespectsSlotLimits(t *testing.T) {
+	w := dag.New("wide")
+	for i := 0; i < 4; i++ {
+		w.MustAdd(fmt.Sprintf("t%d", i), "act", 10)
+	}
+	fleet, err := cloud.NewFleet("one", []cloud.VMType{cloud.T2Micro}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(w, fleet, spreadPlan(w, fleet), &InProc{Workers: 1, Runner: SimRunner{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 tasks × 10s on a single 1-vCPU VM must serialise.
+	if rep.Makespan != 40 {
+		t.Fatalf("makespan = %v, want 40 on one slot", rep.Makespan)
+	}
+}
+
+func TestRetriesWithBackoffThenSucceeds(t *testing.T) {
+	w, fleet := diamond(t), twoLarge(t)
+	store := provenance.NewStore()
+	// failOnce fails every task's first attempt.
+	runner := failOnce{inner: SimRunner{}}
+	m, err := New(w, fleet, spreadPlan(w, fleet),
+		&InProc{Workers: 2, Runner: runner},
+		WithStore(store, "t"), WithBackoff(2, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 4 || rep.Retries != 4 || rep.Attempts != 8 {
+		t.Fatalf("report = %+v", rep)
+	}
+	failed, ok := 0, 0
+	for _, a := range store.Attempts() {
+		switch a.Outcome {
+		case "failed":
+			failed++
+		case "ok":
+			ok++
+		}
+	}
+	if failed != 4 || ok != 4 {
+		t.Fatalf("attempt outcomes: %d failed, %d ok", failed, ok)
+	}
+	// Executions carry the final attempt count.
+	for _, e := range store.All() {
+		if e.Attempts != 2 || !e.Success {
+			t.Fatalf("execution %+v, want 2 attempts and success", e)
+		}
+	}
+}
+
+// failOnce fails the first attempt of every task deterministically.
+type failOnce struct{ inner Runner }
+
+func (r failOnce) Run(ctx context.Context, t TaskSpec) (float64, error) {
+	d, err := r.inner.Run(ctx, t)
+	if err != nil {
+		return d, err
+	}
+	if t.Attempt == 1 {
+		return d / 2, fmt.Errorf("first attempt always fails")
+	}
+	return d, nil
+}
+
+// alwaysFail fails one specific task on every attempt.
+type alwaysFail struct {
+	inner Runner
+	task  string
+}
+
+func (r alwaysFail) Run(ctx context.Context, t TaskSpec) (float64, error) {
+	if t.TaskID == r.task {
+		return 1, fmt.Errorf("task %s is doomed", t.TaskID)
+	}
+	return r.inner.Run(ctx, t)
+}
+
+func TestAbandonCascadesToDescendants(t *testing.T) {
+	w, fleet := diamond(t), twoLarge(t)
+	store := provenance.NewStore()
+	m, err := New(w, fleet, spreadPlan(w, fleet),
+		&InProc{Workers: 2, Runner: alwaysFail{inner: SimRunner{}, task: "b"}},
+		WithStore(store, "t"), WithMaxAttempts(3), WithBackoff(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err == nil {
+		t.Fatal("want an error for abandoned activations")
+	}
+	// b exhausts its budget; d is doomed by b. a and c still complete.
+	if rep.Done != 2 || rep.Abandoned != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Failed) != 2 || rep.Failed[0] != "b" || rep.Failed[1] != "d" {
+		t.Fatalf("failed = %v", rep.Failed)
+	}
+	// Provenance accounts for all four activations.
+	if store.Len() != 4 {
+		t.Fatalf("provenance rows = %d", store.Len())
+	}
+	byID := make(map[string]provenance.Execution)
+	for _, e := range store.All() {
+		byID[e.TaskID] = e
+	}
+	if byID["b"].Success || byID["d"].Success || !byID["a"].Success || !byID["c"].Success {
+		t.Fatalf("success flags wrong: %+v", byID)
+	}
+	if byID["b"].Attempts != 3 {
+		t.Fatalf("b attempts = %d, want 3", byID["b"].Attempts)
+	}
+	if got := store.AttemptsFor("t", "b"); len(got) != 4 { // 3 failed + 1 abandoned marker
+		t.Fatalf("b attempt history = %d rows", len(got))
+	}
+}
+
+func TestWorkerLostReassignsAndFinishes(t *testing.T) {
+	w := trace.Montage50(rand.New(rand.NewSource(7)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := provenance.NewStore()
+	tr := &Fault{
+		Inner: &InProc{Workers: 4, Runner: SimRunner{}},
+		Rate:  0.05, Seed: 11, MaxKills: 3,
+	}
+	m, err := New(w, fleet, spreadPlan(w, fleet), tr, WithStore(store, "t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 50 || rep.Abandoned != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if tr.Kills() == 0 {
+		t.Fatal("fault transport injected no deaths")
+	}
+	if rep.WorkerLost != tr.Kills() || rep.Reassigned == 0 {
+		t.Fatalf("worker lost = %d (kills %d), reassigned = %d",
+			rep.WorkerLost, tr.Kills(), rep.Reassigned)
+	}
+	lost := 0
+	for _, a := range store.Attempts() {
+		if a.Outcome == "lost" {
+			lost++
+		}
+	}
+	if lost == 0 {
+		t.Fatal("no attempts recorded as lost")
+	}
+}
+
+func TestAllWorkersLostFails(t *testing.T) {
+	w, fleet := diamond(t), twoLarge(t)
+	m, err := New(w, fleet, spreadPlan(w, fleet), brokenSend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "workers lost") {
+		t.Fatalf("err = %v, want all-workers-lost", err)
+	}
+}
+
+// brokenSend opens two workers whose sends always fail.
+type brokenSend struct{}
+
+func (brokenSend) Open(context.Context) ([]int, error) { return []int{0, 1}, nil }
+func (brokenSend) Send(int, TaskSpec) error            { return fmt.Errorf("wire cut") }
+func (brokenSend) Next(context.Context, float64) (Event, error) {
+	return Event{}, ErrIdle
+}
+func (brokenSend) Close() error { return nil }
+
+// dropResults wraps InProc and swallows the first n results, so their
+// leases expire — the silent-worker scenario.
+type dropResults struct {
+	Transport
+	n int
+}
+
+func (d *dropResults) Next(ctx context.Context, deadline float64) (Event, error) {
+	for {
+		ev, err := d.Transport.Next(ctx, deadline)
+		if err != nil {
+			return ev, err
+		}
+		if ev.Kind == EvResult && d.n > 0 {
+			d.n--
+			continue
+		}
+		// Also swallow heartbeats while dropping, so leases can lapse.
+		if ev.Kind == EvHeartbeat && d.n > 0 {
+			continue
+		}
+		return ev, nil
+	}
+}
+
+func TestLeaseExpiryRetries(t *testing.T) {
+	w := dag.New("single")
+	w.MustAdd("a", "act", 10)
+	fleet := twoLarge(t)
+	store := provenance.NewStore()
+	m, err := New(w, fleet, core.NewPlan(map[string]int{"a": 0}),
+		&dropResults{Transport: &InProc{Workers: 1, Runner: SimRunner{}}, n: 1},
+		WithStore(store, "t"), WithLease(15, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 1 || rep.Retries != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	var outcomes []string
+	for _, a := range store.Attempts() {
+		outcomes = append(outcomes, a.Outcome)
+	}
+	if len(outcomes) != 2 || outcomes[0] != "expired" || outcomes[1] != "ok" {
+		t.Fatalf("attempt outcomes = %v", outcomes)
+	}
+}
+
+func TestNewRejectsBadPlan(t *testing.T) {
+	w, fleet := diamond(t), twoLarge(t)
+	bad := core.NewPlan(map[string]int{"a": 0, "b": 1, "c": 99, "d": 0})
+	if _, err := New(w, fleet, bad, &InProc{Workers: 1, Runner: SimRunner{}}); err == nil {
+		t.Fatal("plan with unknown VM accepted")
+	}
+	missing := core.NewPlan(map[string]int{"a": 0})
+	if _, err := New(w, fleet, missing, &InProc{Workers: 1, Runner: SimRunner{}}); err == nil {
+		t.Fatal("incomplete plan accepted")
+	}
+}
+
+func TestDeterminismBitIdentical(t *testing.T) {
+	w := trace.Montage50(rand.New(rand.NewSource(3)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	run := func() ([]byte, float64) {
+		store := provenance.NewStore()
+		store.SetNow(func() time.Time { return fixed })
+		fl := cloud.DefaultFluctuation()
+		tr := &Fault{
+			Inner: &InProc{Workers: 4, Runner: FailingRunner{
+				Inner: SimRunner{Fluct: &fl, Seed: 5}, Rate: 0.05, Seed: 5,
+			}},
+			Rate: 0.01, Seed: 5, MaxKills: 2,
+		}
+		m, err := New(w, fleet, spreadPlan(w, fleet), tr, WithStore(store, "det"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := store.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), rep.Makespan
+	}
+	b1, mk1 := run()
+	b2, mk2 := run()
+	if mk1 != mk2 {
+		t.Fatalf("makespans differ: %v vs %v", mk1, mk2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("provenance stores differ between identical runs")
+	}
+}
+
+func TestMakespanTracksSimulation(t *testing.T) {
+	// Without fluctuation or faults, the master's virtual makespan must
+	// land near the simulator's for the same plan: both model
+	// runtime/speed durations on VCPUs-slot VMs; the simulator adds
+	// data-transfer time the executor does not, so the comparison
+	// carries a tolerance.
+	w := trace.Montage50(rand.New(rand.NewSource(3)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := spreadPlan(w, fleet)
+	res, err := sim.Run(w, fleet, &sched.Plan{PlanName: "pinned", Assign: plan.Map()}, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(w, fleet, plan, &InProc{Workers: 4, Runner: SimRunner{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := res.Makespan*0.7, res.Makespan*1.3
+	if rep.Makespan < lo || rep.Makespan > hi {
+		t.Fatalf("exec makespan %v outside [%v, %v] around sim makespan %v",
+			rep.Makespan, lo, hi, res.Makespan)
+	}
+}
+
+func TestTelemetryEventsEmitted(t *testing.T) {
+	w, fleet := diamond(t), twoLarge(t)
+	sink := &captureSink{}
+	m, err := New(w, fleet, spreadPlan(w, fleet),
+		&InProc{Workers: 2, Runner: failOnce{inner: SimRunner{}}},
+		WithSink(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[string]int)
+	for _, e := range sink.events {
+		kinds[e.Kind()]++
+	}
+	if kinds["exec_dispatch"] != 8 || kinds["exec_complete"] != 4 ||
+		kinds["exec_retry"] != 4 || kinds["exec_run"] != 1 {
+		t.Fatalf("event kinds = %v", kinds)
+	}
+}
+
+type captureSink struct{ events []telemetry.Event }
+
+func (s *captureSink) Emit(e telemetry.Event) { s.events = append(s.events, e) }
+
+func TestReassignerPolicies(t *testing.T) {
+	w := dag.New("one")
+	a := w.MustAdd("a", "act", 100)
+	fleet, err := cloud.NewFleet("mix", []cloud.VMType{cloud.T2Micro, cloud.T22XLarge}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ReassignContext{
+		Activation: a,
+		Candidates: fleet.VMs,
+		Backlog:    func(int) float64 { return 0 },
+		Estimate: func(a *dag.Activation, vm *cloud.VM) float64 {
+			return a.Runtime / vm.Type.Speed / float64(vm.Type.VCPUs)
+		},
+	}
+	if got := (EarliestFinish{}).Pick(ctx); got != 1 {
+		t.Fatalf("EarliestFinish picked vm%d, want the 8-slot vm1", got)
+	}
+	// Backlog can flip the choice.
+	ctx.Backlog = func(id int) float64 {
+		if id == 1 {
+			return 1000
+		}
+		return 0
+	}
+	if got := (EarliestFinish{}).Pick(ctx); got != 0 {
+		t.Fatalf("EarliestFinish ignored backlog, picked vm%d", got)
+	}
+}

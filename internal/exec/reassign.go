@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/rl"
+)
+
+// ReassignContext is what a Reassigner sees when a worker death
+// orphans an activation: the surviving VMs and the master's current
+// load and cost estimates.
+type ReassignContext struct {
+	Activation *dag.Activation
+	// Candidates are the live VMs, ascending by ID (never empty).
+	Candidates []*cloud.VM
+	// Backlog returns a VM's outstanding work in virtual seconds per
+	// slot (queued + running estimates).
+	Backlog func(vmID int) float64
+	// Estimate predicts the activation's execution time on a VM.
+	Estimate func(a *dag.Activation, vm *cloud.VM) float64
+}
+
+// Reassigner picks a replacement VM for an activation whose pinned VM
+// died. Implementations must be deterministic: same context, same
+// answer.
+type Reassigner interface {
+	Name() string
+	Pick(ReassignContext) int
+}
+
+// QTableReassigner falls back to the learned policy: the surviving VM
+// with the highest Q value for the activation — the paper's Q table
+// consulted one more time at execution time.
+type QTableReassigner struct {
+	Table *rl.Table
+}
+
+// Name implements Reassigner.
+func (QTableReassigner) Name() string { return "qtable" }
+
+// Pick implements Reassigner.
+func (r QTableReassigner) Pick(ctx ReassignContext) int {
+	ids := make([]int, len(ctx.Candidates))
+	for i, vm := range ctx.Candidates {
+		ids[i] = vm.ID
+	}
+	vm, _ := r.Table.Best(ctx.Activation.Index, ids)
+	return vm
+}
+
+// EarliestFinish is the HEFT-flavoured fallback used when no Q table
+// is available: pick the surviving VM minimising backlog plus the
+// activation's estimated execution time, ties broken by lowest VM ID.
+type EarliestFinish struct{}
+
+// Name implements Reassigner.
+func (EarliestFinish) Name() string { return "earliest-finish" }
+
+// Pick implements Reassigner.
+func (EarliestFinish) Pick(ctx ReassignContext) int {
+	best, bestT := -1, 0.0
+	for _, vm := range ctx.Candidates {
+		t := ctx.Backlog(vm.ID) + ctx.Estimate(ctx.Activation, vm)
+		if best == -1 || t < bestT {
+			best, bestT = vm.ID, t
+		}
+	}
+	return best
+}

@@ -1,0 +1,252 @@
+package exec
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is the real-network transport: the master listens on Addr and
+// waits for Workers execworker processes to join over JSON lines
+// (loopback in tests and CI, a real network in anger). Events carry
+// virtual timestamps derived from the wall clock via TimeScale, so
+// the master's lease and backoff arithmetic is identical to the
+// deterministic transport's — only the clock source differs.
+type TCP struct {
+	// Addr is the listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Workers is how many workers Open waits for (default 1).
+	Workers int
+	// TimeScale is wall seconds per virtual second (default 1e-3).
+	TimeScale float64
+	// HeartbeatEvery is the virtual heartbeat period workers are told
+	// to use (default 5 virtual seconds).
+	HeartbeatEvery float64
+	// JoinTimeout bounds Open's wait for workers (default 30s wall).
+	JoinTimeout time.Duration
+
+	ln     net.Listener
+	start  time.Time
+	events chan Event
+	donec  chan struct{}
+	mu     sync.Mutex
+	conns  map[int]*tcpConn
+	closed bool
+}
+
+type tcpConn struct {
+	conn net.Conn
+	enc  *json.Encoder
+	mu   sync.Mutex
+}
+
+func (c *tcpConn) send(m wireMsg) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enc.Encode(m)
+}
+
+// Listen binds the listener without accepting workers, so callers can
+// learn the bound address (Addr "…:0") before starting workers. Open
+// calls it implicitly if needed.
+func (t *TCP) Listen() error {
+	if t.ln != nil {
+		return nil
+	}
+	ln, err := net.Listen("tcp", t.Addr)
+	if err != nil {
+		return fmt.Errorf("exec: listen %s: %w", t.Addr, err)
+	}
+	t.ln = ln
+	return nil
+}
+
+// ListenAddr returns the bound address (valid after Listen or Open).
+func (t *TCP) ListenAddr() string {
+	if t.ln == nil {
+		return t.Addr
+	}
+	return t.ln.Addr().String()
+}
+
+// vnow maps the wall clock to virtual seconds since Open completed.
+func (t *TCP) vnow() float64 {
+	return time.Since(t.start).Seconds() / t.TimeScale
+}
+
+// Open implements Transport: it accepts Workers connections,
+// handshakes each, and starts their reader goroutines.
+func (t *TCP) Open(ctx context.Context) ([]int, error) {
+	if t.Workers <= 0 {
+		t.Workers = 1
+	}
+	if t.TimeScale <= 0 {
+		t.TimeScale = 1e-3
+	}
+	if t.HeartbeatEvery <= 0 {
+		t.HeartbeatEvery = 5
+	}
+	if t.JoinTimeout <= 0 {
+		t.JoinTimeout = 30 * time.Second
+	}
+	if err := t.Listen(); err != nil {
+		return nil, err
+	}
+	t.events = make(chan Event, 256)
+	t.donec = make(chan struct{})
+	t.conns = make(map[int]*tcpConn, t.Workers)
+	heartbeatMs := int(t.HeartbeatEvery * t.TimeScale * 1000)
+	if heartbeatMs < 20 {
+		heartbeatMs = 20
+	}
+	deadline := time.Now().Add(t.JoinTimeout)
+	ids := make([]int, 0, t.Workers)
+	decs := make([]*json.Decoder, 0, t.Workers)
+	for len(ids) < t.Workers {
+		if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
+			deadline = dl
+		}
+		if tl, ok := t.ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := t.ln.Accept()
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("exec: waiting for %d workers (%d joined): %w", t.Workers, len(ids), err)
+		}
+		id := len(ids)
+		tc := &tcpConn{conn: conn, enc: json.NewEncoder(conn)}
+		// Handshake: hello in, welcome out.
+		dec := json.NewDecoder(bufio.NewReader(conn))
+		var hello wireMsg
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if err := dec.Decode(&hello); err != nil || hello.Type != msgHello {
+			conn.Close()
+			t.Close()
+			return nil, fmt.Errorf("exec: worker handshake: got %q (%v)", hello.Type, err)
+		}
+		conn.SetReadDeadline(time.Time{})
+		if err := tc.send(wireMsg{Type: msgWelcome, Worker: id, TimeScale: t.TimeScale, HeartbeatMs: heartbeatMs}); err != nil {
+			conn.Close()
+			t.Close()
+			return nil, fmt.Errorf("exec: welcome worker %d: %w", id, err)
+		}
+		t.mu.Lock()
+		t.conns[id] = tc
+		t.mu.Unlock()
+		ids = append(ids, id)
+		decs = append(decs, dec)
+	}
+	if tl, ok := t.ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Time{})
+	}
+	// The virtual epoch is set before any reader runs, so events sent
+	// during the join window are stamped at (small) post-epoch times,
+	// never against the zero Time.
+	t.start = time.Now()
+	for _, id := range ids {
+		go t.reader(id, decs[id])
+	}
+	return ids, nil
+}
+
+// reader pumps one worker's messages into the event channel; a read
+// error (or EOF) becomes a single EvWorkerLost.
+func (t *TCP) reader(id int, dec *json.Decoder) {
+	for {
+		var m wireMsg
+		if err := dec.Decode(&m); err != nil {
+			t.emit(Event{Kind: EvWorkerLost, Worker: id, Time: t.vnow()})
+			return
+		}
+		switch m.Type {
+		case msgResult:
+			t.emit(Event{Kind: EvResult, Worker: id, Time: t.vnow(),
+				TaskID: m.TaskID, Attempt: m.Attempt, Err: m.Error})
+		case msgHeartbeat:
+			t.emit(Event{Kind: EvHeartbeat, Worker: id, Time: t.vnow()})
+		}
+	}
+}
+
+// emit delivers an event unless the transport has been closed.
+func (t *TCP) emit(ev Event) {
+	select {
+	case t.events <- ev:
+	case <-t.donec:
+	}
+}
+
+// Send implements Transport.
+func (t *TCP) Send(worker int, spec TaskSpec) error {
+	t.mu.Lock()
+	tc := t.conns[worker]
+	t.mu.Unlock()
+	if tc == nil {
+		return fmt.Errorf("exec: send to unknown worker %d", worker)
+	}
+	s := spec
+	return tc.send(wireMsg{Type: msgTask, Task: &s})
+}
+
+// Next implements Transport.
+func (t *TCP) Next(ctx context.Context, deadline float64) (Event, error) {
+	if deadline == Forever {
+		select {
+		case ev := <-t.events:
+			return ev, nil
+		case <-ctx.Done():
+			return Event{}, ctx.Err()
+		}
+	}
+	wait := time.Duration((deadline - t.vnow()) * t.TimeScale * float64(time.Second))
+	if wait <= 0 {
+		// The deadline already passed in wall time; drain a pending
+		// event if one is ready, else tick immediately.
+		select {
+		case ev := <-t.events:
+			return ev, nil
+		default:
+			return Event{Kind: EvTick, Time: t.vnow()}, nil
+		}
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case ev := <-t.events:
+		return ev, nil
+	case <-timer.C:
+		return Event{Kind: EvTick, Time: t.vnow()}, nil
+	case <-ctx.Done():
+		return Event{}, ctx.Err()
+	}
+}
+
+// Close implements Transport: it tells workers to shut down and
+// releases the listener and connections.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[int]*tcpConn{}
+	t.mu.Unlock()
+	if t.donec != nil {
+		close(t.donec)
+	}
+	for _, tc := range conns {
+		tc.send(wireMsg{Type: msgShutdown})
+		tc.conn.Close()
+	}
+	if t.ln != nil {
+		t.ln.Close()
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package exec
+
+// The TCP transport speaks JSON lines: one object per line, each a
+// wireMsg discriminated by Type. The vocabulary is deliberately tiny
+// — the protocol stands in for the paper's MPI master/worker
+// messages, not for a general RPC layer.
+//
+//	worker → master  {"type":"hello","slots":4}
+//	master → worker  {"type":"welcome","worker":2,"timescale":0.001,"heartbeat_ms":100}
+//	master → worker  {"type":"task","task":{...TaskSpec...}}
+//	worker → master  {"type":"heartbeat","running":3}
+//	worker → master  {"type":"result","task_id":"ID00007","attempt":1,"duration":12.5,"error":""}
+//	master → worker  {"type":"shutdown"}
+type wireMsg struct {
+	Type string `json:"type"`
+	// hello
+	Slots int `json:"slots,omitempty"`
+	// welcome
+	Worker      int     `json:"worker,omitempty"`
+	TimeScale   float64 `json:"timescale,omitempty"`
+	HeartbeatMs int     `json:"heartbeat_ms,omitempty"`
+	// task
+	Task *TaskSpec `json:"task,omitempty"`
+	// result
+	TaskID   string  `json:"task_id,omitempty"`
+	Attempt  int     `json:"attempt,omitempty"`
+	Duration float64 `json:"duration,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	// heartbeat
+	Running int `json:"running,omitempty"`
+}
+
+const (
+	msgHello     = "hello"
+	msgWelcome   = "welcome"
+	msgTask      = "task"
+	msgResult    = "result"
+	msgHeartbeat = "heartbeat"
+	msgShutdown  = "shutdown"
+)

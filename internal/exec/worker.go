@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NewRunner builds the worker's Runner once the master's welcome has
+// told it the run's time scale (wall seconds per virtual second). A
+// nil factory defaults to SleepRunner at the master's scale.
+type NewRunner func(timeScale float64) Runner
+
+// ServeConn runs the worker side of the TCP protocol over an
+// established connection: hello/welcome handshake, then a loop
+// executing task messages (one goroutine per attempt), heartbeating
+// at the master-specified period, and reporting results. It returns
+// nil on an orderly shutdown message, or the read error that ended
+// the session.
+func ServeConn(ctx context.Context, conn net.Conn, newRunner NewRunner) error {
+	enc := json.NewEncoder(conn)
+	var wmu sync.Mutex
+	send := func(m wireMsg) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return enc.Encode(m)
+	}
+	if err := send(wireMsg{Type: msgHello}); err != nil {
+		return fmt.Errorf("exec: hello: %w", err)
+	}
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	var welcome wireMsg
+	if err := dec.Decode(&welcome); err != nil || welcome.Type != msgWelcome {
+		return fmt.Errorf("exec: expected welcome, got %q (%v)", welcome.Type, err)
+	}
+	var runner Runner
+	if newRunner != nil {
+		runner = newRunner(welcome.TimeScale)
+	}
+	if runner == nil {
+		runner = SleepRunner{Scale: welcome.TimeScale}
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var running int32
+	// Heartbeat until the session ends.
+	hb := time.Duration(welcome.HeartbeatMs) * time.Millisecond
+	if hb <= 0 {
+		hb = 100 * time.Millisecond
+	}
+	go func() {
+		tick := time.NewTicker(hb)
+		defer tick.Stop()
+		for {
+			select {
+			case <-wctx.Done():
+				return
+			case <-tick.C:
+				if send(wireMsg{Type: msgHeartbeat, Running: int(atomic.LoadInt32(&running))}) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		var m wireMsg
+		if err := dec.Decode(&m); err != nil {
+			return err
+		}
+		switch m.Type {
+		case msgShutdown:
+			return nil
+		case msgTask:
+			if m.Task == nil {
+				continue
+			}
+			spec := *m.Task
+			atomic.AddInt32(&running, 1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer atomic.AddInt32(&running, -1)
+				d, err := runner.Run(wctx, spec)
+				res := wireMsg{Type: msgResult, TaskID: spec.TaskID, Attempt: spec.Attempt, Duration: d}
+				if err != nil {
+					res.Error = err.Error()
+				}
+				send(res)
+			}()
+		}
+	}
+}
+
+// Dial connects to a master at addr and serves until shutdown — the
+// body of cmd/execworker, exported so tests can run in-process worker
+// goroutines against a real TCP master.
+func Dial(ctx context.Context, addr string, newRunner NewRunner) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("exec: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	return ServeConn(ctx, conn, newRunner)
+}

@@ -42,24 +42,100 @@ func (e Execution) QueueTime() float64 { return e.StartAt - e.ReadyAt }
 // ExecTime returns te_i for the record.
 func (e Execution) ExecTime() float64 { return e.FinishAt - e.StartAt }
 
+// Attempt is one execution attempt of an activation — including
+// retries, expiries and abandons — as recorded by the execution-stage
+// master. The final outcome of an activation is summarised in its
+// Execution row; attempts keep the full failure history that retry
+// policies and reliability studies need.
+type Attempt struct {
+	RunID    string `json:"run_id"`
+	TaskID   string `json:"task_id"`
+	Activity string `json:"activity"`
+	// Number is 1-based: the first dispatch is attempt 1.
+	Number int `json:"attempt"`
+	VMID   int `json:"vm_id"`
+	// Worker identifies the executing worker within the run's pool.
+	Worker  int     `json:"worker"`
+	StartAt float64 `json:"start_at"`
+	EndAt   float64 `json:"end_at"`
+	// Outcome is "ok", "failed", "expired", "lost" (worker died) or
+	// "abandoned" (attempt budget exhausted).
+	Outcome string `json:"outcome"`
+	// Error carries the failure message for non-ok outcomes.
+	Error string `json:"error,omitempty"`
+	// Wall records when the record was stored (RFC 3339).
+	Wall string `json:"wall,omitempty"`
+}
+
 // Store is an in-memory provenance database, safe for concurrent use
 // (the execution engine appends from worker goroutines).
 type Store struct {
-	mu   sync.RWMutex
-	recs []Execution
+	mu       sync.RWMutex
+	recs     []Execution
+	attempts []Attempt
+	now      func() time.Time
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{} }
 
+// SetNow overrides the wall clock used to stamp records — tests
+// inject a fixed clock so stored bytes are deterministic. A nil fn
+// restores time.Now.
+func (s *Store) SetNow(fn func() time.Time) {
+	s.mu.Lock()
+	s.now = fn
+	s.mu.Unlock()
+}
+
+// stamp returns the wall-clock stamp under s.mu (read or write lock).
+func (s *Store) stamp() string {
+	fn := s.now
+	if fn == nil {
+		fn = time.Now
+	}
+	return fn().UTC().Format(time.RFC3339)
+}
+
 // Add appends one record, stamping Wall if unset.
 func (s *Store) Add(e Execution) {
-	if e.Wall == "" {
-		e.Wall = time.Now().UTC().Format(time.RFC3339)
-	}
 	s.mu.Lock()
+	if e.Wall == "" {
+		e.Wall = s.stamp()
+	}
 	s.recs = append(s.recs, e)
 	s.mu.Unlock()
+}
+
+// AddAttempt appends one attempt record, stamping Wall if unset.
+func (s *Store) AddAttempt(a Attempt) {
+	s.mu.Lock()
+	if a.Wall == "" {
+		a.Wall = s.stamp()
+	}
+	s.attempts = append(s.attempts, a)
+	s.mu.Unlock()
+}
+
+// Attempts returns a copy of every attempt record, in insertion order.
+func (s *Store) Attempts() []Attempt {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Attempt(nil), s.attempts...)
+}
+
+// AttemptsFor returns the attempt history of one activation in one
+// run ("" = all runs), in insertion order.
+func (s *Store) AttemptsFor(runID, taskID string) []Attempt {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Attempt
+	for _, a := range s.attempts {
+		if a.TaskID == taskID && (runID == "" || a.RunID == runID) {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // Len returns the number of records.
@@ -223,23 +299,48 @@ func (s *Store) Makespan(runID string) float64 {
 	return last - first
 }
 
-// Save writes the store as JSON.
+// file is the on-disk object form, used whenever the store carries
+// attempt history. Attempt-free stores keep the legacy plain-array
+// encoding so existing files and consumers round-trip unchanged.
+type file struct {
+	Executions []Execution `json:"executions"`
+	Attempts   []Attempt   `json:"attempts,omitempty"`
+}
+
+// Save writes the store as JSON. Stores without attempt records use
+// the legacy array-of-executions form; stores with attempts use an
+// object with "executions" and "attempts" keys. Load accepts both.
 func (s *Store) Save(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(s.recs)
+	if len(s.attempts) == 0 {
+		return enc.Encode(s.recs)
+	}
+	return enc.Encode(file{Executions: s.recs, Attempts: s.attempts})
 }
 
-// Load replaces the store contents from JSON.
+// Load replaces the store contents from JSON, accepting both the
+// legacy array form and the object form written for stores with
+// attempt history.
 func (s *Store) Load(r io.Reader) error {
-	var recs []Execution
-	if err := json.NewDecoder(r).Decode(&recs); err != nil {
+	var raw json.RawMessage
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
 		return fmt.Errorf("provenance: load: %w", err)
+	}
+	var recs []Execution
+	var atts []Attempt
+	if err := json.Unmarshal(raw, &recs); err != nil {
+		var f file
+		if err2 := json.Unmarshal(raw, &f); err2 != nil {
+			return fmt.Errorf("provenance: load: %w", err)
+		}
+		recs, atts = f.Executions, f.Attempts
 	}
 	s.mu.Lock()
 	s.recs = recs
+	s.attempts = atts
 	s.mu.Unlock()
 	return nil
 }
@@ -268,15 +369,27 @@ func (s *Store) LoadFile(path string) error {
 }
 
 // CSV writes the store as comma-separated values with a header row —
-// the exchange format for spreadsheets and notebooks.
-func (s *Store) CSV(w io.Writer) error {
+// the exchange format for spreadsheets and notebooks. It is
+// WriteCSV(w, false): execution rows only.
+func (s *Store) CSV(w io.Writer) error { return s.WriteCSV(w, false) }
+
+// WriteCSV writes the store as CSV. With includeAttempts false the
+// output is the legacy execution-row format. With it true, every row
+// gains a leading "kind" column ("execution" or "attempt") plus the
+// attempt-history columns (attempt, worker, outcome, error), and the
+// per-attempt records follow the execution rows.
+func (s *Store) WriteCSV(w io.Writer, includeAttempts bool) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
+	header := []string{
 		"workflow", "run_id", "task_id", "activity", "vm_id", "vm_type",
 		"ready_at", "start_at", "finish_at", "attempts", "success",
-	}); err != nil {
+	}
+	if includeAttempts {
+		header = append([]string{"kind"}, append(header, "attempt", "worker", "outcome", "error")...)
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, e := range s.recs {
@@ -289,8 +402,31 @@ func (s *Store) CSV(w io.Writer) error {
 			strconv.Itoa(e.Attempts),
 			strconv.FormatBool(e.Success),
 		}
+		if includeAttempts {
+			rec = append([]string{"execution"}, append(rec, "", "", "", "")...)
+		}
 		if err := cw.Write(rec); err != nil {
 			return err
+		}
+	}
+	if includeAttempts {
+		for _, a := range s.attempts {
+			rec := []string{
+				"attempt",
+				"", a.RunID, a.TaskID, a.Activity,
+				strconv.Itoa(a.VMID), "",
+				"",
+				strconv.FormatFloat(a.StartAt, 'f', -1, 64),
+				strconv.FormatFloat(a.EndAt, 'f', -1, 64),
+				"", "",
+				strconv.Itoa(a.Number),
+				strconv.Itoa(a.Worker),
+				a.Outcome,
+				a.Error,
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
 		}
 	}
 	cw.Flush()
