@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race race-replicas race-exec exec-smoke bench benchsmoke guard test build vet audit fuzz-smoke
+.PHONY: check race race-replicas race-exec exec-smoke bench benchsmoke benchsmoke-large guard test build vet audit fuzz-smoke
 
 ## check: vet, build, and test everything (the tier-1 gate)
 check: vet build test
@@ -46,10 +46,16 @@ bench:
 benchsmoke:
 	$(GO) test -run '^$$' -bench BenchmarkLearningReplicas -benchtime 1x .
 
-## guard: fail if the headline benchmark's allocs/op regress >10%
-## vs the committed BENCH_core.json baseline
+## benchsmoke-large: one-iteration pass over the large-DAG tier (1000-
+## and 10k-activation workflows on 256-/1024-vCPU fleets), keeping the
+## extreme-scale learning path exercised in CI
+benchsmoke-large:
+	$(GO) test -run '^$$' -bench BenchmarkLearningLarge -benchtime 1x .
+
+## guard: fail if any governed benchmark's allocs/op regress >10% or
+## bytes/op >15% vs the committed BENCH_core.json baseline
 guard:
-	$(GO) run ./cmd/benchguard -baseline BENCH_core.json -threshold 0.10
+	$(GO) run ./cmd/benchguard -baseline BENCH_core.json -threshold 0.10 -bytes-threshold 0.15
 
 ## audit: the simulation correctness harness — invariant auditor
 ## sweeps, fresh-vs-reset differential grid, and the spot/autoscale

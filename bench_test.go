@@ -22,18 +22,13 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
 	"strconv"
 	"sync"
 	"testing"
 
 	"reassign/internal/benchsuite"
-	"reassign/internal/cloud"
-	"reassign/internal/core"
 	"reassign/internal/expt"
 	"reassign/internal/metrics"
-	"reassign/internal/sim"
-	"reassign/internal/trace"
 )
 
 // benchOpts is the shared configuration for the table benches: the
@@ -105,30 +100,20 @@ func BenchmarkTable3(b *testing.B) {
 
 // BenchmarkLearning100Episodes measures the underlying cost Table II
 // reports: one full ReASSIgN learning run (100 episodes, Montage 50)
-// on the 16-vCPU fleet.
+// on the 16-vCPU fleet. It delegates to the governed suite so the
+// `go test -bench` entry point and BENCH_core.json measure the same
+// code.
 func BenchmarkLearning100Episodes(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	w := trace.Montage50(rng)
-	fleet, err := cloud.FleetTable1(16)
-	if err != nil {
-		b.Fatal(err)
-	}
-	fluct := cloud.DefaultFluctuation()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		l, err := core.NewLearner(core.Config{
-			Workflow: w, Fleet: fleet,
-			Params: core.DefaultParams(), Episodes: 100,
-			Sim: sim.Config{Fluct: &fluct},
-		}, core.WithSeed(int64(i)))
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := l.Learn(); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchsuite.Learning100(b)
+}
+
+// BenchmarkLearningLarge is the extreme-scale tier: MontageN
+// workflows on block-scaled fleets (1000 activations × 256 vCPUs at
+// the paper's 100-episode budget, 10k × 1024 at a 5-episode smoke
+// budget). Episodes/sec and act-ep/s are the headline metrics.
+func BenchmarkLearningLarge(b *testing.B) {
+	b.Run("1000x256", benchsuite.LearningLarge(1000, 256, 100))
+	b.Run("10000x1024", benchsuite.LearningLarge(10000, 1024, 5))
 }
 
 // BenchmarkLearningReplicas measures replica-parallel learning: K

@@ -1,7 +1,8 @@
 // Command benchguard is the CI benchmark regression gate: it re-runs
 // the governed benchmark suite (internal/benchsuite) and compares it
 // against the committed baseline (BENCH_core.json), failing when any
-// shared benchmark's allocs/op regress by more than the threshold.
+// shared benchmark's allocs/op or bytes/op regress by more than
+// their thresholds.
 //
 // Only benchmarks present in BOTH the baseline and the current suite
 // are gated: a benchmark added to the suite before the baseline is
@@ -9,14 +10,16 @@
 // gate for existing), and a baseline entry for a since-removed
 // benchmark is noted and ignored.
 //
-// Allocation counts are deterministic, which makes them an honest
-// regression signal on shared CI runners; wall-clock time is reported
-// but only warned about, since runner noise would make a hard time
-// gate flaky.
+// Allocation counts and allocated bytes are deterministic, which
+// makes them an honest regression signal on shared CI runners
+// (bytes/op gets a looser default threshold since map growth
+// granularity makes it coarser than allocs/op); wall-clock time is
+// reported but only warned about, since runner noise would make a
+// hard time gate flaky.
 //
 // Usage:
 //
-//	benchguard [-baseline BENCH_core.json] [-threshold 0.10] [-benchtime 1s]
+//	benchguard [-baseline BENCH_core.json] [-threshold 0.10] [-bytes-threshold 0.15] [-benchtime 1s]
 package main
 
 import (
@@ -40,6 +43,7 @@ func run() error {
 	testing.Init()
 	baselinePath := flag.String("baseline", "BENCH_core.json", "baseline benchmark JSON")
 	threshold := flag.Float64("threshold", 0.10, "maximum tolerated allocs/op regression (fraction)")
+	bytesThreshold := flag.Float64("bytes-threshold", 0.15, "maximum tolerated bytes/op regression (fraction)")
 	benchtime := flag.String("benchtime", "1s", "minimum run time per benchmark")
 	flag.Parse()
 
@@ -75,25 +79,28 @@ func run() error {
 		if base.AllocsPerOp <= 0 {
 			// A zero-alloc baseline has no meaningful ratio: any fresh
 			// allocation is a regression, none is a pass.
-			fmt.Printf("%s: %d allocs/op (baseline 0), %.2f ms/op, %d iterations\n",
-				bench.Name, fresh.AllocsPerOp, fresh.NsPerOp/1e6, fresh.Iterations)
+			fmt.Printf("%s: %d allocs/op (baseline 0), %d B/op, %.2f ms/op, %d iterations\n",
+				bench.Name, fresh.AllocsPerOp, fresh.BytesPerOp, fresh.NsPerOp/1e6, fresh.Iterations)
 			if fresh.AllocsPerOp > 0 {
 				failures = append(failures, fmt.Errorf("%s: allocates (%d allocs/op) against a zero-alloc baseline",
 					bench.Name, fresh.AllocsPerOp))
 			}
+			failures = gateBytes(failures, bench.Name, base, fresh, *bytesThreshold)
 			continue
 		}
 
 		allocRatio := float64(fresh.AllocsPerOp)/float64(base.AllocsPerOp) - 1
 		timeRatio := fresh.NsPerOp/base.NsPerOp - 1
-		fmt.Printf("%s: %d allocs/op (baseline %d, %+.1f%%), %.2f ms/op (baseline %.2f, %+.1f%%), %d iterations\n",
+		fmt.Printf("%s: %d allocs/op (baseline %d, %+.1f%%), %d B/op (baseline %d), %.2f ms/op (baseline %.2f, %+.1f%%), %d iterations\n",
 			bench.Name, fresh.AllocsPerOp, base.AllocsPerOp, 100*allocRatio,
+			fresh.BytesPerOp, base.BytesPerOp,
 			fresh.NsPerOp/1e6, base.NsPerOp/1e6, 100*timeRatio, fresh.Iterations)
 
 		if allocRatio > *threshold {
 			failures = append(failures, fmt.Errorf("%s: allocs/op regressed %.1f%% (limit %.0f%%): %d vs baseline %d",
 				bench.Name, 100*allocRatio, 100**threshold, fresh.AllocsPerOp, base.AllocsPerOp))
 		}
+		failures = gateBytes(failures, bench.Name, base, fresh, *bytesThreshold)
 		if timeRatio > 3**threshold {
 			fmt.Printf("warning: %s time/op drifted %+.1f%% — not failing (runner noise), but worth a look\n",
 				bench.Name, 100*timeRatio)
@@ -115,4 +122,23 @@ func run() error {
 	}
 	fmt.Println("benchguard: OK")
 	return nil
+}
+
+// gateBytes appends a failure when fresh bytes/op regress past the
+// threshold. Like the alloc gate, a zero-byte baseline tolerates no
+// fresh allocation at all.
+func gateBytes(failures []error, name string, base, fresh benchsuite.Entry, threshold float64) []error {
+	if base.BytesPerOp <= 0 {
+		if fresh.BytesPerOp > 0 {
+			failures = append(failures, fmt.Errorf("%s: allocates %d B/op against a zero-byte baseline",
+				name, fresh.BytesPerOp))
+		}
+		return failures
+	}
+	ratio := float64(fresh.BytesPerOp)/float64(base.BytesPerOp) - 1
+	if ratio > threshold {
+		failures = append(failures, fmt.Errorf("%s: bytes/op regressed %.1f%% (limit %.0f%%): %d vs baseline %d",
+			name, 100*ratio, 100*threshold, fresh.BytesPerOp, base.BytesPerOp))
+	}
+	return failures
 }

@@ -1,16 +1,17 @@
 // Command benchjson runs the governed benchmark suite
 // (internal/benchsuite) — Q-table micro-benchmarks, the TD hot path,
-// the full 100-episode learning run, and the replica-scaling ladder —
-// and writes the results to a JSON file so successive commits can be
-// compared mechanically.
+// the full 100-episode learning run, the replica-scaling ladder and
+// the large-DAG tier — and writes the results to a JSON file so
+// successive commits can be compared mechanically.
 //
 // Usage:
 //
 //	benchjson [-o BENCH_core.json] [-benchtime 1s]
 //
 // The output maps benchmark name → {ns_per_op, allocs_per_op,
-// bytes_per_op, iterations}. `make bench` writes BENCH_core.json at
-// the repository root.
+// bytes_per_op, iterations, extra}, where extra carries ReportMetric
+// units such as the learning benches' episodes/sec. `make bench`
+// writes BENCH_core.json at the repository root.
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"testing"
 	"time"
 
@@ -45,8 +47,19 @@ func main() {
 		r := testing.Benchmark(bench.Fn)
 		e := benchsuite.Record(r)
 		results[bench.Name] = e
-		fmt.Printf("%-32s %12.0f ns/op %12d B/op %9d allocs/op\n",
+		fmt.Printf("%-34s %12.0f ns/op %12d B/op %9d allocs/op",
 			bench.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+		// ReportMetric extras (e.g. ep/s), in sorted unit order so the
+		// log is stable across runs.
+		units := make([]string, 0, len(e.Extra))
+		for u := range e.Extra {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			fmt.Printf(" %12.1f %s", e.Extra[u], u)
+		}
+		fmt.Println()
 	}
 
 	f, err := os.Create(*out)

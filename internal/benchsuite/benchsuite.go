@@ -18,22 +18,31 @@ import (
 )
 
 // Entry is one benchmark's recorded trajectory point, the JSON value
-// of BENCH_core.json.
+// of BENCH_core.json. Extra carries b.ReportMetric units (e.g. the
+// learning benches' "ep/s" and "act-ep/s" throughput).
 type Entry struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Iterations  int     `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Iterations  int                `json:"iterations"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Record converts a testing.BenchmarkResult into an Entry.
 func Record(r testing.BenchmarkResult) Entry {
-	return Entry{
+	e := Entry{
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 		Iterations:  r.N,
 	}
+	if len(r.Extra) > 0 {
+		e.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			e.Extra[k] = v
+		}
+	}
+	return e
 }
 
 // Bench is one governed benchmark: the BENCH_core.json key and the
@@ -45,7 +54,8 @@ type Bench struct {
 
 // Suite returns the governed benchmarks in a stable order: the
 // Q-table micro-benchmarks, the TD hot path, the headline 100-episode
-// learning run, and the replica-scaling ladder.
+// learning run, the replica-scaling ladder, and the large-DAG tier
+// (1000- and 10k-activation workflows on 256- and 1024-vCPU fleets).
 func Suite() []Bench {
 	return []Bench{
 		{"BenchmarkQTableMap", QTable(func() *rl.Table {
@@ -64,7 +74,26 @@ func Suite() []Bench {
 		{"BenchmarkLearningReplicas/1", LearningReplicas(1)},
 		{"BenchmarkLearningReplicas/4", LearningReplicas(4)},
 		{"BenchmarkLearningReplicas/8", LearningReplicas(8)},
+		{"BenchmarkLearningLarge/1000x256", LearningLarge(1000, 256, 100)},
+		{"BenchmarkLearningLarge/10000x1024", LearningLarge(10000, 1024, 5)},
 	}
+}
+
+// reportThroughput attaches the learning-rate metrics that gate real
+// deployments: episodes/sec, and episodes/sec × workflow size as the
+// headline "act-ep/s" (a fleet-independent measure of how much DAG
+// the learner chews through per second). episodesPerOp counts every
+// episode one benchmark op runs, across all replicas, so the replica
+// ladder reports aggregate (parallel) throughput rather than the
+// per-replica wall clock.
+func reportThroughput(b *testing.B, acts, episodesPerOp int) {
+	secs := b.Elapsed().Seconds()
+	if secs <= 0 {
+		return
+	}
+	eps := float64(b.N) * float64(episodesPerOp) / secs
+	b.ReportMetric(eps, "ep/s")
+	b.ReportMetric(eps*float64(acts), "act-ep/s")
 }
 
 // QTable benchmarks a MaxRect + TDUpdate + Best round per op on a
@@ -140,6 +169,40 @@ func Learning100(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	reportThroughput(b, w.Len(), 100)
+}
+
+// LearningLarge returns the extreme-scale tier benchmark: one
+// learning run of `episodes` episodes per op on a MontageN workflow
+// of `acts` activations over a FleetScaled fleet of `vcpus` vCPUs.
+// This is the regime the banded Q-table, the batched TD path and the
+// lazy EstimateExec memo exist for; episodes/sec and act-ep/s are
+// the metrics to watch.
+func LearningLarge(acts, vcpus, episodes int) func(*testing.B) {
+	return func(b *testing.B) {
+		w := trace.MontageN(rand.New(rand.NewSource(1)), acts)
+		fleet, err := cloud.FleetScaled(vcpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fluct := cloud.DefaultFluctuation()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l, err := core.NewLearner(core.Config{
+				Workflow: w, Fleet: fleet,
+				Params: core.DefaultParams(), Episodes: episodes,
+				Sim: sim.Config{Fluct: &fluct},
+			}, core.WithSeed(int64(i)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := l.Learn(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportThroughput(b, acts, episodes)
+	}
 }
 
 // LearningReplicas benchmarks the replica ensemble: k concurrent
@@ -171,6 +234,10 @@ func LearningReplicas(k int) func(*testing.B) {
 				b.Fatal(err)
 			}
 		}
+		// k replicas run 100 episodes each per op, so ep/s here is the
+		// ensemble's aggregate throughput — near-flat total ns/op with
+		// rising ep/s is what parallel speedup looks like.
+		reportThroughput(b, w.Len(), k*100)
 	}
 }
 

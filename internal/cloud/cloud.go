@@ -182,6 +182,20 @@ func FleetTable1(vcpus int) (*Fleet, error) {
 // Table1VCPUs lists the vCPU totals of the paper's Table I rows.
 func Table1VCPUs() []int { return []int{16, 32, 64} }
 
+// FleetScaled builds a fleet scaled beyond the paper's Table I by
+// replicating its base 16-vCPU unit (8 t2.micro + 1 t2.2xlarge) once
+// per 16 vCPUs — a 1024-vCPU fleet holds 512 micro + 64 2xlarge VMs,
+// the many-VM regime of the large-DAG benchmark tier. vcpus must be
+// a positive multiple of 16.
+func FleetScaled(vcpus int) (*Fleet, error) {
+	if vcpus <= 0 || vcpus%16 != 0 {
+		return nil, fmt.Errorf("cloud: scaled fleet needs a positive multiple of 16 vCPUs, got %d", vcpus)
+	}
+	blocks := vcpus / 16
+	return NewFleet(fmt.Sprintf("scaled-%dvcpu", vcpus),
+		[]VMType{T2Micro, T22XLarge}, []int{8 * blocks, blocks})
+}
+
 // FluctuationModel perturbs nominal task runtimes the way a busy
 // public cloud does. It is used by the "real execution" engine
 // (stage 2), NOT by the learning simulator — the mismatch between the

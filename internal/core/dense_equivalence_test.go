@@ -7,6 +7,7 @@ import (
 	"reassign/internal/cloud"
 	"reassign/internal/rl"
 	"reassign/internal/sim"
+	"reassign/internal/trace"
 )
 
 // TestLearnerMapDenseEquivalence is the end-to-end backing contract:
@@ -29,22 +30,61 @@ func TestLearnerMapDenseEquivalence(t *testing.T) {
 	const initSeed = 23
 	a := run(rl.NewTable(rand.New(rand.NewSource(initSeed)), 1.0))
 	b := run(rl.NewDenseTable(w.Len(), len(fl.VMs), rand.New(rand.NewSource(initSeed)), 1.0))
+	compareResults(t, "map", "dense", a, b)
+}
 
+// TestLearnerBandedEquivalence extends the backing contract to the
+// banded table on a shape that genuinely spans several bands (300
+// activations × 144 VMs, ~18 rows per 256 KiB band): map-, dense-
+// and banded-backed Learners with identical init seeds must produce
+// bit-identical trajectories, plans and learned tables.
+func TestLearnerBandedEquivalence(t *testing.T) {
+	w := trace.MontageN(rand.New(rand.NewSource(6)), 300)
+	fl, err := cloud.FleetScaled(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(table *rl.Table) *Result {
+		l := &Learner{Workflow: w, Fleet: fl, Params: DefaultParams(), Episodes: 5, Seed: 17, Table: table}
+		res, err := l.Learn()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	const initSeed = 23
+	banded := rl.NewBandedTable(w.Len(), len(fl.VMs), rand.New(rand.NewSource(initSeed)), 1.0)
+	if !banded.Banded() {
+		t.Fatalf("%dx%d table is not banded", w.Len(), len(fl.VMs))
+	}
+	a := run(rl.NewTable(rand.New(rand.NewSource(initSeed)), 1.0))
+	b := run(banded)
+	c := run(rl.NewDenseTable(w.Len(), len(fl.VMs), rand.New(rand.NewSource(initSeed)), 1.0))
+	compareResults(t, "map", "banded", a, b)
+	compareResults(t, "dense", "banded", c, b)
+}
+
+// compareResults asserts two learning runs are bit-identical:
+// episode trajectories, extracted plan, and the learned table
+// entry-for-entry.
+func compareResults(t *testing.T, nameA, nameB string, a, b *Result) {
+	t.Helper()
 	for i := range a.Episodes {
 		if a.Episodes[i].Makespan != b.Episodes[i].Makespan || a.Episodes[i].Reward != b.Episodes[i].Reward {
-			t.Fatalf("episode %d diverges: map (%v, %v) vs dense (%v, %v)", i,
-				a.Episodes[i].Makespan, a.Episodes[i].Reward, b.Episodes[i].Makespan, b.Episodes[i].Reward)
+			t.Fatalf("episode %d diverges: %s (%v, %v) vs %s (%v, %v)", i,
+				nameA, a.Episodes[i].Makespan, a.Episodes[i].Reward,
+				nameB, b.Episodes[i].Makespan, b.Episodes[i].Reward)
 		}
 	}
 	if a.PlanMakespan != b.PlanMakespan {
-		t.Fatalf("plan makespans diverge: %v (map) vs %v (dense)", a.PlanMakespan, b.PlanMakespan)
+		t.Fatalf("plan makespans diverge: %v (%s) vs %v (%s)", a.PlanMakespan, nameA, b.PlanMakespan, nameB)
 	}
 	if a.Plan.Len() != b.Plan.Len() {
 		t.Fatalf("plan sizes diverge: %d vs %d", a.Plan.Len(), b.Plan.Len())
 	}
 	for _, e := range a.Plan.Entries() {
 		if vm, _ := b.Plan.VM(e.Activation); vm != e.VM {
-			t.Fatalf("plans diverge at %s: %d (map) vs %d (dense)", e.Activation, e.VM, vm)
+			t.Fatalf("plans diverge at %s: %d (%s) vs %d (%s)", e.Activation, e.VM, nameA, vm, nameB)
 		}
 	}
 	// The learned tables must agree entry-for-entry as well.

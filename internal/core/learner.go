@@ -112,10 +112,11 @@ func (l *Learner) Learn() (*Result, error) {
 	if table == nil {
 		// Algorithm 2: "Start Q(s,a) at random". The learner knows the
 		// action space up front — Workflow.Len() activations × the
-		// fleet's VM IDs — so it uses the dense backing; both backings
-		// materialise lazily in access order, making the learned values
-		// (and thus plans) identical to the sparse map for a given seed.
-		table = rl.NewDenseTable(l.Workflow.Len(), len(l.Fleet.VMs), rand.New(rand.NewSource(rng.Int63())), 1.0)
+		// fleet's VM IDs — so it uses a rectangle backing (dense, or
+		// banded for large problems); all backings materialise lazily
+		// in access order, making the learned values (and thus plans)
+		// identical to the sparse map for a given seed.
+		table = rl.NewAutoTable(l.Workflow.Len(), len(l.Fleet.VMs), rand.New(rand.NewSource(rng.Int63())), 1.0)
 	}
 
 	res := &Result{
@@ -152,7 +153,7 @@ func (l *Learner) Learn() (*Result, error) {
 		}
 		if params.Rule == DoubleQ {
 			if l.tableB == nil {
-				l.tableB = rl.NewDenseTable(l.Workflow.Len(), len(l.Fleet.VMs), rand.New(rand.NewSource(rng.Int63())), 1.0)
+				l.tableB = rl.NewAutoTable(l.Workflow.Len(), len(l.Fleet.VMs), rand.New(rand.NewSource(rng.Int63())), 1.0)
 			}
 			agent.WithSecondTable(l.tableB)
 		}
@@ -200,6 +201,11 @@ func (l *Learner) Learn() (*Result, error) {
 		if simRes.State == sim.FinishedOK && simRes.Makespan < res.BestEpisodeMakespan {
 			res.BestEpisodeMakespan = simRes.Makespan
 		}
+	}
+	if agent != nil {
+		// A final failure-aborted episode can leave TD writes buffered;
+		// apply them before the plan is extracted from the table.
+		agent.FlushTD()
 	}
 	res.LearningTime = time.Since(start)
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"reassign/internal/cloud"
 	"reassign/internal/dag"
@@ -144,6 +145,32 @@ type Scheduler struct {
 	budget   []int          // free slots by VM ID, valid within one Pick
 	vmByID   []*sim.VMState // idle VM lookup by ID, valid within one Pick
 	perfBuf  []float64      // PerfStdDev scratch
+
+	// Batched TD writes. Each completion computes its update eagerly
+	// (reads — and, if needed, materialises — Q(k), keeping the
+	// table's rng stream identical to an immediate update) but defers
+	// the store into these buffers; FlushTD applies them in one
+	// index-sorted pass. Deferral is exact, not approximate: within an
+	// episode a completed activation's row is never read again (Pick,
+	// bootstrap, and doubleBootstrap only touch pending rows), so no
+	// in-episode read can observe the missing store.
+	tdBufA []rl.Entry // pending writes to table
+	tdBufB []rl.Entry // pending writes to tableB (DoubleQ)
+	sorter tdSorter
+}
+
+// tdSorter orders buffered TD writes by (task, VM) so the flush walks
+// the table's rows in layout order. It lives on the Scheduler so
+// sort.Sort(&s.sorter) needs no per-flush allocation.
+type tdSorter struct{ es []rl.Entry }
+
+func (s *tdSorter) Len() int      { return len(s.es) }
+func (s *tdSorter) Swap(i, j int) { s.es[i], s.es[j] = s.es[j], s.es[i] }
+func (s *tdSorter) Less(i, j int) bool {
+	if s.es[i].Key.Task != s.es[j].Key.Task {
+		return s.es[i].Key.Task < s.es[j].Key.Task
+	}
+	return s.es[i].Key.VM < s.es[j].Key.VM
 }
 
 var _ sim.Scheduler = (*Scheduler)(nil)
@@ -195,7 +222,14 @@ func (s *Scheduler) reset(params Params, seed int64) error {
 	s.rng.Seed(seed)
 	pol := params.Policy
 	if pol == nil {
-		pol = rl.EpsilonGreedy{Epsilon: params.Epsilon}
+		eg := rl.EpsilonGreedy{Epsilon: params.Epsilon}
+		// Boxing the policy into the interface allocates; with a
+		// constant ε (the paper's setting) the previous episode's
+		// value is identical, so keep it.
+		if cur, ok := s.policy.(rl.EpsilonGreedy); ok && cur == eg {
+			return nil
+		}
+		pol = eg
 	}
 	s.policy = pol
 	return nil
@@ -227,6 +261,9 @@ func (s *Scheduler) Name() string { return "ReASSIgN" }
 // Prepare implements sim.Scheduler: it resets per-episode state (the
 // Q table persists).
 func (s *Scheduler) Prepare(w *dag.Workflow, fleet *cloud.Fleet, _ *sim.Env) error {
+	// An aborted previous episode may have left buffered TD writes;
+	// apply them before this episode reads the table.
+	s.FlushTD()
 	s.w = w
 	s.maxSlotPrice = 0
 	for _, vm := range fleet.VMs {
@@ -253,6 +290,9 @@ func (s *Scheduler) Prepare(w *dag.Workflow, fleet *cloud.Fleet, _ *sim.Env) err
 	if cap(s.readyBuf) < n {
 		s.readyBuf = make([]int, 0, n)
 		s.outBuf = make([]sim.Assignment, 0, n)
+	}
+	if cap(s.tdBufA) < n {
+		s.tdBufA = make([]rl.Entry, 0, n)
 	}
 	if v := len(fleet.VMs); cap(s.idleBuf) < v {
 		s.idleBuf = make([]int, 0, v)
@@ -360,11 +400,8 @@ func (s *Scheduler) OnTaskComplete(t *sim.Task, env *sim.Env) {
 
 	// Locate the executing VM's aggregate stats.
 	var vmStats sim.VMStats
-	for _, v := range env.VMStates() {
-		if v.VM.ID == t.VM.ID {
-			vmStats = v.Stats()
-			break
-		}
+	if v := env.VMStateByID(t.VM.ID); v != nil {
+		vmStats = v.Stats()
 	}
 	mu := s.params.Mu
 	pi := VMPerfIndex(vmStats, mu)
@@ -394,30 +431,57 @@ func (s *Scheduler) OnTaskComplete(t *sim.Task, env *sim.Env) {
 			selT, evalT = s.tableB, s.table
 		}
 		next := s.doubleBootstrap(env, selT, evalT)
-		if s.sink != nil {
-			// Reading Value(k) first consumes the same single lazy-init
-			// draw TDUpdate would, so instrumentation cannot shift the
-			// table's rng stream.
-			oldQ := selT.Value(k)
-			selT.TDUpdate(k, s.params.Alpha, s.rewardT, gamma, next)
-			d := selT.Value(k) - oldQ
-			s.qDeltaSq += d * d
-			s.updates++
-			return
-		}
-		selT.TDUpdate(k, s.params.Alpha, s.rewardT, gamma, next)
-		return
+		s.queueTD(selT, k, gamma, next)
+	} else {
+		next := s.bootstrap(env)
+		s.queueTD(s.table, k, gamma, next)
 	}
-	next := s.bootstrap(env)
+	if s.npending == 0 {
+		s.FlushTD()
+	}
+}
+
+// queueTD computes k's TD update eagerly — reading Q(k) consumes the
+// same single lazy-init draw an immediate TDUpdate would, so the
+// table's rng stream is unchanged — and buffers the store for the
+// next FlushTD.
+func (s *Scheduler) queueTD(tab *rl.Table, k rl.Key, gamma, next float64) {
+	oldQ := tab.Value(k)
+	newQ := oldQ + s.params.Alpha*(s.rewardT+gamma*next-oldQ)
+	if tab == s.tableB {
+		s.tdBufB = append(s.tdBufB, rl.Entry{Key: k, Value: newQ})
+	} else {
+		s.tdBufA = append(s.tdBufA, rl.Entry{Key: k, Value: newQ})
+	}
 	if s.sink != nil {
-		oldQ := s.table.Value(k)
-		s.table.TDUpdate(k, s.params.Alpha, s.rewardT, gamma, next)
-		d := s.table.Value(k) - oldQ
+		d := newQ - oldQ
 		s.qDeltaSq += d * d
 		s.updates++
+	}
+}
+
+// FlushTD applies the buffered TD writes of queueTD in one
+// index-sorted pass per table. It runs automatically when the
+// episode's last activation completes and again at the next Prepare;
+// callers that read the table right after an aborted episode (e.g. a
+// failure-injected run that never finished) can invoke it directly.
+func (s *Scheduler) FlushTD() {
+	s.flushBuf(s.table, &s.tdBufA)
+	s.flushBuf(s.tableB, &s.tdBufB)
+}
+
+func (s *Scheduler) flushBuf(tab *rl.Table, buf *[]rl.Entry) {
+	es := *buf
+	if len(es) == 0 {
 		return
 	}
-	s.table.TDUpdate(k, s.params.Alpha, s.rewardT, gamma, next)
+	s.sorter.es = es
+	sort.Sort(&s.sorter)
+	s.sorter.es = nil
+	for _, e := range es {
+		tab.Set(e.Key, e.Value)
+	}
+	*buf = es[:0]
 }
 
 // doubleBootstrap picks the best next action with selT and returns

@@ -18,9 +18,20 @@ func (t *Table) Copy(rng *rand.Rand) *Table {
 		rng:      rng,
 		initSpan: t.initSpan,
 	}
-	if t.dense != nil {
-		c.dense = append([]float64(nil), t.dense...)
-		c.seen = append([]bool(nil), t.seen...)
+	if t.bands != nil {
+		c.bandShift = t.bandShift
+		c.bandRows = t.bandRows
+		c.bands = make([]band, len(t.bands))
+		for i := range t.bands {
+			if t.bands[i].vals != nil {
+				c.bands[i].vals = append([]float64(nil), t.bands[i].vals...)
+				c.bands[i].seen = append([]uint64(nil), t.bands[i].seen...)
+			}
+		}
+		c.rowN = append([]int32(nil), t.rowN...)
+		c.rowMax = append([]float64(nil), t.rowMax...)
+		c.rowArg = append([]int32(nil), t.rowArg...)
+		c.rowOK = append([]bool(nil), t.rowOK...)
 		if len(t.overflow) > 0 {
 			c.overflow = make(map[Key]float64, len(t.overflow))
 			for k, v := range t.overflow {
@@ -43,10 +54,11 @@ func (t *Table) Copy(rng *rand.Rand) *Table {
 // cross-execution continuation — K replicas explore independently and
 // their consensus values seed the next execution's learning.
 //
-// The result is dense when every input is dense with equal dimensions
-// (inheriting tables[0]'s rectangle and initSpan), sparse otherwise.
-// rng becomes the result's source for future materialisation. Average
-// panics on an empty table list.
+// The result is rectangle-backed when every input is rectangle-backed
+// with equal dimensions (inheriting tables[0]'s rectangle, band
+// layout, and initSpan), sparse otherwise. rng becomes the result's
+// source for future materialisation. Average panics on an empty table
+// list.
 func Average(rng *rand.Rand, tables ...*Table) *Table {
 	if len(tables) == 0 {
 		panic("rl: Average of no tables")
@@ -55,16 +67,16 @@ func Average(rng *rand.Rand, tables ...*Table) *Table {
 		rng = rand.New(rand.NewSource(1))
 	}
 	first := tables[0]
-	allDense := first.dense != nil
+	allRect := first.bands != nil
 	for _, t := range tables[1:] {
-		if t.dense == nil || t.numTasks != first.numTasks || t.numVMs != first.numVMs {
-			allDense = false
+		if t.bands == nil || t.numTasks != first.numTasks || t.numVMs != first.numVMs {
+			allRect = false
 			break
 		}
 	}
 	var out *Table
-	if allDense {
-		out = NewDenseTable(first.numTasks, first.numVMs, rng, first.initSpan)
+	if allRect {
+		out = newRect(first.numTasks, first.numVMs, first.bandShift, rng, first.initSpan)
 	} else {
 		out = NewTable(rng, first.initSpan)
 	}

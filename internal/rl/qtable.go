@@ -4,19 +4,26 @@
 // Boltzmann softmax for ablation), parameter schedules, and episode
 // persistence so learning progresses across workflow executions.
 //
-// A Table has two interchangeable backings. NewTable returns the
-// sparse backing — a map keyed by (task, VM) — which handles
-// unbounded key spaces. NewDenseTable returns the dense backing — a
-// flat []float64 indexed by task*numVMs+vm — which gives O(1)
-// access without hashing and lets the row/rectangle maxima
-// (Best, MaxRect, ArgmaxRect) run as tight loops over contiguous
-// memory. Both backings materialise entries lazily on first access,
-// drawing random initial values from the table's source in access
-// order, so for the same seed and the same access sequence the two
-// backings hold bit-identical values; entries outside a dense table's
-// rectangle (e.g. autoscaled VMs beyond the initial fleet) spill into
-// a sparse overflow map. Save/Load use one JSON format, so persisted
-// tables round-trip across backings.
+// A Table has interchangeable backings. NewTable returns the sparse
+// backing — a map keyed by (task, VM) — which handles unbounded key
+// spaces. NewDenseTable and NewBandedTable return rectangle backings
+// over tasks [0, numTasks) × VMs [0, numVMs): Q(task, vm) lives at a
+// fixed offset in a contiguous row, which gives O(1) access without
+// hashing and lets the row/rectangle maxima (Best, MaxRect,
+// ArgmaxRect) run as tight loops over contiguous memory. The dense
+// form allocates the whole rectangle up front; the banded form groups
+// rows into cache-sized bands allocated lazily on first touch, so a
+// 10k-activation × 1000-VM problem only pays for the rows it visits
+// and row scans stay cache-resident. NewAutoTable picks between them
+// by rectangle size.
+//
+// All backings materialise entries lazily on first access, drawing
+// random initial values from the table's source in access order, so
+// for the same seed and the same access sequence every backing holds
+// bit-identical values; entries outside a rectangle (e.g. autoscaled
+// VMs beyond the initial fleet) spill into a sparse overflow map.
+// Save/Load use one JSON format, so persisted tables round-trip
+// across backings.
 package rl
 
 import (
@@ -37,23 +44,60 @@ type Key struct {
 	VM   int `json:"vm"`
 }
 
+const (
+	// bandTargetBytes sizes one band's value array for NewBandedTable:
+	// small enough that a band stays cache-resident while Best/MaxRect
+	// scan its rows, large enough to amortise per-band bookkeeping.
+	bandTargetBytes = 256 << 10
+
+	// autoCells is the rectangle size above which NewAutoTable picks
+	// the banded backing over the eagerly allocated dense one.
+	autoCells = 1 << 17
+)
+
+// band is one group of consecutive task rows. vals is nil until the
+// band is first touched; seen is a bitset over vals tracking which
+// cells have materialised.
+type band struct {
+	vals []float64
+	seen []uint64
+}
+
+func (b *band) isSeen(off int) bool { return b.seen[off>>6]&(1<<(uint(off)&63)) != 0 }
+func (b *band) mark(off int)        { b.seen[off>>6] |= 1 << (uint(off) & 63) }
+
 // Table is the evaluation table Q: schedule-action → expected reward.
 // Per the paper's Algorithm 2 it is initialised at random; entries
 // materialise lazily on first access so the table never stores
-// untouched pairs. See the package comment for the two backings.
+// untouched pairs. See the package comment for the backings.
 type Table struct {
-	// Sparse backing (nil when dense).
+	// Sparse backing (nil when rectangle-backed).
 	values map[Key]float64
 
-	// Dense backing (nil when sparse): Q(task, vm) lives at
-	// dense[task*numVMs+vm]; seen tracks materialisation.
-	dense    []float64
-	seen     []bool
-	seenN    int
-	numTasks int
-	numVMs   int
-	// overflow holds dense-mode entries outside the rectangle.
+	// Rectangle backing (nil when sparse): row task lives in band
+	// task>>bandShift at row offset task&(bandRows-1). Dense tables
+	// hold one eagerly allocated band; banded tables allocate bands
+	// on first touch.
+	bands     []band
+	bandShift uint
+	bandRows  int
+	seenN     int
+	numTasks  int
+	numVMs    int
+	// overflow holds rectangle-mode entries outside the rectangle.
 	overflow map[Key]float64
+
+	// Row-max cache for the MaxRect bootstrap fast path. rowN counts
+	// materialised cells per row; rowOK[t] means (rowMax[t], rowArg[t])
+	// hold the row's maximum and its first-attaining column. A row is
+	// only ever cached once fully materialised (rowN[t] == numVMs), so
+	// lazy draws can never invalidate a valid cache entry; writes
+	// either fold into the cached maximum or clear rowOK for a lazy
+	// rescan.
+	rowN   []int32
+	rowMax []float64
+	rowArg []int32
+	rowOK  []bool
 
 	rng *rand.Rand
 	// initSpan scales random initialisation: new entries are uniform
@@ -70,31 +114,82 @@ func NewTable(rng *rand.Rand, initSpan float64) *Table {
 	return &Table{values: make(map[Key]float64), rng: rng, initSpan: initSpan}
 }
 
-// NewDenseTable returns a dense table covering tasks [0, numTasks)
-// × VMs [0, numVMs). Keys outside that rectangle still work — they
-// spill into a sparse overflow map — but lose the O(1) path. Both
-// dimensions must be positive.
-func NewDenseTable(numTasks, numVMs int, rng *rand.Rand, initSpan float64) *Table {
+// newRect builds a rectangle-backed table with 1<<bandShift rows per
+// band and no bands allocated yet.
+func newRect(numTasks, numVMs int, bandShift uint, rng *rand.Rand, initSpan float64) *Table {
 	if numTasks <= 0 || numVMs <= 0 {
-		panic(fmt.Sprintf("rl: NewDenseTable(%d, %d): dimensions must be positive", numTasks, numVMs))
+		panic(fmt.Sprintf("rl: rectangle table (%d, %d): dimensions must be positive", numTasks, numVMs))
 	}
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
+	bandRows := 1 << bandShift
+	nBands := (numTasks + bandRows - 1) / bandRows
 	return &Table{
-		dense:    make([]float64, numTasks*numVMs),
-		seen:     make([]bool, numTasks*numVMs),
-		numTasks: numTasks,
-		numVMs:   numVMs,
-		rng:      rng,
-		initSpan: initSpan,
+		bands:     make([]band, nBands),
+		bandShift: bandShift,
+		bandRows:  bandRows,
+		numTasks:  numTasks,
+		numVMs:    numVMs,
+		rowN:      make([]int32, numTasks),
+		rowMax:    make([]float64, numTasks),
+		rowArg:    make([]int32, numTasks),
+		rowOK:     make([]bool, numTasks),
+		rng:       rng,
+		initSpan:  initSpan,
 	}
 }
 
-// Dense reports whether the table uses the dense backing.
-func (t *Table) Dense() bool { return t.dense != nil }
+// NewDenseTable returns a rectangle table covering tasks
+// [0, numTasks) × VMs [0, numVMs) with the whole rectangle allocated
+// up front as a single band. Keys outside the rectangle still work —
+// they spill into a sparse overflow map — but lose the O(1) path.
+// Both dimensions must be positive.
+func NewDenseTable(numTasks, numVMs int, rng *rand.Rand, initSpan float64) *Table {
+	shift := uint(0)
+	for 1<<shift < numTasks {
+		shift++
+	}
+	t := newRect(numTasks, numVMs, shift, rng, initSpan)
+	t.allocBand(0)
+	return t
+}
 
-// Dims returns the dense rectangle (0, 0 for sparse tables).
+// NewBandedTable returns a rectangle table whose rows are grouped
+// into cache-sized bands allocated lazily on first touch: ideal for
+// very large rectangles where learning visits rows incrementally.
+// Both dimensions must be positive.
+func NewBandedTable(numTasks, numVMs int, rng *rand.Rand, initSpan float64) *Table {
+	if numVMs <= 0 {
+		panic(fmt.Sprintf("rl: rectangle table (%d, %d): dimensions must be positive", numTasks, numVMs))
+	}
+	rowsPerBand := bandTargetBytes / (numVMs * 8)
+	shift := uint(0)
+	for 1<<(shift+1) <= rowsPerBand {
+		shift++
+	}
+	return newRect(numTasks, numVMs, shift, rng, initSpan)
+}
+
+// NewAutoTable returns a rectangle table sized for the workload:
+// dense (eager, single-band) below autoCells cells, banded (lazy,
+// cache-sized bands) above. Both dimensions must be positive.
+func NewAutoTable(numTasks, numVMs int, rng *rand.Rand, initSpan float64) *Table {
+	if numTasks > 0 && numVMs > 0 && numTasks*numVMs >= autoCells {
+		return NewBandedTable(numTasks, numVMs, rng, initSpan)
+	}
+	return NewDenseTable(numTasks, numVMs, rng, initSpan)
+}
+
+// Dense reports whether the table uses a rectangle backing (dense or
+// banded) rather than the sparse map.
+func (t *Table) Dense() bool { return t.bands != nil }
+
+// Banded reports whether the rectangle backing spans multiple
+// lazily allocated bands.
+func (t *Table) Banded() bool { return len(t.bands) > 1 }
+
+// Dims returns the rectangle (0, 0 for sparse tables).
 func (t *Table) Dims() (numTasks, numVMs int) { return t.numTasks, t.numVMs }
 
 // draw produces one random initial value.
@@ -105,31 +200,82 @@ func (t *Table) draw() float64 {
 	return 0
 }
 
-// index maps k into the dense backing; ok is false outside the
-// rectangle (or for sparse tables, which have an empty rectangle).
-func (t *Table) index(k Key) (int, bool) {
-	if k.Task < 0 || k.Task >= t.numTasks || k.VM < 0 || k.VM >= t.numVMs {
-		return 0, false
-	}
-	return k.Task*t.numVMs + k.VM, true
+// inRect reports whether k falls inside the rectangle backing.
+func (t *Table) inRect(k Key) bool {
+	return k.Task >= 0 && k.Task < t.numTasks && k.VM >= 0 && k.VM < t.numVMs
 }
 
-// at materialises and returns the dense cell i.
-func (t *Table) at(i int) float64 {
-	if !t.seen[i] {
-		t.dense[i] = t.draw()
-		t.seen[i] = true
-		t.seenN++
+// allocBand allocates band bi's storage (sized to the rows it
+// actually covers, which may be fewer than bandRows in the last
+// band) and returns it.
+func (t *Table) allocBand(bi int) *band {
+	b := &t.bands[bi]
+	rows := t.bandRows
+	if start := bi << t.bandShift; start+rows > t.numTasks {
+		rows = t.numTasks - start
 	}
-	return t.dense[i]
+	b.vals = make([]float64, rows*t.numVMs)
+	b.seen = make([]uint64, (len(b.vals)+63)/64)
+	return b
+}
+
+// locate returns the band holding task (allocating it on first
+// touch) and the intra-band offset of the row's first cell.
+func (t *Table) locate(task int) (b *band, base int) {
+	bi := task >> t.bandShift
+	b = &t.bands[bi]
+	if b.vals == nil {
+		b = t.allocBand(bi)
+	}
+	return b, (task - bi<<t.bandShift) * t.numVMs
+}
+
+// updateRowCache folds an in-rectangle write Q(task, vm) = v into the
+// row-max cache. Only rows with a valid cache entry need maintenance:
+// a larger value (or an equal value at a lower column, matching the
+// scan's first-wins tie order) moves the maximum; lowering the cached
+// argmax cell invalidates the entry for a lazy rescan.
+func (t *Table) updateRowCache(task, vm int, v float64) {
+	if !t.rowOK[task] {
+		return
+	}
+	switch {
+	case v > t.rowMax[task] || (v == t.rowMax[task] && int32(vm) < t.rowArg[task]):
+		t.rowMax[task], t.rowArg[task] = v, int32(vm)
+	case int32(vm) == t.rowArg[task] && v < t.rowMax[task]:
+		t.rowOK[task] = false
+	}
+}
+
+// rescanRow recomputes the row-max cache entry for a fully
+// materialised row.
+func (t *Table) rescanRow(task int) {
+	b, base := t.locate(task)
+	best, arg := math.Inf(-1), 0
+	for vm := 0; vm < t.numVMs; vm++ {
+		if v := b.vals[base+vm]; v > best {
+			best, arg = v, vm
+		}
+	}
+	t.rowMax[task], t.rowArg[task], t.rowOK[task] = best, int32(arg), true
 }
 
 // Value returns Q(k), materialising a random initial value on first
 // access.
 func (t *Table) Value(k Key) float64 {
-	if t.dense != nil {
-		if i, ok := t.index(k); ok {
-			return t.at(i)
+	if t.bands != nil {
+		if t.inRect(k) {
+			b, base := t.locate(k.Task)
+			off := base + k.VM
+			if !b.isSeen(off) {
+				v := t.draw()
+				b.vals[off] = v
+				b.mark(off)
+				t.seenN++
+				t.rowN[k.Task]++
+				return v
+			}
+			return b.vals[off]
 		}
 		if v, ok := t.overflow[k]; ok {
 			return v
@@ -152,12 +298,18 @@ func (t *Table) Value(k Key) float64 {
 // Peek returns Q(k) without materialising it; ok is false for unseen
 // entries.
 func (t *Table) Peek(k Key) (v float64, ok bool) {
-	if t.dense != nil {
-		if i, inRect := t.index(k); inRect {
-			if !t.seen[i] {
+	if t.bands != nil {
+		if t.inRect(k) {
+			bi := k.Task >> t.bandShift
+			b := &t.bands[bi]
+			if b.vals == nil {
 				return 0, false
 			}
-			return t.dense[i], true
+			off := (k.Task-bi<<t.bandShift)*t.numVMs + k.VM
+			if !b.isSeen(off) {
+				return 0, false
+			}
+			return b.vals[off], true
 		}
 		v, ok = t.overflow[k]
 		return v, ok
@@ -168,13 +320,17 @@ func (t *Table) Peek(k Key) (v float64, ok bool) {
 
 // Set overwrites Q(k).
 func (t *Table) Set(k Key, v float64) {
-	if t.dense != nil {
-		if i, ok := t.index(k); ok {
-			if !t.seen[i] {
-				t.seen[i] = true
+	if t.bands != nil {
+		if t.inRect(k) {
+			b, base := t.locate(k.Task)
+			off := base + k.VM
+			if !b.isSeen(off) {
+				b.mark(off)
 				t.seenN++
+				t.rowN[k.Task]++
 			}
-			t.dense[i] = v
+			b.vals[off] = v
+			t.updateRowCache(k.Task, k.VM, v)
 			return
 		}
 		if t.overflow == nil {
@@ -191,7 +347,7 @@ func (t *Table) Add(k Key, delta float64) { t.Set(k, t.Value(k)+delta) }
 
 // Len returns the number of materialised entries.
 func (t *Table) Len() int {
-	if t.dense != nil {
+	if t.bands != nil {
 		return t.seenN + len(t.overflow)
 	}
 	return len(t.values)
@@ -199,25 +355,28 @@ func (t *Table) Len() int {
 
 // Best returns the VM with the highest Q value for the task among the
 // candidates, ties broken by lowest VM ID for determinism. It panics
-// on an empty candidate list. On a dense table this is the row-max
-// primitive: one pass over the task's contiguous row.
+// on an empty candidate list. On a rectangle table this is the
+// row-max primitive: one pass over the task's contiguous row.
 func (t *Table) Best(task int, vms []int) (vm int, value float64) {
 	if len(vms) == 0 {
 		panic("rl: Best with no candidate VMs")
 	}
 	best, bestV := -1, math.Inf(-1)
-	if t.dense != nil && task >= 0 && task < t.numTasks {
-		row := t.dense[task*t.numVMs : (task+1)*t.numVMs]
-		rowSeen := t.seen[task*t.numVMs : (task+1)*t.numVMs]
+	if t.bands != nil && task >= 0 && task < t.numTasks {
+		b, base := t.locate(task)
 		for _, id := range vms {
 			var v float64
 			if id >= 0 && id < t.numVMs {
-				if !rowSeen[id] {
-					row[id] = t.draw()
-					rowSeen[id] = true
+				off := base + id
+				if !b.isSeen(off) {
+					v = t.draw()
+					b.vals[off] = v
+					b.mark(off)
 					t.seenN++
+					t.rowN[task]++
+				} else {
+					v = b.vals[off]
 				}
-				v = row[id]
 			} else {
 				v = t.Value(Key{Task: task, VM: id})
 			}
@@ -254,7 +413,9 @@ func (t *Table) MaxOver(keys []Key) float64 {
 // MaxRect returns the maximum Q value over the tasks × vms cross
 // product, materialising entries in task-major order (the same order
 // a nested Value loop would), or 0 when either list is empty. On a
-// dense table each task scans its contiguous row.
+// rectangle table each task scans its contiguous row; when vms spans
+// every fleet column the scan consults the row-max cache, making the
+// Q-learning bootstrap O(1) per already-cached row.
 func (t *Table) MaxRect(tasks, vms []int) float64 {
 	if len(tasks) == 0 || len(vms) == 0 {
 		return 0
@@ -276,7 +437,7 @@ func (t *Table) ArgmaxRect(tasks, vms []int) (Key, float64) {
 func (t *Table) argmaxRect(tasks, vms []int) (Key, float64) {
 	bestKey := Key{Task: tasks[0], VM: vms[0]}
 	bestV := math.Inf(-1)
-	if t.dense != nil {
+	if t.bands != nil {
 		allIn := true
 		for _, vm := range vms {
 			if vm < 0 || vm >= t.numVMs {
@@ -285,6 +446,19 @@ func (t *Table) argmaxRect(tasks, vms []int) (Key, float64) {
 			}
 		}
 		if allIn {
+			// fullCols: vms is exactly the identity [0, numVMs) — the
+			// common bootstrap shape — which both permits the row-max
+			// cache and guarantees the row scan below materialises in
+			// ascending column order.
+			fullCols := len(vms) == t.numVMs
+			if fullCols {
+				for i, vm := range vms {
+					if vm != i {
+						fullCols = false
+						break
+					}
+				}
+			}
 			for _, task := range tasks {
 				if task < 0 || task >= t.numTasks {
 					for _, vm := range vms {
@@ -294,19 +468,36 @@ func (t *Table) argmaxRect(tasks, vms []int) (Key, float64) {
 					}
 					continue
 				}
-				row := t.dense[task*t.numVMs : (task+1)*t.numVMs]
-				rowSeen := t.seen[task*t.numVMs : (task+1)*t.numVMs]
+				if fullCols && int(t.rowN[task]) == t.numVMs {
+					if !t.rowOK[task] {
+						t.rescanRow(task)
+					}
+					if v := t.rowMax[task]; v > bestV {
+						bestV, bestKey = v, Key{Task: task, VM: int(t.rowArg[task])}
+					}
+					continue
+				}
+				b, base := t.locate(task)
+				rowBest, rowArg := math.Inf(-1), -1
 				for _, vm := range vms {
-					v := row[vm]
-					if !rowSeen[vm] {
+					off := base + vm
+					v := b.vals[off]
+					if !b.isSeen(off) {
 						v = t.draw()
-						row[vm] = v
-						rowSeen[vm] = true
+						b.vals[off] = v
+						b.mark(off)
 						t.seenN++
+						t.rowN[task]++
 					}
-					if v > bestV {
-						bestV, bestKey = v, Key{Task: task, VM: vm}
+					if v > rowBest {
+						rowBest, rowArg = v, vm
 					}
+				}
+				if fullCols {
+					t.rowMax[task], t.rowArg[task], t.rowOK[task] = rowBest, int32(rowArg), true
+				}
+				if rowBest > bestV {
+					bestV, bestKey = rowBest, Key{Task: task, VM: rowArg}
 				}
 			}
 			return bestKey, bestV
@@ -329,10 +520,16 @@ func (t *Table) Mean() float64 {
 		return 0
 	}
 	var s float64
-	if t.dense != nil {
-		for i, ok := range t.seen {
-			if ok {
-				s += t.dense[i]
+	if t.bands != nil {
+		for bi := range t.bands {
+			b := &t.bands[bi]
+			if b.vals == nil {
+				continue
+			}
+			for off, v := range b.vals {
+				if b.isSeen(off) {
+					s += v
+				}
 			}
 		}
 		for _, v := range t.overflow {
@@ -350,17 +547,24 @@ func (t *Table) Mean() float64 {
 // table contents.
 func (t *Table) Snapshot() []Entry {
 	out := make([]Entry, 0, t.Len())
-	if t.dense != nil {
-		for i, ok := range t.seen {
-			if ok {
-				out = append(out, Entry{Key: Key{Task: i / t.numVMs, VM: i % t.numVMs}, Value: t.dense[i]})
+	if t.bands != nil {
+		for bi := range t.bands {
+			b := &t.bands[bi]
+			if b.vals == nil {
+				continue
+			}
+			start := bi << t.bandShift
+			for off, v := range b.vals {
+				if b.isSeen(off) {
+					out = append(out, Entry{Key: Key{Task: start + off/t.numVMs, VM: off % t.numVMs}, Value: v})
+				}
 			}
 		}
 		for k, v := range t.overflow {
 			out = append(out, Entry{Key: k, Value: v})
 		}
 		if len(t.overflow) == 0 {
-			return out // rectangle iteration is already sorted
+			return out // band-major rectangle iteration is already sorted
 		}
 	} else {
 		for k, v := range t.values {
@@ -392,16 +596,23 @@ func (t *Table) Save(w io.Writer) error {
 }
 
 // Load replaces the table contents with a previously saved snapshot.
-// The snapshot may come from either backing; entries outside a dense
+// The snapshot may come from any backing; entries outside a rectangle
 // table's rectangle land in its overflow map.
 func (t *Table) Load(r io.Reader) error {
 	var entries []Entry
 	if err := json.NewDecoder(r).Decode(&entries); err != nil {
 		return fmt.Errorf("rl: load table: %w", err)
 	}
-	if t.dense != nil {
-		clear(t.dense)
-		clear(t.seen)
+	if t.bands != nil {
+		for bi := range t.bands {
+			b := &t.bands[bi]
+			if b.vals != nil {
+				clear(b.vals)
+				clear(b.seen)
+			}
+		}
+		clear(t.rowN)
+		clear(t.rowOK)
 		t.seenN = 0
 		t.overflow = nil
 	} else {
@@ -440,13 +651,24 @@ func (t *Table) LoadFile(path string) error {
 // Q(k) ← Q(k) + α·(reward + γ·next − Q(k)) and returns the new value.
 // It is the single update rule behind Algorithm 2 (next is
 // max_a' Q(s', a') for Q-learning, a policy sample for SARSA), and
-// the hot-path primitive: one lookup and one store on either backing.
+// the hot-path primitive: one lookup and one store on any backing.
 func (t *Table) TDUpdate(k Key, alpha, reward, gamma, next float64) float64 {
-	if t.dense != nil {
-		if i, ok := t.index(k); ok {
-			q := t.at(i)
+	if t.bands != nil {
+		if t.inRect(k) {
+			b, base := t.locate(k.Task)
+			off := base + k.VM
+			var q float64
+			if !b.isSeen(off) {
+				q = t.draw()
+				b.mark(off)
+				t.seenN++
+				t.rowN[k.Task]++
+			} else {
+				q = b.vals[off]
+			}
 			q += alpha * (reward + gamma*next - q)
-			t.dense[i] = q
+			b.vals[off] = q
+			t.updateRowCache(k.Task, k.VM, q)
 			return q
 		}
 		q, ok := t.overflow[k]

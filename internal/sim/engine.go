@@ -115,12 +115,16 @@ type Env struct {
 	// acts caches workflow.Activations() for the memoised estimate
 	// path: acts[i].Index == i for a validated workflow.
 	acts []*dag.Activation
-	// baseDur memoises EstimateExec over the activation × fleet-VM
-	// rectangle (built lazily on first estimate, kept across
-	// Engine.Reset). baseDurDT records the DataTransfer flag the matrix
-	// was built under, so a config flip rebuilds it.
-	baseDur   []float64
-	baseDurDT bool
+	// baseDur memoises EstimateExec one activation row at a time: a
+	// row materialises on the first estimate for that activation and
+	// is kept across Engine.Reset, and at most maxBaseDurCells
+	// estimates are cached in total so a 10k-activation × 1000-VM
+	// problem never allocates the full rectangle up front. baseDurDT
+	// records the DataTransfer flag the rows were built under, so a
+	// config flip rebuilds them.
+	baseDur     [][]float64
+	baseDurRows int
+	baseDurDT   bool
 
 	// Global aggregates across all finished activations (Eq. 5).
 	global VMStats
@@ -132,17 +136,29 @@ type Env struct {
 // fluctuation — that is the unmodelled part of the environment.
 //
 // Estimates over the workflow's activations and the initial fleet are
-// served from a matrix memoised once per (workflow, fleet); only
-// autoscaled VMs beyond the fleet (or foreign activations) fall back
-// to recomputing.
+// served from per-activation rows memoised lazily (bounded by
+// maxBaseDurCells cached estimates in total); only autoscaled VMs
+// beyond the fleet (or foreign activations) fall back to recomputing.
 func (e *Env) EstimateExec(a *dag.Activation, vm *cloud.VM) float64 {
 	nv := len(e.fleet.VMs)
 	if id := vm.ID; id >= 0 && id < nv && e.fleet.VMs[id] == vm &&
 		a.Index >= 0 && a.Index < len(e.acts) && e.acts[a.Index] == a {
 		if e.baseDur == nil || e.baseDurDT != e.cfg.DataTransfer {
-			e.buildBaseDur()
+			e.resetBaseDur()
 		}
-		return e.baseDur[a.Index*nv+id]
+		row := e.baseDur[a.Index]
+		if row == nil {
+			if e.baseDurRows >= e.baseDurRowCap() {
+				return e.estimateExec(a, vm)
+			}
+			row = make([]float64, nv)
+			for j, fvm := range e.fleet.VMs {
+				row[j] = e.estimateExec(a, fvm)
+			}
+			e.baseDur[a.Index] = row
+			e.baseDurRows++
+		}
+		return row[id]
 	}
 	return e.estimateExec(a, vm)
 }
@@ -156,19 +172,31 @@ func (e *Env) estimateExec(a *dag.Activation, vm *cloud.VM) float64 {
 	return d
 }
 
-// buildBaseDur (re)fills the activation × VM estimate matrix under the
-// current DataTransfer setting.
-func (e *Env) buildBaseDur() {
-	nv := len(e.fleet.VMs)
-	if e.baseDur == nil {
-		e.baseDur = make([]float64, len(e.acts)*nv)
-	}
-	for _, a := range e.acts {
-		row := e.baseDur[a.Index*nv : (a.Index+1)*nv]
-		for j, vm := range e.fleet.VMs {
-			row[j] = e.estimateExec(a, vm)
+// maxBaseDurCells caps the EstimateExec memo footprint (cells ×
+// 8 bytes ≈ 64 MB worst case); rows past the cap recompute instead
+// of caching.
+const maxBaseDurCells = 8 << 20
+
+// baseDurRowCap is the largest number of rows the memo may hold —
+// always at least one so small fleets keep the O(1) path.
+func (e *Env) baseDurRowCap() int {
+	if nv := len(e.fleet.VMs); nv > 0 {
+		if c := maxBaseDurCells / nv; c > 0 {
+			return c
 		}
 	}
+	return 1
+}
+
+// resetBaseDur (re)initialises the lazy row memo under the current
+// DataTransfer setting, reusing the row spine when already allocated.
+func (e *Env) resetBaseDur() {
+	if e.baseDur == nil {
+		e.baseDur = make([][]float64, len(e.acts))
+	} else {
+		clear(e.baseDur)
+	}
+	e.baseDurRows = 0
 	e.baseDurDT = e.cfg.DataTransfer
 }
 
@@ -184,6 +212,31 @@ func (e *Env) Fleet() *cloud.Fleet { return e.fleet }
 
 // VMStates returns all VM states sorted by ID.
 func (e *Env) VMStates() []*VMState { return e.vms }
+
+// VMStateByID returns the state of the VM with the given ID, or nil
+// when absent. Initial-fleet IDs resolve in O(1) (vms is ID-sorted
+// and starts gap-free); autoscaled or churned fleets fall back to a
+// binary search.
+func (e *Env) VMStateByID(id int) *VMState {
+	if id >= 0 && id < len(e.vms) {
+		if v := e.vms[id]; v.VM.ID == id {
+			return v
+		}
+	}
+	lo, hi := 0, len(e.vms)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.vms[mid].VM.ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(e.vms) && e.vms[lo].VM.ID == id {
+		return e.vms[lo]
+	}
+	return nil
+}
 
 // AppendVMIDs appends every VM's ID to dst (in ID order) and returns
 // it. Hot-path callers pass a reused buffer to avoid allocating.
@@ -331,11 +384,13 @@ type Engine struct {
 	releaseFns  []func()
 	completeFns []func()
 
-	// Reused result backing. A Result returned by Run borrows these;
-	// Reset reclaims them, invalidating that Result's Records and PerVM
-	// (single-use engines — no Reset — hand them over for good).
-	recBuf   []Record
-	perVMBuf map[int]VMStats
+	// Reused result backing. A Result returned by Run IS resultBuf and
+	// borrows the slice/map backings; Reset reclaims them all,
+	// invalidating that Result entirely (single-use engines — no Reset
+	// — hand them over for good).
+	resultBuf Result
+	recBuf    []Record
+	perVMBuf  map[int]VMStats
 
 	// Reused per-decision scratch: the Context handed to Pick and its
 	// backing slices, plus the pre-bound sorter and cycle closure.
@@ -374,9 +429,10 @@ type Engine struct {
 // change. A reset run with the same cfg is bit-identical to a fresh
 // engine's run (only the DES freelist counters differ).
 //
-// Reset invalidates the Result returned by the previous Run: its
-// Records slice and PerVM map are reclaimed as backing for the next
-// run. Callers that need them afterwards must copy first.
+// Reset invalidates the Result returned by the previous Run: the
+// struct itself, its Records slice and its PerVM map are all reused
+// as backing for the next run. Callers that need any of it afterwards
+// must copy first.
 func (g *Engine) Reset(cfg Config) error {
 	if err := validateConfig(cfg); err != nil {
 		return err
@@ -503,11 +559,12 @@ func (g *Engine) setup() {
 	} else {
 		clear(g.perVMBuf)
 	}
-	g.result = &Result{
+	g.resultBuf = Result{
 		Scheduler: g.sched.Name(),
 		Records:   g.recBuf,
 		PerVM:     g.perVMBuf,
 	}
+	g.result = &g.resultBuf
 	if !g.cfg.SkipPlan {
 		g.result.Plan = make(map[string]int, n)
 	}

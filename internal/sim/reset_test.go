@@ -208,3 +208,47 @@ func TestEstimateExecMemo(t *testing.T) {
 	}
 	check(eng, false)
 }
+
+// TestEstimateExecMemoBounded pins the memo's memory contract at
+// extreme scale: estimating across a 10k-activation workflow on a
+// 2304-VM fleet must cache at most baseDurRowCap rows (≈ 64 MB of
+// float64 cells) rather than materialising the full 10k × 2304
+// rectangle, while rows past the cap still return exact values via
+// recomputation.
+func TestEstimateExecMemoBounded(t *testing.T) {
+	w := trace.MontageN(rand.New(rand.NewSource(5)), 10000)
+	fleet, err := cloud.FleetScaled(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv := len(fleet.VMs)
+	env := &Env{fleet: fleet, workflow: w, acts: w.Activations(), cfg: Config{DataTransfer: true}}
+
+	rowCap := env.baseDurRowCap()
+	if rowCap <= 0 || rowCap >= w.Len() {
+		t.Fatalf("baseDurRowCap = %d; test needs 0 < cap < %d activations to exercise the bound", rowCap, w.Len())
+	}
+	for _, a := range w.Activations() {
+		vm := fleet.VMs[a.Index%nv]
+		want := env.estimateExec(a, vm)
+		if got := env.EstimateExec(a, vm); got != want {
+			t.Fatalf("EstimateExec(%s, vm%d) = %v, want %v", a.ID, vm.ID, got, want)
+		}
+	}
+	if env.baseDurRows != rowCap {
+		t.Fatalf("memo holds %d rows after touching every activation, want exactly the cap %d", env.baseDurRows, rowCap)
+	}
+	if cells := env.baseDurRows * nv; cells > maxBaseDurCells {
+		t.Fatalf("memo holds %d cells, over the %d cap", cells, maxBaseDurCells)
+	}
+	// Rows past the cap stay unmaterialised but keep answering exactly.
+	last := w.Activations()[w.Len()-1]
+	if env.baseDur[last.Index] != nil {
+		t.Fatalf("activation %d materialised a row past the cap", last.Index)
+	}
+	for _, vm := range []*cloud.VM{fleet.VMs[0], fleet.VMs[nv-1]} {
+		if got, want := env.EstimateExec(last, vm), env.estimateExec(last, vm); got != want {
+			t.Fatalf("uncached EstimateExec(%s, vm%d) = %v, want %v", last.ID, vm.ID, got, want)
+		}
+	}
+}
