@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race race-replicas race-exec exec-smoke bench benchsmoke benchsmoke-large guard test build vet audit fuzz-smoke
+.PHONY: check race race-replicas race-exec exec-smoke schedd-smoke bench benchsmoke benchsmoke-large guard test build vet audit fuzz-smoke
 
 ## check: vet, build, and test everything (the tier-1 gate)
 check: vet build test
@@ -16,7 +16,7 @@ test:
 
 ## race: race-detector pass over the simulation and learning packages
 race:
-	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/engine/... ./internal/expt/... ./internal/telemetry/... ./internal/invariant/...
+	$(GO) test -race ./internal/core/... ./internal/sim/... ./internal/engine/... ./internal/expt/... ./internal/telemetry/... ./internal/invariant/... ./internal/api/... ./internal/schedd/...
 
 ## race-replicas: race-detector pass over replica-parallel learning
 ## (concurrent learners sharing a fan-out telemetry sink)
@@ -36,6 +36,15 @@ exec-smoke:
 	$(GO) build -o bin/reassign ./cmd/reassign
 	$(GO) build -o bin/execworker ./cmd/execworker
 	bash scripts/exec_smoke.sh ./bin
+
+## schedd-smoke: end-to-end smoke of the scheduler service: start a
+## schedd daemon, drive 50 concurrent jobs through it with schedload,
+## assert non-zero throughput + warm Q-table cache + clean shutdown
+schedd-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/schedd ./cmd/schedd
+	$(GO) build -o bin/schedload ./cmd/schedload
+	bash scripts/schedd_smoke.sh ./bin
 
 ## bench: run the benchmark trajectory and record BENCH_core.json
 bench:

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"reassign/internal/api"
 	"reassign/internal/cloud"
 	"reassign/internal/core"
 	"reassign/internal/dag"
@@ -283,7 +284,7 @@ func run() error {
 	}
 
 	if *planOut != "" {
-		if err := writePlan(*planOut, plan); err != nil {
+		if err := writePlan(*planOut, w.Name, fleet.Name, makespan, plan); err != nil {
 			return err
 		}
 		fmt.Printf("plan:     written to %s\n", *planOut)
@@ -425,9 +426,13 @@ func printPlanSummary(plan core.Plan, fleet *cloud.Fleet) {
 	fmt.Printf("placement: %s\n", strings.Join(parts, " "))
 }
 
-func writePlan(path string, plan core.Plan) error {
+func writePlan(path, workflow, fleet string, makespan float64, plan core.Plan) error {
 	if strings.HasSuffix(path, ".json") {
-		data, err := json.MarshalIndent(plan, "", " ")
+		// The versioned document (package api) — byte-compatible with
+		// the schedd daemon's payloads, so a plan written here can be
+		// POSTed to /v1/jobs and vice versa.
+		doc := api.NewPlanDocument(workflow, fleet, makespan, plan)
+		data, err := json.MarshalIndent(doc, "", " ")
 		if err != nil {
 			return err
 		}
@@ -441,8 +446,10 @@ func writePlan(path string, plan core.Plan) error {
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
-// readPlan loads a plan written by writePlan: the JSON entry array
-// for .json paths, the two-column TSV otherwise.
+// readPlan loads a plan written by writePlan: for .json paths the
+// versioned api.PlanDocument (which still decodes the two legacy
+// encodings — a bare entry array and a {"activation": vm} object),
+// the two-column TSV otherwise.
 func readPlan(path string) (core.Plan, error) {
 	var plan core.Plan
 	if strings.HasSuffix(path, ".json") {
@@ -450,10 +457,11 @@ func readPlan(path string) (core.Plan, error) {
 		if err != nil {
 			return plan, err
 		}
-		if err := json.Unmarshal(data, &plan); err != nil {
+		var doc api.PlanDocument
+		if err := json.Unmarshal(data, &doc); err != nil {
 			return plan, fmt.Errorf("plan %s: %w", path, err)
 		}
-		return plan, nil
+		return doc.Plan, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {

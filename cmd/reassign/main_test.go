@@ -1,11 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"reassign/internal/api"
 	"reassign/internal/core"
 	"reassign/internal/dax"
 	"reassign/internal/wfjson"
@@ -76,7 +78,7 @@ func TestLoadWorkflowDefaultAndFiles(t *testing.T) {
 
 func TestWritePlan(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "plan.tsv")
-	if err := writePlan(path, core.NewPlan(map[string]int{"b": 2, "a": 1})); err != nil {
+	if err := writePlan(path, "wf", "fleet", 1, core.NewPlan(map[string]int{"b": 2, "a": 1})); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -97,7 +99,7 @@ func TestPlanRoundTripTSVAndJSON(t *testing.T) {
 	plan := core.NewPlan(map[string]int{"ID00001": 3, "ID00000": 8, "ID00002": 0})
 	for _, name := range []string{"plan.tsv", "plan.json"} {
 		path := filepath.Join(dir, name)
-		if err := writePlan(path, plan); err != nil {
+		if err := writePlan(path, "wf", "fleet", 12.5, plan); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		back, err := readPlan(path)
@@ -113,13 +115,38 @@ func TestPlanRoundTripTSVAndJSON(t *testing.T) {
 			}
 		}
 	}
-	// JSON output is the entry-array form.
+	// JSON output is the versioned document form (package api).
 	data, err := os.ReadFile(filepath.Join(dir, "plan.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(strings.TrimSpace(string(data)), "[") {
-		t.Fatalf("plan.json is not an entry array: %s", data)
+	var doc api.PlanDocument
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != api.SchemaVersion || doc.Workflow != "wf" || doc.MakespanSeconds != 12.5 {
+		t.Fatalf("plan.json document header: %+v", doc)
+	}
+
+	// Legacy files still load: the bare entry array and the
+	// {"activation": vm} map the CLI wrote before the schema existed.
+	legacyArr := filepath.Join(dir, "legacy_arr.json")
+	arr, _ := json.Marshal(plan)
+	if err := os.WriteFile(legacyArr, arr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	legacyMap := filepath.Join(dir, "legacy_map.json")
+	if err := os.WriteFile(legacyMap, []byte(`{"ID00000":8,"ID00001":3,"ID00002":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{legacyArr, legacyMap} {
+		back, err := readPlan(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if back.Len() != 3 {
+			t.Fatalf("%s: %d entries", p, back.Len())
+		}
 	}
 	if _, err := readPlan(filepath.Join(dir, "missing.tsv")); err == nil {
 		t.Fatal("missing plan accepted")

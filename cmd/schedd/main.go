@@ -1,0 +1,78 @@
+// Command schedd runs the scheduler service: a daemon accepting
+// workflow scheduling jobs over a versioned HTTP/JSON API and serving
+// learned plans, provenance and Prometheus metrics. See
+// internal/schedd for the API surface.
+//
+// Usage:
+//
+//	schedd [-listen :8425] [-workers N] [-queue N] [-episodes N]
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM: in-flight jobs are
+// canceled, workers drained, and "schedd: shutdown clean" printed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reassign/internal/schedd"
+)
+
+func main() {
+	listen := flag.String("listen", ":8425", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "concurrent job executors (default GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "admission queue depth; beyond it submissions get 429")
+	episodes := flag.Int("episodes", 0, "default episode budget for submissions that leave it unset (default 100)")
+	flag.Parse()
+
+	if err := run(*listen, schedd.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultEpisodes: *episodes,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "schedd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen string, cfg schedd.Config) error {
+	s := schedd.New(cfg)
+	s.Start()
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedd: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("schedd: %v, draining\n", sig)
+	case err := <-errc:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("draining workers: %w", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("closing listener: %w", err)
+	}
+	fmt.Println("schedd: shutdown clean")
+	return nil
+}

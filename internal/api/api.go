@@ -1,0 +1,345 @@
+// Package api is the canonical wire schema of the scheduler service:
+// the request/response and fleet/workflow specification types that
+// every client-facing surface shares. The schedd daemon's HTTP/JSON
+// payloads, the schedload generator's requests and the reassign CLI's
+// plan files all round-trip through these types, so a plan written by
+// one tool is byte-compatible input for the others.
+//
+// The schema is versioned: every document carries a SchemaVersion
+// ("v1"). Adding optional fields is a compatible change within a
+// version; renaming or retyping a field requires a new version.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/dag"
+	"reassign/internal/dax"
+	"reassign/internal/provenance"
+	"reassign/internal/trace"
+	"reassign/internal/wfjson"
+)
+
+// SchemaVersion is the current wire-schema version. Documents with an
+// empty schema_version are treated as this version.
+const SchemaVersion = "v1"
+
+// CheckSchemaVersion accepts the empty string (assume current) and
+// the current version, and rejects everything else with a typed
+// *Error so HTTP handlers map it to 400.
+func CheckSchemaVersion(v string) error {
+	if v == "" || v == SchemaVersion {
+		return nil
+	}
+	return &Error{
+		Code:   CodeBadRequest,
+		Field:  "schema_version",
+		Reason: fmt.Sprintf("unsupported schema version %q (want %q)", v, SchemaVersion),
+	}
+}
+
+// WorkflowSpec describes the workflow to schedule. Exactly one of the
+// three forms is used: an inline DAX XML document (Format "dax"), an
+// inline WfCommons/WfFormat JSON document (Format "wfjson"), or a
+// synthetic generated workflow (Format "synthetic" with Synthetic
+// set).
+type WorkflowSpec struct {
+	// Format is "dax", "wfjson" or "synthetic". Empty defaults to
+	// "synthetic" when Synthetic is set, else it is an error.
+	Format string `json:"format,omitempty"`
+	// Source is the inline workflow document for dax/wfjson.
+	Source string `json:"source,omitempty"`
+	// Synthetic describes a generated workflow.
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
+}
+
+// SyntheticSpec requests one of the built-in Pegasus-shaped workflow
+// generators (package trace).
+type SyntheticSpec struct {
+	// Family is "montage" (default), "cybershake", "epigenomics",
+	// "inspiral" or "sipht".
+	Family string `json:"family,omitempty"`
+	// Nodes is the approximate activation count (default 50).
+	Nodes int `json:"nodes,omitempty"`
+	// Seed drives the generator's runtime randomness. Two specs with
+	// equal family, nodes and seed build identical workflows.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Build parses or generates the workflow. Errors are typed *Error
+// with Field "workflow" so handlers map them to 400.
+func (s WorkflowSpec) Build() (*dag.Workflow, error) {
+	format := s.Format
+	if format == "" && s.Synthetic != nil {
+		format = "synthetic"
+	}
+	fail := func(reason string) (*dag.Workflow, error) {
+		return nil, &Error{Code: CodeBadRequest, Field: "workflow", Reason: reason}
+	}
+	switch format {
+	case "dax":
+		if strings.TrimSpace(s.Source) == "" {
+			return fail("dax workflow needs a non-empty source document")
+		}
+		w, err := dax.Read(strings.NewReader(s.Source))
+		if err != nil {
+			return fail(err.Error())
+		}
+		return w, nil
+	case "wfjson":
+		if strings.TrimSpace(s.Source) == "" {
+			return fail("wfjson workflow needs a non-empty source document")
+		}
+		w, err := wfjson.Read(strings.NewReader(s.Source))
+		if err != nil {
+			return fail(err.Error())
+		}
+		return w, nil
+	case "synthetic":
+		spec := s.Synthetic
+		if spec == nil {
+			spec = &SyntheticSpec{}
+		}
+		nodes := spec.Nodes
+		if nodes <= 0 {
+			nodes = 50
+		}
+		rng := rand.New(rand.NewSource(spec.Seed))
+		switch strings.ToLower(spec.Family) {
+		case "", "montage":
+			return trace.MontageN(rng, nodes), nil
+		case "cybershake":
+			return trace.CyberShake(rng, nodes), nil
+		case "epigenomics":
+			return trace.Epigenomics(rng, nodes), nil
+		case "inspiral":
+			return trace.Inspiral(rng, nodes), nil
+		case "sipht":
+			return trace.Sipht(rng, nodes), nil
+		default:
+			return fail(fmt.Sprintf("unknown synthetic family %q", spec.Family))
+		}
+	case "":
+		return fail("workflow spec needs a format (dax, wfjson or synthetic)")
+	default:
+		return fail(fmt.Sprintf("unknown workflow format %q", format))
+	}
+}
+
+// VMCount provisions Count VMs of the named catalogue type.
+type VMCount struct {
+	Type  string `json:"type"`
+	Count int    `json:"count"`
+}
+
+// FleetSpec describes the VM fleet to schedule onto: either a named
+// preset ("table1", the paper's Table I, or "scaled", its replicated
+// large-fleet extension) sized by total vCPUs, or an explicit list of
+// catalogue types and counts.
+type FleetSpec struct {
+	// Preset is "table1" (default) or "scaled"; ignored when Types is
+	// set.
+	Preset string `json:"preset,omitempty"`
+	// VCPUs sizes the preset (default 16). table1 accepts 16/32/64,
+	// scaled any positive multiple of 16.
+	VCPUs int `json:"vcpus,omitempty"`
+	// Types builds a custom fleet instead of a preset.
+	Types []VMCount `json:"types,omitempty"`
+}
+
+// Build provisions the fleet. Errors are typed *Error with Field
+// "fleet" so handlers map them to 400.
+func (s FleetSpec) Build() (*cloud.Fleet, error) {
+	fail := func(reason string) (*cloud.Fleet, error) {
+		return nil, &Error{Code: CodeBadRequest, Field: "fleet", Reason: reason}
+	}
+	if len(s.Types) > 0 {
+		types := make([]cloud.VMType, len(s.Types))
+		counts := make([]int, len(s.Types))
+		for i, tc := range s.Types {
+			t, ok := cloud.TypeByName(tc.Type)
+			if !ok {
+				return fail(fmt.Sprintf("unknown VM type %q", tc.Type))
+			}
+			types[i] = t
+			counts[i] = tc.Count
+		}
+		fleet, err := cloud.NewFleet("custom", types, counts)
+		if err != nil {
+			return fail(err.Error())
+		}
+		return fleet, nil
+	}
+	vcpus := s.VCPUs
+	if vcpus == 0 {
+		vcpus = 16
+	}
+	var fleet *cloud.Fleet
+	var err error
+	switch strings.ToLower(s.Preset) {
+	case "", "table1":
+		fleet, err = cloud.FleetTable1(vcpus)
+	case "scaled":
+		fleet, err = cloud.FleetScaled(vcpus)
+	default:
+		return fail(fmt.Sprintf("unknown fleet preset %q", s.Preset))
+	}
+	if err != nil {
+		return fail(err.Error())
+	}
+	return fleet, nil
+}
+
+// LearnSpec carries the learning parameters of a submission. Zero
+// values mean the paper defaults (α=0.5, γ=1.0, ε=0.1, 100 episodes,
+// 1 replica).
+type LearnSpec struct {
+	Episodes int     `json:"episodes,omitempty"`
+	Replicas int     `json:"replicas,omitempty"`
+	Alpha    float64 `json:"alpha,omitempty"`
+	Gamma    float64 `json:"gamma,omitempty"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
+}
+
+// SubmitRequest is the POST /v1/jobs payload: schedule Workflow onto
+// Fleet, either by learning a plan (the default) or by validating and
+// replaying a submitted Plan.
+type SubmitRequest struct {
+	SchemaVersion string       `json:"schema_version"`
+	Workflow      WorkflowSpec `json:"workflow"`
+	Fleet         FleetSpec    `json:"fleet"`
+	Learn         LearnSpec    `json:"learn"`
+	// Seed drives Q initialisation, exploration and fluctuation draws.
+	// Two submissions differing only in unrelated daemon state return
+	// bit-identical plans for equal seeds (given NoWarmStart).
+	Seed int64 `json:"seed,omitempty"`
+	// Fluctuation enables the cloud fluctuation model in the learning
+	// simulator.
+	Fluctuation bool `json:"fluctuation,omitempty"`
+	// NoWarmStart bypasses the daemon's Q-table cache: learning starts
+	// from random initialisation even when a table for this workflow
+	// structure is cached. Use it for reproducibility studies.
+	NoWarmStart bool `json:"no_warm_start,omitempty"`
+	// Execute runs the extracted plan on the virtual-time execution
+	// master after learning and attaches provenance to the job.
+	Execute bool `json:"execute,omitempty"`
+	// Plan, when set, skips learning: the plan is validated against
+	// the workflow and fleet (400 on mismatch) and replayed for its
+	// simulated makespan.
+	Plan *PlanDocument `json:"plan,omitempty"`
+}
+
+// Job states reported by JobStatus.State.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// JobStatus is the daemon's job representation: returned by submit
+// (202), status (200) and cancel.
+type JobStatus struct {
+	SchemaVersion string `json:"schema_version"`
+	ID            string `json:"id"`
+	State         string `json:"state"`
+
+	Workflow    string `json:"workflow,omitempty"`
+	Activations int    `json:"activations,omitempty"`
+	Fleet       string `json:"fleet,omitempty"`
+	VMs         int    `json:"vms,omitempty"`
+
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	// LatencySeconds is submit→finish, set on finished jobs.
+	LatencySeconds float64 `json:"latency_seconds,omitempty"`
+
+	// Episodes is the number of learning episodes run; CacheHit
+	// reports whether learning warm-started from the daemon's Q-table
+	// cache.
+	Episodes        int     `json:"episodes,omitempty"`
+	CacheHit        bool    `json:"cache_hit,omitempty"`
+	LearningSeconds float64 `json:"learning_seconds,omitempty"`
+
+	// Plan is the extracted (or replayed) plan with its simulated
+	// makespan; byte-compatible with reassign -planin/-planout files.
+	Plan *PlanDocument `json:"plan,omitempty"`
+
+	// Provenance holds per-activation execution records when the job
+	// was submitted with Execute; ExecMakespanSeconds its makespan.
+	Provenance          []provenance.Execution `json:"provenance,omitempty"`
+	ExecMakespanSeconds float64                `json:"exec_makespan_seconds,omitempty"`
+
+	Error *Error `json:"error,omitempty"`
+}
+
+// PlanDocument is the versioned on-the-wire (and on-disk) form of a
+// scheduling plan: the document written by `reassign -plan x.json`,
+// accepted by `reassign -planin` and POST /v1/jobs, and returned in
+// JobStatus. Legacy files — a bare entry array or a {"activation":
+// vm} object — still decode.
+type PlanDocument struct {
+	SchemaVersion string `json:"schema_version"`
+	// Workflow and Fleet name the inputs the plan was computed for
+	// (informational; validation is structural).
+	Workflow string `json:"workflow,omitempty"`
+	Fleet    string `json:"fleet,omitempty"`
+	// MakespanSeconds is the plan's simulated makespan.
+	MakespanSeconds float64 `json:"makespan_seconds,omitempty"`
+	// Plan is the activation→VM assignment.
+	Plan core.Plan `json:"plan"`
+}
+
+// NewPlanDocument wraps a plan in the current schema version.
+func NewPlanDocument(workflow, fleet string, makespan float64, plan core.Plan) *PlanDocument {
+	return &PlanDocument{
+		SchemaVersion:   SchemaVersion,
+		Workflow:        workflow,
+		Fleet:           fleet,
+		MakespanSeconds: makespan,
+		Plan:            plan,
+	}
+}
+
+// UnmarshalJSON decodes the versioned document form as well as the
+// two legacy plan encodings: a bare entry array ([{"activation":...,
+// "vm":...}]) and a plain {"activation": vm} object.
+func (d *PlanDocument) UnmarshalJSON(data []byte) error {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var p core.Plan
+		if err := json.Unmarshal(data, &p); err != nil {
+			return err
+		}
+		*d = PlanDocument{Plan: p}
+		return nil
+	}
+	type alias PlanDocument
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	if a.SchemaVersion == "" && a.Plan.Len() == 0 {
+		// Possibly a legacy {"activation": vm} object; a real map
+		// decodes with at least one entry, an empty document stays
+		// a document.
+		var p core.Plan
+		if err := json.Unmarshal(data, &p); err == nil && p.Len() > 0 {
+			*d = PlanDocument{Plan: p}
+			return nil
+		}
+	}
+	if err := CheckSchemaVersion(a.SchemaVersion); err != nil {
+		return err
+	}
+	*d = PlanDocument(a)
+	return nil
+}

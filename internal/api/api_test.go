@@ -1,0 +1,199 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"net/http"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/trace"
+)
+
+func TestWorkflowSpecBuild(t *testing.T) {
+	// Synthetic builds are deterministic per (family, nodes, seed).
+	spec := WorkflowSpec{Synthetic: &SyntheticSpec{Family: "montage", Nodes: 40, Seed: 9}}
+	w1, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, _ := spec.Build()
+	if w1.Len() != w2.Len() || w1.Len() == 0 {
+		t.Fatalf("synthetic build not stable: %d vs %d", w1.Len(), w2.Len())
+	}
+
+	// Malformed DAX surfaces a typed 400 error naming the field.
+	_, err = WorkflowSpec{Format: "dax", Source: "<not xml"}.Build()
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *api.Error, got %T: %v", err, err)
+	}
+	if apiErr.Field != "workflow" || apiErr.HTTPStatus() != http.StatusBadRequest {
+		t.Fatalf("unexpected error %+v status %d", apiErr, apiErr.HTTPStatus())
+	}
+
+	if _, err := (WorkflowSpec{}).Build(); err == nil {
+		t.Fatal("empty spec should fail")
+	}
+	if _, err := (WorkflowSpec{Format: "synthetic", Synthetic: &SyntheticSpec{Family: "nope"}}).Build(); err == nil {
+		t.Fatal("unknown family should fail")
+	}
+}
+
+func TestFleetSpecBuild(t *testing.T) {
+	f, err := FleetSpec{}.Build() // default: table1, 16 vCPUs
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.VCPUs() != 16 {
+		t.Fatalf("default fleet has %d vCPUs, want 16", f.VCPUs())
+	}
+	f, err = FleetSpec{Preset: "scaled", VCPUs: 64}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.VCPUs() != 64 {
+		t.Fatalf("scaled fleet has %d vCPUs, want 64", f.VCPUs())
+	}
+	f, err = FleetSpec{Types: []VMCount{{Type: "t2.large", Count: 3}}}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 3 {
+		t.Fatalf("custom fleet has %d VMs, want 3", f.Len())
+	}
+	var apiErr *Error
+	if _, err := (FleetSpec{VCPUs: 48}).Build(); !errors.As(err, &apiErr) || apiErr.Field != "fleet" {
+		t.Fatalf("bad vcpus: want fleet-field error, got %v", err)
+	}
+	if _, err := (FleetSpec{Types: []VMCount{{Type: "m5.nope", Count: 1}}}).Build(); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+}
+
+func TestStructureSignature(t *testing.T) {
+	fleet16, _ := cloud.FleetTable1(16)
+	fleet32, _ := cloud.FleetTable1(32)
+	w := func(seed int64, nodes int) *SyntheticSpec {
+		return &SyntheticSpec{Family: "montage", Nodes: nodes, Seed: seed}
+	}
+	build := func(s *SyntheticSpec) string {
+		wf, err := WorkflowSpec{Synthetic: s}.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return StructureSignature(wf, fleet16)
+	}
+	if build(w(1, 50)) != build(w(1, 50)) {
+		t.Fatal("equal structures must share a signature")
+	}
+	if build(w(1, 50)) == build(w(2, 50)) {
+		t.Fatal("different runtimes must change the signature")
+	}
+	if build(w(1, 50)) == build(w(1, 60)) {
+		t.Fatal("different sizes must change the signature")
+	}
+	wf, _ := WorkflowSpec{Synthetic: w(1, 50)}.Build()
+	if StructureSignature(wf, fleet16) == StructureSignature(wf, fleet32) {
+		t.Fatal("different fleets must change the signature")
+	}
+}
+
+func TestPlanDocumentRoundTrip(t *testing.T) {
+	w := trace.MontageN(rand.New(rand.NewSource(1)), 10)
+	m := make(map[string]int)
+	for i, a := range w.Activations() {
+		m[a.ID] = i % 3
+	}
+	plan := core.NewPlan(m)
+	doc := NewPlanDocument(w.Name, "table1-16vcpu", 123.5, plan)
+
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PlanDocument
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion || back.Plan.Len() != plan.Len() {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	// Marshal→unmarshal→marshal is byte-stable (deterministic plans).
+	data2, _ := json.Marshal(&back)
+	if string(data) != string(data2) {
+		t.Fatalf("document encoding unstable:\n%s\n%s", data, data2)
+	}
+
+	// Legacy bare entry array.
+	legacyArr, _ := json.Marshal(plan)
+	var fromArr PlanDocument
+	if err := json.Unmarshal(legacyArr, &fromArr); err != nil {
+		t.Fatal(err)
+	}
+	if fromArr.Plan.Len() != plan.Len() {
+		t.Fatalf("legacy array lost entries: %d", fromArr.Plan.Len())
+	}
+
+	// Legacy {"activation": vm} object.
+	legacyMap, _ := json.Marshal(m)
+	var fromMap PlanDocument
+	if err := json.Unmarshal(legacyMap, &fromMap); err != nil {
+		t.Fatal(err)
+	}
+	if fromMap.Plan.Len() != plan.Len() {
+		t.Fatalf("legacy map lost entries: %d", fromMap.Plan.Len())
+	}
+
+	// Unsupported version is rejected.
+	var bad PlanDocument
+	if err := json.Unmarshal([]byte(`{"schema_version":"v9","plan":[]}`), &bad); err == nil {
+		t.Fatal("v9 document should be rejected")
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	// Plan.Validate failures carry structured field/reason and map to
+	// 400, not 500.
+	w := trace.MontageN(rand.New(rand.NewSource(1)), 5)
+	fleet, _ := cloud.FleetTable1(16)
+	m := make(map[string]int)
+	for _, a := range w.Activations() {
+		m[a.ID] = 999 // not in the fleet
+	}
+	err := core.NewPlan(m).Validate(w, fleet)
+	if err == nil {
+		t.Fatal("expected validation failure")
+	}
+	apiErr := FromError(err)
+	if apiErr.Code != CodeInvalidPlan {
+		t.Fatalf("code = %q, want %q", apiErr.Code, CodeInvalidPlan)
+	}
+	if apiErr.Field == "plan" || apiErr.Field == "" {
+		t.Fatalf("field should name the offending entry, got %q", apiErr.Field)
+	}
+	if apiErr.HTTPStatus() != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", apiErr.HTTPStatus())
+	}
+
+	// Internal errors map to 500.
+	if s := FromError(errors.New("boom")).HTTPStatus(); s != http.StatusInternalServerError {
+		t.Fatalf("internal error status = %d, want 500", s)
+	}
+	// Typed errors pass through.
+	orig := Errorf(CodeQueueFull, "", "queue full")
+	if FromError(orig) != orig {
+		t.Fatal("typed error should pass through")
+	}
+	if orig.HTTPStatus() != http.StatusTooManyRequests {
+		t.Fatalf("queue_full status = %d, want 429", orig.HTTPStatus())
+	}
+	if CheckSchemaVersion("v1") != nil || CheckSchemaVersion("") != nil {
+		t.Fatal("v1 and empty versions must be accepted")
+	}
+	if CheckSchemaVersion("v2") == nil {
+		t.Fatal("v2 must be rejected")
+	}
+}

@@ -1,0 +1,104 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"reassign/internal/core"
+)
+
+// Error codes carried on the wire. The HTTP status is derived from
+// the code (HTTPStatus), never stored, so a document stays valid
+// wherever it travels.
+const (
+	// CodeBadRequest marks a malformed or semantically invalid
+	// request (unparsable document, unknown format, bad parameters).
+	CodeBadRequest = "bad_request"
+	// CodeInvalidPlan marks a plan that failed structural validation
+	// against its workflow and fleet.
+	CodeInvalidPlan = "invalid_plan"
+	// CodeNotFound marks an unknown job ID.
+	CodeNotFound = "not_found"
+	// CodeQueueFull marks an admission-queue rejection; clients
+	// should back off and retry.
+	CodeQueueFull = "queue_full"
+	// CodeConflict marks an operation invalid in the job's current
+	// state (e.g. cancelling a finished job).
+	CodeConflict = "conflict"
+	// CodeCanceled marks a job canceled before completion.
+	CodeCanceled = "canceled"
+	// CodeUnavailable marks a daemon that is shutting down.
+	CodeUnavailable = "unavailable"
+	// CodeInternal marks a server-side failure (learning or execution
+	// error on well-formed input).
+	CodeInternal = "internal"
+)
+
+// Error is the typed wire error: a machine-readable code, the field
+// (or plan entry) at fault when the error is input-specific, and a
+// human-readable reason. It implements error so server code can
+// return it through ordinary error paths.
+type Error struct {
+	Code   string `json:"code"`
+	Field  string `json:"field,omitempty"`
+	Reason string `json:"reason"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("%s (%s): %s", e.Code, e.Field, e.Reason)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Reason)
+}
+
+// HTTPStatus maps the error code to a response status: client errors
+// (malformed input, invalid plans) are 4xx, server-side failures 500.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeBadRequest, CodeInvalidPlan:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeQueueFull:
+		return http.StatusTooManyRequests
+	case CodeConflict:
+		return http.StatusConflict
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Errorf builds an Error with a formatted reason.
+func Errorf(code, field, format string, args ...any) *Error {
+	return &Error{Code: code, Field: field, Reason: fmt.Sprintf(format, args...)}
+}
+
+// FromError converts an arbitrary error into a wire Error:
+//
+//   - an *Error passes through unchanged,
+//   - a *core.PlanError becomes CodeInvalidPlan carrying the
+//     offending plan entry as Field (→ 400, not 500: an invalid plan
+//     is the client's input, not a server fault),
+//   - anything else becomes CodeInternal (→ 500).
+func FromError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var apiErr *Error
+	if errors.As(err, &apiErr) {
+		return apiErr
+	}
+	var planErr *core.PlanError
+	if errors.As(err, &planErr) {
+		field := "plan"
+		if planErr.Activation != "" {
+			field = "plan." + planErr.Activation
+		}
+		return &Error{Code: CodeInvalidPlan, Field: field, Reason: planErr.Reason}
+	}
+	return &Error{Code: CodeInternal, Reason: err.Error()}
+}

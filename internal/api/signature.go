@@ -1,0 +1,58 @@
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+	"math"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+)
+
+// StructureSignature fingerprints a learning problem: the workflow's
+// structure (activation IDs, activities, reference runtimes and
+// dependency edges, all in index order) and the fleet's shape (VM IDs
+// and types, in order). Two submissions with equal signatures define
+// the same Q-table geometry and the same execution-time estimates, so
+// a table learned for one warm-starts the other — the key of the
+// daemon's cross-run continuation cache.
+//
+// The signature deliberately ignores the workflow's display name and
+// every learning parameter: a Montage DAG resubmitted under a new
+// name with different ε still hits the cache, while adding one edge
+// or swapping a VM type misses.
+func StructureSignature(w *dag.Workflow, fleet *cloud.Fleet) string {
+	h := sha256.New()
+	writeInt(h, int64(w.Len()))
+	for _, a := range w.Activations() {
+		io.WriteString(h, a.ID)
+		h.Write([]byte{0})
+		io.WriteString(h, a.Activity)
+		h.Write([]byte{0})
+		writeFloat(h, a.Runtime)
+		writeInt(h, int64(len(a.Parents())))
+		for _, p := range a.Parents() {
+			writeInt(h, int64(p.Index))
+		}
+	}
+	writeInt(h, int64(fleet.Len()))
+	for _, vm := range fleet.VMs {
+		writeInt(h, int64(vm.ID))
+		io.WriteString(h, vm.Type.Name)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+func writeInt(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+func writeFloat(h hash.Hash, v float64) {
+	writeInt(h, int64(math.Float64bits(v)))
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -53,6 +54,12 @@ type Learner struct {
 	// replicas > 1 makes Learn run that many concurrent learners and
 	// keep the best plan (WithReplicas / LearnReplicas).
 	replicas int
+	// ctx cancels learning between episodes when set (WithContext).
+	ctx context.Context
+	// enginePool, when set, sources simulation engines from a shared
+	// pool instead of constructing per run (WithEnginePool) — the
+	// daemon path, where many jobs reuse warm engines.
+	enginePool *sim.Pool
 }
 
 // EpisodeStats records one learning episode.
@@ -131,7 +138,19 @@ func (l *Learner) Learn() (*Result, error) {
 	// engine serves every episode, Reset between runs.
 	var agent *Scheduler
 	var eng *sim.Engine
+	// Pooled engines go back even on error paths; the deferred Put is
+	// idempotent through the nil check after the manual release below.
+	defer func() {
+		if l.enginePool != nil && eng != nil {
+			l.enginePool.Put(eng)
+		}
+	}()
 	for ep := 0; ep < episodes; ep++ {
+		if l.ctx != nil {
+			if err := l.ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: learning canceled at episode %d: %w", ep, err)
+			}
+		}
 		params := l.Params
 		if l.AlphaSchedule != nil {
 			params.Alpha = l.AlphaSchedule.At(ep)
@@ -168,7 +187,11 @@ func (l *Learner) Learn() (*Result, error) {
 		}
 		var simRes *sim.Result
 		if eng == nil {
-			eng, err = sim.NewEngine(l.Workflow, l.Fleet, agent, cfg)
+			if l.enginePool != nil {
+				eng, err = l.enginePool.Acquire(l.Workflow, l.Fleet, agent, cfg)
+			} else {
+				eng, err = sim.NewEngine(l.Workflow, l.Fleet, agent, cfg)
+			}
 		} else {
 			err = eng.Reset(cfg)
 		}
@@ -207,6 +230,12 @@ func (l *Learner) Learn() (*Result, error) {
 		// apply them before the plan is extracted from the table.
 		agent.FlushTD()
 	}
+	if l.enginePool != nil && eng != nil {
+		// Hand the episode engine back before extraction so the
+		// extraction run can rebind it instead of building another.
+		l.enginePool.Put(eng)
+		eng = nil
+	}
 	res.LearningTime = time.Since(start)
 
 	plan, makespan, err := l.ExtractPlan(table)
@@ -234,7 +263,20 @@ func (l *Learner) ExtractPlan(table *rl.Table) (Plan, float64, error) {
 	if cfg.Sink == nil {
 		cfg.Sink = l.sink
 	}
-	simRes, err := sim.Run(l.Workflow, l.Fleet, agent, cfg)
+	var simRes *sim.Result
+	if l.enginePool != nil {
+		eng, aerr := l.enginePool.Acquire(l.Workflow, l.Fleet, agent, cfg)
+		if aerr == nil {
+			simRes, aerr = eng.Run()
+			// The Result borrows engine buffers, so the engine is only
+			// returned after everything needed is read — see below. The
+			// plan map itself is freshly built per run and safe to keep.
+			defer l.enginePool.Put(eng)
+		}
+		err = aerr
+	} else {
+		simRes, err = sim.Run(l.Workflow, l.Fleet, agent, cfg)
+	}
 	if err != nil {
 		return Plan{}, 0, fmt.Errorf("core: plan extraction: %w", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"reassign/internal/cloud"
@@ -78,6 +79,36 @@ func WithReplicas(k int) Option {
 			return fmt.Errorf("core: WithReplicas(%d): need at least one replica", k)
 		}
 		l.replicas = k
+		return nil
+	}
+}
+
+// WithContext bounds learning by ctx: cancellation (or deadline
+// expiry) is observed between episodes, aborting Learn with an error
+// wrapping ctx.Err(). The default runs the full episode budget. This
+// is the knob long-running services use to cancel in-flight jobs.
+func WithContext(ctx context.Context) Option {
+	return func(l *Learner) error {
+		if ctx == nil {
+			return fmt.Errorf("core: WithContext(nil)")
+		}
+		l.ctx = ctx
+		return nil
+	}
+}
+
+// WithEnginePool sources the learner's simulation engines from a
+// shared sim.Pool instead of constructing them per run. Pooled
+// engines are rebound to this learner's problem on acquisition and
+// returned after use, so concurrent learners (e.g. a scheduling
+// daemon's workers) amortise engine construction across jobs without
+// perturbing results — a pooled run is bit-identical to a fresh one.
+func WithEnginePool(p *sim.Pool) Option {
+	return func(l *Learner) error {
+		if p == nil {
+			return fmt.Errorf("core: WithEnginePool(nil)")
+		}
+		l.enginePool = p
 		return nil
 	}
 }

@@ -94,12 +94,33 @@ func (p Plan) String() string {
 	return fmt.Sprintf("plan(%d activations)", len(p.entries))
 }
 
+// PlanError is a structured plan-validation failure: the offending
+// activation and VM (when the failure is entry-specific) plus a
+// human-readable reason. Plan.Validate returns *PlanError so callers
+// serving plans over an API can surface field-level diagnostics —
+// and map validation to a client error — instead of forwarding bare
+// strings (see api.FromError).
+type PlanError struct {
+	// Activation is the plan entry at fault ("" when the failure is
+	// not entry-specific).
+	Activation string
+	// VM is the offending VM ID (-1 when the failure is not
+	// VM-specific).
+	VM int
+	// Reason describes the failure.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *PlanError) Error() string { return "core: " + e.Reason }
+
 // Validate checks the plan against a workflow and fleet at load time:
 // every entry must reference a VM provisioned in the fleet and (when w
 // is non-nil) an activation of the workflow, and every activation of
 // the workflow must be covered. Catching a stale or mistyped plan
 // here yields a clear error instead of a failure deep inside
 // dispatch. Either argument may be nil to skip its half of the check.
+// Failures are typed *PlanError.
 func (p Plan) Validate(w *dag.Workflow, fleet *cloud.Fleet) error {
 	if fleet != nil {
 		known := make(map[int]bool, fleet.Len())
@@ -108,21 +129,24 @@ func (p Plan) Validate(w *dag.Workflow, fleet *cloud.Fleet) error {
 		}
 		for _, e := range p.entries {
 			if !known[e.VM] {
-				return fmt.Errorf("core: plan maps %s to VM %d, absent from fleet %s (%d VMs)",
-					e.Activation, e.VM, fleet.Name, fleet.Len())
+				return &PlanError{Activation: e.Activation, VM: e.VM,
+					Reason: fmt.Sprintf("plan maps %s to VM %d, absent from fleet %s (%d VMs)",
+						e.Activation, e.VM, fleet.Name, fleet.Len())}
 			}
 		}
 	}
 	if w != nil {
 		for _, e := range p.entries {
 			if w.Get(e.Activation) == nil {
-				return fmt.Errorf("core: plan entry %s does not name an activation of workflow %s",
-					e.Activation, w.Name)
+				return &PlanError{Activation: e.Activation, VM: e.VM,
+					Reason: fmt.Sprintf("plan entry %s does not name an activation of workflow %s",
+						e.Activation, w.Name)}
 			}
 		}
 		for _, a := range w.Activations() {
 			if _, ok := p.byID[a.ID]; !ok {
-				return fmt.Errorf("core: plan misses activation %s", a.ID)
+				return &PlanError{Activation: a.ID, VM: -1,
+					Reason: fmt.Sprintf("plan misses activation %s", a.ID)}
 			}
 		}
 	}

@@ -102,6 +102,8 @@ func (l *Learner) LearnReplicas() (*ReplicaResult, error) {
 			AlphaSchedule:   l.AlphaSchedule,
 			EpsilonSchedule: l.EpsilonSchedule,
 			sink:            telemetry.WithReplicaLabel(l.sink, i),
+			ctx:             l.ctx,
+			enginePool:      l.enginePool,
 		}
 		if l.Table != nil {
 			// Own copy per replica: concurrent TD updates must not share

@@ -62,6 +62,19 @@ func WithStore(store *provenance.Store, runID string) Option {
 	}
 }
 
+// WithRunID labels provenance records without changing the store —
+// option parity for the Engine.RunID field (default "run"). WithStore
+// also sets the run ID; order the options accordingly.
+func WithRunID(runID string) Option {
+	return func(e *Engine) error {
+		if runID == "" {
+			return fmt.Errorf("engine: WithRunID(\"\")")
+		}
+		e.RunID = runID
+		return nil
+	}
+}
+
 // WithSink installs a telemetry sink receiving per-activation
 // SpanEvents (emitted concurrently from worker goroutines — the sink
 // must be safe for concurrent use) and one EngineRunEvent per

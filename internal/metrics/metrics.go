@@ -204,6 +204,7 @@ type Summary struct {
 	Max  float64
 	P50  float64
 	P95  float64
+	P99  float64
 }
 
 // Summarize computes a Summary (zero value for an empty sample).
@@ -219,6 +220,7 @@ func Summarize(xs []float64) Summary {
 		Max:  Max(xs),
 		P50:  Percentile(xs, 50),
 		P95:  Percentile(xs, 95),
+		P99:  Percentile(xs, 99),
 	}
 }
 

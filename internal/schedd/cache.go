@@ -1,0 +1,94 @@
+package schedd
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"reassign/internal/rl"
+)
+
+// tableCache is the daemon's warm Q-table store: learned tables keyed
+// by workflow-structure signature (api.StructureSignature), so a
+// submission whose workflow and fleet match an earlier job's
+// continues learning from that job's table instead of random
+// initialisation — the paper's provenance-backed cross-execution
+// learning, applied across HTTP requests.
+//
+// get hands out a deep copy (learners mutate tables in place, and two
+// in-flight jobs may hit the same entry); put stores the finished
+// job's table directly. The cache is bounded: beyond maxEntries the
+// least-recently-used signature is evicted.
+type tableCache struct {
+	mu         sync.Mutex
+	tables     map[string]*rl.Table
+	order      []string // LRU order, oldest first
+	maxEntries int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newTableCache(maxEntries int) *tableCache {
+	return &tableCache{
+		tables:     make(map[string]*rl.Table),
+		maxEntries: maxEntries,
+	}
+}
+
+// get returns a private copy of the cached table for sig, or nil on a
+// miss. seed drives materialisation of entries the copy touches later
+// (rl.Table.Copy), keeping warm-started runs deterministic per
+// (cache state, seed).
+func (c *tableCache) get(sig string, seed int64) *rl.Table {
+	c.mu.Lock()
+	t := c.tables[sig]
+	if t != nil {
+		c.touchLocked(sig)
+	}
+	c.mu.Unlock()
+	if t == nil {
+		c.misses.Add(1)
+		return nil
+	}
+	c.hits.Add(1)
+	return t.Copy(rand.New(rand.NewSource(seed)))
+}
+
+// put stores a finished job's table for sig. The caller must be done
+// with the table — it is served (as copies) to future gets.
+func (c *tableCache) put(sig string, t *rl.Table) {
+	if t == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[sig]; !ok && len(c.tables) >= c.maxEntries {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.tables, oldest)
+	}
+	c.tables[sig] = t
+	c.touchLocked(sig)
+}
+
+// touchLocked moves sig to the most-recently-used end.
+func (c *tableCache) touchLocked(sig string) {
+	for i, s := range c.order {
+		if s == sig {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, sig)
+}
+
+func (c *tableCache) stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+func (c *tableCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tables)
+}

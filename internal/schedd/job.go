@@ -1,0 +1,255 @@
+package schedd
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"reassign/internal/api"
+	"reassign/internal/cloud"
+	"reassign/internal/core"
+	"reassign/internal/dag"
+	"reassign/internal/exec"
+	"reassign/internal/provenance"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+)
+
+// job is one submission's full lifecycle: queued → running →
+// done/failed/canceled. The mutable state behind mu is what status()
+// snapshots for the API.
+type job struct {
+	id    string
+	req   api.SubmitRequest
+	w     *dag.Workflow
+	fleet *cloud.Fleet
+	sig   string
+
+	mu         sync.Mutex
+	state      string
+	submitted  time.Time
+	started    time.Time
+	finishedAt time.Time
+	cancelRun  context.CancelFunc
+
+	cacheHit     bool
+	episodes     int
+	learnSeconds float64
+	plan         *api.PlanDocument
+	prov         []provenance.Execution
+	execMakespan float64
+	err          *api.Error
+}
+
+// finished reports whether the job reached a terminal state.
+func (j *job) finished() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case api.StateDone, api.StateFailed, api.StateCanceled:
+		return true
+	}
+	return false
+}
+
+// status snapshots the job as an api.JobStatus.
+func (j *job) status() *api.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &api.JobStatus{
+		SchemaVersion:       api.SchemaVersion,
+		ID:                  j.id,
+		State:               j.state,
+		Workflow:            j.w.Name,
+		Activations:         j.w.Len(),
+		Fleet:               j.fleet.Name,
+		VMs:                 j.fleet.Len(),
+		SubmittedAt:         j.submitted.UTC().Format(time.RFC3339Nano),
+		Episodes:            j.episodes,
+		CacheHit:            j.cacheHit,
+		LearningSeconds:     j.learnSeconds,
+		Plan:                j.plan,
+		Provenance:          j.prov,
+		ExecMakespanSeconds: j.execMakespan,
+		Error:               j.err,
+	}
+	if !j.started.IsZero() {
+		st.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finishedAt.IsZero() {
+		st.FinishedAt = j.finishedAt.UTC().Format(time.RFC3339Nano)
+		st.LatencySeconds = j.finishedAt.Sub(j.submitted).Seconds()
+	}
+	return st
+}
+
+// runJob executes one popped job on a worker goroutine.
+func (s *Server) runJob(j *job) {
+	if s.testHook != nil {
+		s.testHook(j)
+	}
+	j.mu.Lock()
+	if j.state != api.StateQueued {
+		// Canceled while queued; the cancel handler already settled it.
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.state = api.StateRunning
+	j.started = time.Now()
+	j.cancelRun = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	s.inflight.Add(1)
+	err := s.execute(ctx, j)
+	s.inflight.Add(-1)
+
+	now := time.Now()
+	j.mu.Lock()
+	j.finishedAt = now
+	switch {
+	case err == nil:
+		j.state = api.StateDone
+	case errors.Is(err, context.Canceled):
+		j.state = api.StateCanceled
+		j.err = api.Errorf(api.CodeCanceled, "", "canceled while running")
+	default:
+		j.state = api.StateFailed
+		j.err = api.FromError(err)
+	}
+	state := j.state
+	latency := now.Sub(j.submitted).Seconds()
+	j.mu.Unlock()
+
+	switch state {
+	case api.StateDone:
+		s.completed.Add(1)
+	case api.StateCanceled:
+		s.canceled.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+	s.mu.Lock()
+	s.latencies = append(s.latencies, latency)
+	s.mu.Unlock()
+}
+
+// execute runs the job's pipeline: replay a submitted plan, or learn
+// one (optionally warm-started from the cache), then optionally
+// execute it on the virtual-time master for provenance.
+func (s *Server) execute(ctx context.Context, j *job) error {
+	req := j.req
+	var fluct *cloud.FluctuationModel
+	if req.Fluctuation {
+		fm := cloud.DefaultFluctuation()
+		fluct = &fm
+	}
+
+	var doc *api.PlanDocument
+	if req.Plan != nil {
+		// Replay path: the plan was validated at submission; simulate it
+		// for its makespan.
+		eng, err := s.pool.Acquire(j.w, j.fleet, &sched.Plan{
+			PlanName: "submitted",
+			Assign:   req.Plan.Plan.Map(),
+		}, sim.Config{Seed: req.Seed, Fluct: fluct, Sink: s.agg})
+		if err != nil {
+			return err
+		}
+		res, err := eng.Run()
+		if err != nil {
+			s.pool.Put(eng)
+			return err
+		}
+		makespan := res.Makespan
+		s.pool.Put(eng)
+		doc = api.NewPlanDocument(j.w.Name, j.fleet.Name, makespan, req.Plan.Plan)
+	} else {
+		params := core.DefaultParams()
+		if req.Learn.Alpha != 0 {
+			params.Alpha = req.Learn.Alpha
+		}
+		if req.Learn.Gamma != 0 {
+			params.Gamma = req.Learn.Gamma
+		}
+		if req.Learn.Epsilon != 0 {
+			params.Epsilon = req.Learn.Epsilon
+		}
+		episodes := req.Learn.Episodes
+		if episodes == 0 {
+			episodes = s.cfg.DefaultEpisodes
+		}
+		opts := []core.Option{
+			core.WithSeed(req.Seed),
+			core.WithSink(s.agg),
+			core.WithEnginePool(s.pool),
+			core.WithContext(ctx),
+		}
+		if req.Learn.Replicas > 1 {
+			opts = append(opts, core.WithReplicas(req.Learn.Replicas))
+		}
+		if !req.NoWarmStart {
+			if t := s.cache.get(j.sig, req.Seed); t != nil {
+				opts = append(opts, core.WithTable(t))
+				j.mu.Lock()
+				j.cacheHit = true
+				j.mu.Unlock()
+			}
+		}
+		learner, err := core.NewLearner(core.Config{
+			Workflow: j.w,
+			Fleet:    j.fleet,
+			Params:   params,
+			Episodes: episodes,
+			Sim:      sim.Config{Fluct: fluct},
+		}, opts...)
+		if err != nil {
+			return err
+		}
+		res, err := learner.Learn()
+		if err != nil {
+			return err
+		}
+		// The finished table feeds future same-structure submissions —
+		// including NoWarmStart ones, which skip the read but still
+		// contribute their result.
+		s.cache.put(j.sig, res.Table)
+		doc = api.NewPlanDocument(j.w.Name, j.fleet.Name, res.PlanMakespan, res.Plan)
+		j.mu.Lock()
+		j.episodes = len(res.Episodes)
+		j.learnSeconds = res.LearningTime.Seconds()
+		j.mu.Unlock()
+	}
+	j.mu.Lock()
+	j.plan = doc
+	j.mu.Unlock()
+
+	if !req.Execute {
+		return nil
+	}
+	store := provenance.NewStore()
+	workers := j.fleet.Len()
+	if workers > 8 {
+		workers = 8
+	}
+	tr := &exec.InProc{
+		Workers: workers,
+		Runner:  exec.SimRunner{Fluct: fluct, Seed: req.Seed + 2000},
+	}
+	m, err := exec.New(j.w, j.fleet, doc.Plan, tr,
+		exec.WithStore(store, j.id), exec.WithSink(s.agg))
+	if err != nil {
+		return err
+	}
+	rep, err := m.Run(ctx)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.prov = store.All()
+	j.execMakespan = rep.Makespan
+	j.mu.Unlock()
+	return nil
+}

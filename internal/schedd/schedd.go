@@ -1,0 +1,400 @@
+// Package schedd is the scheduler-as-a-service control plane: a
+// long-running daemon that serves the learn→plan→execute pipeline to
+// many concurrent clients over a versioned HTTP/JSON API (package
+// api).
+//
+// Architecture: submissions are admitted into a bounded queue (a full
+// queue rejects with 429 — the service degrades by shedding load, not
+// by growing unboundedly) and drained by a fixed pool of workers.
+// Each worker runs one job at a time: build the workflow and fleet
+// from the request's specs, learn a plan with core.NewLearner —
+// drawing simulation engines from a shared sync.Pool of Reset-able
+// sim.Engines and warm-starting from the Q-table cache when a job
+// with the same workflow-structure signature has run before — then
+// optionally execute the plan on the virtual-time master for
+// provenance. Learned tables go back into the cache, so a steady
+// stream of structurally similar workflows keeps improving its plans
+// across requests (the paper's cross-execution learning, served).
+//
+// Endpoints:
+//
+//	POST /v1/jobs            submit a workflow + fleet (202, api.JobStatus)
+//	GET  /v1/jobs            list job summaries
+//	GET  /v1/jobs/{id}       status, plan, provenance
+//	POST /v1/jobs/{id}/cancel
+//	GET  /healthz            liveness
+//	GET  /metrics            Prometheus text: learning telemetry + daemon counters
+package schedd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reassign/internal/api"
+	"reassign/internal/metrics"
+	"reassign/internal/sim"
+	"reassign/internal/telemetry"
+)
+
+// Config tunes the daemon. The zero value is serviceable: GOMAXPROCS
+// workers, a 256-deep admission queue, 4096 retained jobs.
+type Config struct {
+	// Workers is the number of concurrent job executors (default
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it
+	// are rejected with 429 (default 256).
+	QueueDepth int
+	// MaxJobs bounds retained job records; the oldest finished jobs
+	// are evicted beyond it (default 4096).
+	MaxJobs int
+	// CacheEntries bounds the warm Q-table cache (default 512).
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// DefaultEpisodes applies when a submission leaves Episodes zero
+	// (default core.DefaultEpisodes via the learner).
+	DefaultEpisodes int
+}
+
+func (c *Config) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 512
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}
+
+// Server is the daemon: an admission queue, a worker pool, the warm
+// Q-table cache, the shared simulation-engine pool, and the job
+// registry behind the HTTP API. Construct with New, launch the
+// workers with Start, and stop with Shutdown.
+type Server struct {
+	cfg   Config
+	queue chan *job
+	cache *tableCache
+	pool  *sim.Pool
+	agg   *telemetry.Aggregator
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string  // submission order, for listing and eviction
+	latencies []float64 // submit→finish seconds of finished jobs
+
+	seq       atomic.Int64
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	rejected  atomic.Int64
+	inflight  atomic.Int64
+	draining  atomic.Bool
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	// testHook, when set (tests only), runs at the start of every
+	// job's execution — a seam for holding workers to fill the queue.
+	testHook func(*job)
+}
+
+// New builds a stopped server; Start launches the worker pool.
+func New(cfg Config) *Server {
+	cfg.defaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+		cache:   newTableCache(cfg.CacheEntries),
+		pool:    sim.NewPool(),
+		agg:     telemetry.NewAggregator(),
+		jobs:    make(map[string]*job),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case <-s.baseCtx.Done():
+					return
+				case j := <-s.queue:
+					s.runJob(j)
+				}
+			}
+		}()
+	}
+}
+
+// Shutdown stops the daemon: new submissions are rejected with 503,
+// running jobs are canceled, and the workers are awaited (bounded by
+// ctx). It returns ctx.Err() if the workers did not drain in time.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// writeErr maps a typed api.Error (converting anything else via
+// api.FromError) to its HTTP status and serves it as the body.
+func writeErr(w http.ResponseWriter, err error) {
+	apiErr := api.FromError(err)
+	writeJSON(w, apiErr.HTTPStatus(), apiErr)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, api.Errorf(api.CodeUnavailable, "", "daemon is shutting down"))
+		return
+	}
+	var req api.SubmitRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeErr(w, api.Errorf(api.CodeBadRequest, "", "decoding request: %v", err))
+		return
+	}
+	if err := api.CheckSchemaVersion(req.SchemaVersion); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Learn.Episodes < 0 {
+		writeErr(w, api.Errorf(api.CodeBadRequest, "learn.episodes",
+			"negative episode budget %d", req.Learn.Episodes))
+		return
+	}
+	if req.Learn.Replicas < 0 {
+		writeErr(w, api.Errorf(api.CodeBadRequest, "learn.replicas",
+			"negative replica count %d", req.Learn.Replicas))
+		return
+	}
+	// Build the inputs synchronously so malformed documents fail the
+	// submission itself (400), not the job later.
+	wf, err := req.Workflow.Build()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	fleet, err := req.Fleet.Build()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Plan != nil {
+		if err := req.Plan.Plan.Validate(wf, fleet); err != nil {
+			// Typed *core.PlanError → 400 with the offending entry.
+			writeErr(w, err)
+			return
+		}
+	}
+
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.seq.Add(1)),
+		req:       req,
+		w:         wf,
+		fleet:     fleet,
+		sig:       api.StructureSignature(wf, fleet),
+		state:     api.StateQueued,
+		submitted: time.Now(),
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+		s.submitted.Add(1)
+		writeJSON(w, http.StatusAccepted, j.status())
+	default:
+		s.rejected.Add(1)
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		writeErr(w, api.Errorf(api.CodeQueueFull, "",
+			"admission queue full (%d queued); retry later", s.cfg.QueueDepth))
+	}
+}
+
+// evictLocked drops the oldest finished jobs beyond MaxJobs. Queued
+// and running jobs are never evicted.
+func (s *Server) evictLocked() {
+	excess := len(s.order) - s.cfg.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && j.finished() {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]*api.JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil {
+			st := j.status()
+			st.Plan = nil // summaries stay small
+			st.Provenance = nil
+			out = append(out, st)
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, api.Errorf(api.CodeNotFound, "", "no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, api.Errorf(api.CodeNotFound, "", "no job %q", r.PathValue("id")))
+		return
+	}
+	j.mu.Lock()
+	switch j.state {
+	case api.StateQueued:
+		// The worker that eventually pops it skips canceled jobs.
+		j.state = api.StateCanceled
+		j.finishedAt = time.Now()
+		j.err = api.Errorf(api.CodeCanceled, "", "canceled while queued")
+		j.mu.Unlock()
+		s.canceled.Add(1)
+	case api.StateRunning:
+		cancel := j.cancelRun
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+	default:
+		st := j.state
+		j.mu.Unlock()
+		writeErr(w, api.Errorf(api.CodeConflict, "", "job is already %s", st))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       !s.draining.Load(),
+		"queued":   len(s.queue),
+		"inflight": s.inflight.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	// The learning telemetry snapshot first (episodes, decisions, DES
+	// kernel counters), then the daemon's own series.
+	s.agg.Snapshot().WriteProm(w)
+
+	s.mu.Lock()
+	lat := metrics.Summarize(s.latencies)
+	s.mu.Unlock()
+	hits, misses := s.cache.stats()
+	reused, fresh := s.pool.Stats()
+
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	counter := func(name, help string, v any) {
+		p("# HELP %s %s\n# TYPE %s counter\n%s %v\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v any) {
+		p("# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter("schedd_jobs_submitted_total", "Jobs admitted", s.submitted.Load())
+	counter("schedd_jobs_completed_total", "Jobs finished successfully", s.completed.Load())
+	counter("schedd_jobs_failed_total", "Jobs that failed", s.failed.Load())
+	counter("schedd_jobs_canceled_total", "Jobs canceled", s.canceled.Load())
+	counter("schedd_jobs_rejected_total", "Submissions rejected by the full admission queue", s.rejected.Load())
+	gauge("schedd_queue_depth", "Jobs waiting in the admission queue", len(s.queue))
+	gauge("schedd_queue_capacity", "Admission queue bound", s.cfg.QueueDepth)
+	gauge("schedd_jobs_inflight", "Jobs currently executing", s.inflight.Load())
+	counter("schedd_qtable_cache_hits_total", "Submissions warm-started from the Q-table cache", hits)
+	counter("schedd_qtable_cache_misses_total", "Submissions that learned from scratch", misses)
+	gauge("schedd_qtable_cache_entries", "Cached Q tables", s.cache.len())
+	counter("schedd_engine_pool_reused_total", "Sim engines served by rebinding a pooled engine", reused)
+	counter("schedd_engine_pool_fresh_total", "Sim engines newly constructed", fresh)
+	if lat.N > 0 {
+		gauge("schedd_job_latency_seconds_p50", "Submit-to-finish latency (median)", lat.P50)
+		gauge("schedd_job_latency_seconds_p95", "Submit-to-finish latency (95th percentile)", lat.P95)
+		gauge("schedd_job_latency_seconds_p99", "Submit-to-finish latency (99th percentile)", lat.P99)
+		gauge("schedd_job_latency_seconds_mean", "Submit-to-finish latency (mean)", lat.Mean)
+		gauge("schedd_job_latency_seconds_max", "Submit-to-finish latency (max)", lat.Max)
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/dag"
+	"reassign/internal/trace"
+)
+
+// TestRebindMatchesFresh drives one engine through a chain of
+// different problems via Rebind and checks each run is bit-identical
+// to a fresh engine's run of the same problem.
+func TestRebindMatchesFresh(t *testing.T) {
+	fleet16, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet32, err := cloud.FleetTable1(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := cloud.DefaultFluctuation()
+	cases := []struct {
+		name  string
+		w     *dag.Workflow
+		fleet *cloud.Fleet
+		cfg   Config
+	}{
+		{"montage30-16", trace.MontageN(rand.New(rand.NewSource(30)), 30), fleet16, Config{Seed: 7}},
+		{"montage80-32-fluct", trace.MontageN(rand.New(rand.NewSource(80)), 80), fleet32, Config{Seed: 11, Fluct: &fm}},
+		{"cybershake40-16", trace.CyberShake(rand.New(rand.NewSource(40)), 40), fleet16, Config{Seed: 3, DataTransfer: true}},
+	}
+
+	var pooled *Engine
+	for _, tc := range cases {
+		fresh, err := Run(tc.w, tc.fleet, &greedyFirst{}, tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: fresh: %v", tc.name, err)
+		}
+
+		// Same problem via the rebound engine; first iteration builds it.
+		if pooled == nil {
+			pooled, err = NewEngine(tc.w, tc.fleet, &greedyFirst{}, tc.cfg)
+		} else {
+			err = pooled.Rebind(tc.w, tc.fleet, &greedyFirst{}, tc.cfg)
+		}
+		if err != nil {
+			t.Fatalf("%s: rebind: %v", tc.name, err)
+		}
+		got, err := pooled.Run()
+		if err != nil {
+			t.Fatalf("%s: pooled run: %v", tc.name, err)
+		}
+
+		if got.Makespan != fresh.Makespan {
+			t.Errorf("%s: makespan %v != fresh %v", tc.name, got.Makespan, fresh.Makespan)
+		}
+		if got.Cost != fresh.Cost || got.BusyCost != fresh.BusyCost {
+			t.Errorf("%s: cost mismatch: (%v,%v) != (%v,%v)",
+				tc.name, got.Cost, got.BusyCost, fresh.Cost, fresh.BusyCost)
+		}
+		if !reflect.DeepEqual(got.Plan, fresh.Plan) {
+			t.Errorf("%s: plan differs from fresh run", tc.name)
+		}
+		if len(got.Records) != len(fresh.Records) {
+			t.Fatalf("%s: %d records != fresh %d", tc.name, len(got.Records), len(fresh.Records))
+		}
+		for i := range got.Records {
+			if got.Records[i] != fresh.Records[i] {
+				t.Errorf("%s: record %d differs: %+v != %+v",
+					tc.name, i, got.Records[i], fresh.Records[i])
+				break
+			}
+		}
+	}
+}
+
+// TestPoolAcquireReuses checks the pool rebinds pooled engines and
+// counts reuse.
+func TestPoolAcquireReuses(t *testing.T) {
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPool()
+	w1 := trace.MontageN(rand.New(rand.NewSource(1)), 20)
+	w2 := trace.MontageN(rand.New(rand.NewSource(2)), 35)
+
+	e1, err := p.Acquire(w1, fleet, &greedyFirst{}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(e1)
+
+	e2, err := p.Acquire(w2, fleet, &greedyFirst{}, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 != e1 {
+		t.Fatalf("expected pooled engine to be reused")
+	}
+	if _, err := e2.Run(); err != nil {
+		t.Fatalf("rebound run: %v", err)
+	}
+	reused, fresh := p.Stats()
+	if reused != 1 || fresh != 1 {
+		t.Fatalf("stats reused=%d fresh=%d, want 1/1", reused, fresh)
+	}
+}

@@ -175,6 +175,7 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 		gauge(name+"_min", help+" (min)", sum.Min)
 		gauge(name+"_p50", help+" (median)", sum.P50)
 		gauge(name+"_p95", help+" (95th percentile)", sum.P95)
+		gauge(name+"_p99", help+" (99th percentile)", sum.P99)
 		gauge(name+"_max", help+" (max)", sum.Max)
 	}
 	counter("reassign_episodes_total", "Learning episodes observed", s.Episodes)

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# schedd_smoke.sh — end-to-end smoke test of the scheduler service:
+# start a schedd daemon on loopback, drive 50 concurrent jobs through
+# it with schedload, assert non-zero throughput and a warm Q-table
+# cache, then deliver SIGTERM and assert a clean drain.
+#
+# Usage: scripts/schedd_smoke.sh [bindir]   (default ./bin)
+set -euo pipefail
+
+BIN=${1:-./bin}
+ADDR=127.0.0.1:8425
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== schedd-smoke: daemon + 50 concurrent jobs =="
+"$BIN/schedd" -listen "$ADDR" -queue 128 > "$TMP/schedd.log" 2>&1 &
+DAEMON=$!
+
+# Wait for the listener.
+for _ in $(seq 1 50); do
+    if grep -q 'listening on' "$TMP/schedd.log"; then break; fi
+    sleep 0.1
+done
+grep -q 'listening on' "$TMP/schedd.log" || {
+    echo "schedd-smoke: daemon never listened" >&2
+    cat "$TMP/schedd.log" >&2
+    exit 1
+}
+
+"$BIN/schedload" -addr "http://$ADDR" -jobs 50 -concurrency 50 \
+    -nodes 50 -episodes 10 -distinct 2 | tee "$TMP/load.log"
+
+grep -q '50 done, 0 failed, 0 rejected' "$TMP/load.log" || {
+    echo "schedd-smoke: jobs failed or were rejected" >&2
+    exit 1
+}
+# Non-zero throughput (the line always prints; 0.00 would mean a hang).
+grep -q 'throughput' "$TMP/load.log" || {
+    echo "schedd-smoke: no throughput report" >&2
+    exit 1
+}
+if grep -qE 'throughput +0\.00 jobs/s' "$TMP/load.log"; then
+    echo "schedd-smoke: zero throughput" >&2
+    exit 1
+fi
+# Two distinct structures across 50 jobs: at least 48 warm starts.
+grep -qE 'cache hits +4[89]/50' "$TMP/load.log" || {
+    echo "schedd-smoke: cache hit rate off (want 48/50)" >&2
+    exit 1
+}
+
+# /metrics serves both the learning telemetry and the daemon series.
+curl -sf "http://$ADDR/metrics" > "$TMP/metrics.prom"
+for metric in reassign_episodes_total schedd_jobs_completed_total \
+    schedd_qtable_cache_hits_total schedd_job_latency_seconds_p99; do
+    grep -q "$metric" "$TMP/metrics.prom" || {
+        echo "schedd-smoke: /metrics missing $metric" >&2
+        exit 1
+    }
+done
+
+echo "== schedd-smoke: clean shutdown =="
+kill -TERM "$DAEMON"
+if ! wait "$DAEMON"; then
+    echo "schedd-smoke: daemon exited non-zero" >&2
+    cat "$TMP/schedd.log" >&2
+    exit 1
+fi
+grep -q 'shutdown clean' "$TMP/schedd.log" || {
+    echo "schedd-smoke: no clean shutdown message" >&2
+    cat "$TMP/schedd.log" >&2
+    exit 1
+}
+
+echo "schedd-smoke: OK"
