@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race race-replicas race-exec exec-smoke schedd-smoke bench benchsmoke benchsmoke-large guard test build vet audit fuzz-smoke
+.PHONY: check race race-replicas race-exec exec-smoke schedd-smoke bench benchsmoke benchsmoke-large exec-bench-smoke guard test build vet audit fuzz-smoke
 
 ## check: vet, build, and test everything (the tier-1 gate)
 check: vet build test
@@ -60,6 +60,12 @@ benchsmoke:
 ## extreme-scale learning path exercised in CI
 benchsmoke-large:
 	$(GO) test -run '^$$' -bench BenchmarkLearningLarge -benchtime 1x .
+
+## exec-bench-smoke: one-iteration pass over the exec throughput tier
+## (InProc + loopback TCP with both codecs), keeping the wire path
+## exercised in CI without benchmark noise
+exec-bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkExecThroughput -benchtime 1x .
 
 ## guard: fail if any governed benchmark's allocs/op regress >10% or
 ## bytes/op >15% vs the committed BENCH_core.json baseline

@@ -27,10 +27,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	"reassign/internal/benchsuite"
 )
+
+// looseGate reports whether a benchmark's alloc/bytes thresholds are
+// tripled: the loopback-TCP exec tiers run real goroutines over real
+// sockets, so their counts wobble with scheduler interleaving (a
+// heartbeat that lands mid-run, a flusher batch boundary) in a way
+// the deterministic tiers' never do. Time is already warn-only.
+func looseGate(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkExecThroughput/tcp-")
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -73,6 +83,10 @@ func run() error {
 			continue
 		}
 		gated++
+		allocLimit, bytesLimit := *threshold, *bytesThreshold
+		if looseGate(bench.Name) {
+			allocLimit, bytesLimit = 3*allocLimit, 3*bytesLimit
+		}
 		r := testing.Benchmark(bench.Fn)
 		fresh := benchsuite.Record(r)
 
@@ -85,7 +99,7 @@ func run() error {
 				failures = append(failures, fmt.Errorf("%s: allocates (%d allocs/op) against a zero-alloc baseline",
 					bench.Name, fresh.AllocsPerOp))
 			}
-			failures = gateBytes(failures, bench.Name, base, fresh, *bytesThreshold)
+			failures = gateBytes(failures, bench.Name, base, fresh, bytesLimit)
 			continue
 		}
 
@@ -96,11 +110,11 @@ func run() error {
 			fresh.BytesPerOp, base.BytesPerOp,
 			fresh.NsPerOp/1e6, base.NsPerOp/1e6, 100*timeRatio, fresh.Iterations)
 
-		if allocRatio > *threshold {
+		if allocRatio > allocLimit {
 			failures = append(failures, fmt.Errorf("%s: allocs/op regressed %.1f%% (limit %.0f%%): %d vs baseline %d",
-				bench.Name, 100*allocRatio, 100**threshold, fresh.AllocsPerOp, base.AllocsPerOp))
+				bench.Name, 100*allocRatio, 100*allocLimit, fresh.AllocsPerOp, base.AllocsPerOp))
 		}
-		failures = gateBytes(failures, bench.Name, base, fresh, *bytesThreshold)
+		failures = gateBytes(failures, bench.Name, base, fresh, bytesLimit)
 		if timeRatio > 3**threshold {
 			fmt.Printf("warning: %s time/op drifted %+.1f%% — not failing (runner noise), but worth a look\n",
 				bench.Name, 100*timeRatio)

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"testing"
 	"time"
@@ -44,6 +46,13 @@ func main() {
 	benches := benchsuite.Suite()
 	results := make(map[string]benchsuite.Entry, len(benches))
 	for _, bench := range benches {
+		// Reset the heap between suite entries: the large-DAG tier
+		// leaves tens of MB of garbage and a skewed GC pacer behind,
+		// which otherwise bleeds into the next benchmark's numbers
+		// (measured: the exec tier runs ~15% slower after it than in a
+		// fresh process). Each entry should measure itself.
+		runtime.GC()
+		debug.FreeOSMemory()
 		r := testing.Benchmark(bench.Fn)
 		e := benchsuite.Record(r)
 		results[bench.Name] = e

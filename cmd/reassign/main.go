@@ -505,8 +505,9 @@ func runMaster(w *dag.Workflow, fleet *cloud.Fleet, plan core.Plan,
 		runner = exec.FailingRunner{Inner: runner, Rate: failRate, Seed: seed}
 	}
 	var tr exec.Transport
+	var tcp *exec.TCP
 	if listen != "" {
-		tcp := &exec.TCP{Addr: listen, Workers: workers}
+		tcp = &exec.TCP{Addr: listen, Workers: workers}
 		if err := tcp.Listen(); err != nil {
 			return err
 		}
@@ -533,6 +534,12 @@ func runMaster(w *dag.Workflow, fleet *cloud.Fleet, plan core.Plan,
 			rep.Wall.Round(time.Millisecond))
 		fmt.Printf("exec:     %d attempts, %d retries, %d reassigned, %d worker(s) lost, %d abandoned\n",
 			rep.Attempts, rep.Retries, rep.Reassigned, rep.WorkerLost, rep.Abandoned)
+	}
+	if tcp != nil && rep != nil && rep.Done > 0 {
+		in, out := tcp.Bytes()
+		reads, writes := tcp.Calls()
+		fmt.Printf("wire:     %d B in, %d B out (%.1f B/task), %d reads, %d writes\n",
+			in, out, float64(in+out)/float64(rep.Done), reads, writes)
 	}
 	return err
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	schedd [-listen :8425] [-workers N] [-queue N] [-episodes N]
+//	schedd [-listen :8425] [-workers N] [-queue N] [-episodes N] [-pprof]
 //
 // The daemon shuts down cleanly on SIGINT/SIGTERM: in-flight jobs are
 // canceled, workers drained, and "schedd: shutdown clean" printed.
@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,9 +31,10 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent job executors (default GOMAXPROCS)")
 	queue := flag.Int("queue", 256, "admission queue depth; beyond it submissions get 429")
 	episodes := flag.Int("episodes", 0, "default episode budget for submissions that leave it unset (default 100)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (off by default: profiling endpoints expose internals and cost CPU when scraped)")
 	flag.Parse()
 
-	if err := run(*listen, schedd.Config{
+	if err := run(*listen, *pprofOn, schedd.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		DefaultEpisodes: *episodes,
@@ -42,7 +44,7 @@ func main() {
 	}
 }
 
-func run(listen string, cfg schedd.Config) error {
+func run(listen string, pprofOn bool, cfg schedd.Config) error {
 	s := schedd.New(cfg)
 	s.Start()
 
@@ -52,7 +54,22 @@ func run(listen string, cfg schedd.Config) error {
 	}
 	fmt.Printf("schedd: listening on %s\n", ln.Addr())
 
-	srv := &http.Server{Handler: s.Handler()}
+	handler := s.Handler()
+	if pprofOn {
+		// Mounted explicitly rather than via the package's init side
+		// effect: the API handler is not the default mux, so a blank
+		// import alone would register the endpoints nowhere reachable.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		fmt.Println("schedd: pprof enabled at /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

@@ -54,8 +54,10 @@ type Bench struct {
 
 // Suite returns the governed benchmarks in a stable order: the
 // Q-table micro-benchmarks, the TD hot path, the headline 100-episode
-// learning run, the replica-scaling ladder, and the large-DAG tier
-// (1000- and 10k-activation workflows on 256- and 1024-vCPU fleets).
+// learning run, the replica-scaling ladder, the large-DAG tier
+// (1000- and 10k-activation workflows on 256- and 1024-vCPU fleets),
+// and the exec wire-path tier (a wide 1000-activation plan over
+// InProc and loopback TCP with the JSON and binary codecs).
 func Suite() []Bench {
 	return []Bench{
 		{"BenchmarkQTableMap", QTable(func() *rl.Table {
@@ -76,6 +78,11 @@ func Suite() []Bench {
 		{"BenchmarkLearningReplicas/8", LearningReplicas(8)},
 		{"BenchmarkLearningLarge/1000x256", LearningLarge(1000, 256, 100)},
 		{"BenchmarkLearningLarge/10000x1024", LearningLarge(10000, 1024, 5)},
+		{"BenchmarkExecThroughput/inproc-1000x64", ExecInProc(1000, 64)},
+		{"BenchmarkExecThroughput/tcp-json-1000x64", ExecTCP(1000, 64, false)},
+		{"BenchmarkExecThroughput/tcp-bin-1000x64", ExecTCP(1000, 64, true)},
+		{"BenchmarkExecThroughput/tcp-json-1000x256", ExecTCP(1000, 256, false)},
+		{"BenchmarkExecThroughput/tcp-bin-1000x256", ExecTCP(1000, 256, true)},
 	}
 }
 

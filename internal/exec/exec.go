@@ -90,9 +90,14 @@ type Event struct {
 	Time   float64
 	Worker int
 	// Result fields (EvResult only).
-	TaskID  string
-	Attempt int
-	Err     string
+	TaskID string
+	// TaskIndex is the task's workflow index when the wire carried one
+	// (binary results echo it so the master can resolve the task
+	// without a map lookup), or -1 when only TaskID identifies it
+	// (legacy JSON results).
+	TaskIndex int
+	Attempt   int
+	Err       string
 }
 
 // Forever is the deadline meaning "block until the next event".
@@ -126,10 +131,33 @@ type Transport interface {
 	Close() error
 }
 
+// Flusher is an optional Transport extension for transports that
+// stage Send into per-connection batches (the binary TCP codec). The
+// master calls Flush once per event-loop turn, after dispatching into
+// the freed slots, so a wave of assignments leaves in one write per
+// worker. Flush returns the IDs of workers whose batch could not be
+// delivered; the master treats each as lost. Transports without
+// batching (InProc, JSON-lines connections) simply don't implement
+// it.
+type Flusher interface {
+	Flush() []int
+}
+
 // Runner executes one attempt and reports its duration in virtual
 // seconds. The deterministic transport calls it synchronously on the
 // master goroutine; the TCP worker calls it from one goroutine per
 // attempt, so implementations must be safe for concurrent use.
 type Runner interface {
 	Run(ctx context.Context, t TaskSpec) (float64, error)
+}
+
+// InstantRunner marks a Runner whose Run never blocks (simulated
+// execution). A worker session may then execute attempts inline on
+// its read loop — no executor goroutines, no handoffs — and answer a
+// whole dispatch wave with one coalesced write. Runners that sleep or
+// do real work must not claim this: inline execution would serialise
+// them.
+type InstantRunner interface {
+	Runner
+	Instant() bool
 }

@@ -86,6 +86,25 @@ func (f *Fault) Next(ctx context.Context, deadline float64) (Event, error) {
 	}
 }
 
+// Flush implements Flusher when the inner transport batches: flush
+// failures are real worker deaths, so the wrapper records them before
+// handing them to the master (their remaining events must be
+// swallowed like any other corpse's).
+func (f *Fault) Flush() []int {
+	fl, ok := f.Inner.(Flusher)
+	if !ok {
+		return nil
+	}
+	lost := fl.Flush()
+	for _, id := range lost {
+		if !f.dead[id] {
+			f.dead[id] = true
+			f.alive--
+		}
+	}
+	return lost
+}
+
 // Close implements Transport.
 func (f *Fault) Close() error { return f.Inner.Close() }
 

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"reassign/internal/cloud"
+	"reassign/internal/provenance"
+	"reassign/internal/trace"
+)
+
+// TestCrossVersionInterop runs a TCP master with a mixed fleet — one
+// worker speaking the framed binary protocol, one speaking the legacy
+// JSON-lines protocol — and requires the workflow to complete. This is
+// the no-flag-day guarantee: a master sniffs each connection's first
+// byte, so old execworker binaries keep joining new masters.
+func TestCrossVersionInterop(t *testing.T) {
+	w := trace.Montage50(rand.New(rand.NewSource(7)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := &TCP{Addr: "127.0.0.1:0", Workers: 2, TimeScale: 1e-4}
+	if err := tcp.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	store := provenance.NewStore()
+	m, err := New(w, fleet, spreadPlan(w, fleet), tcp,
+		WithStore(store, "interop"), WithLease(2000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker 1: binary codec (the ServeConn default).
+	conn := startWorker(t, tcp.ListenAddr(), nil)
+	defer conn.Close()
+	// Worker 2: JSON-lines codec, as an old binary would speak.
+	jconn, err := net.Dial("tcp", tcp.ListenAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jconn.Close()
+	go ServeConnJSON(context.Background(), jconn, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := m.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Done != 50 || rep.Abandoned != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if store.Len() != 50 {
+		t.Fatalf("provenance rows = %d", store.Len())
+	}
+	in, out := tcp.Bytes()
+	if in <= 0 || out <= 0 {
+		t.Fatalf("wire byte counters not moving: in=%d out=%d", in, out)
+	}
+}
+
+// TestCodecDeterminismOracle is the acceptance-criteria check: the
+// same seeded run must produce byte-identical provenance whether
+// messages skip the wire entirely, round-trip through the JSON codec,
+// or round-trip through the binary codec. Any semantic divergence
+// between the codecs (lost fields, precision drift, reordered argv)
+// breaks the byte comparison.
+func TestCodecDeterminismOracle(t *testing.T) {
+	w := trace.Montage50(rand.New(rand.NewSource(3)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	run := func(wrap func(Transport) Transport) []byte {
+		store := provenance.NewStore()
+		store.SetNow(func() time.Time { return fixed })
+		fl := cloud.DefaultFluctuation()
+		var tr Transport = &InProc{Workers: 4, Runner: FailingRunner{
+			Inner: SimRunner{Fluct: &fl, Seed: 5}, Rate: 0.05, Seed: 5,
+		}}
+		if wrap != nil {
+			tr = wrap(tr)
+		}
+		m, err := New(w, fleet, spreadPlan(w, fleet), tr, WithStore(store, "oracle"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := store.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	bare := run(nil)
+	viaJSON := run(func(tr Transport) Transport { return &WireCheck{Inner: tr} })
+	viaBin := run(func(tr Transport) Transport { return &WireCheck{Inner: tr, Binary: true} })
+	if !bytes.Equal(bare, viaJSON) {
+		t.Fatal("JSON codec round trip changed provenance")
+	}
+	if !bytes.Equal(bare, viaBin) {
+		t.Fatal("binary codec round trip changed provenance")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -36,6 +37,7 @@ type Master struct {
 	leaseFactor float64
 	reassigner  Reassigner
 	est         func(a *dag.Activation, vm *cloud.VM) float64
+	keepOpen    bool
 
 	// Run state.
 	tasks      []*taskState
@@ -44,6 +46,12 @@ type Master struct {
 	alive      map[int]bool
 	aliveCount int
 	now        float64
+	// work lists indices of VMs whose dispatchability may have changed
+	// since the last dispatch pass (task enqueued, slot freed) — the
+	// only VMs dispatch must visit. carry is its reusable scratch for
+	// VMs that keep a backlog across turns.
+	work  []int
+	carry []int
 
 	done, abandoned                           int
 	attempts, retries, reassigned, workerLost int
@@ -70,12 +78,14 @@ type taskState struct {
 }
 
 type vmState struct {
-	vm    *cloud.VM
-	owner int
-	dead  bool
-	slots int
-	busy  int
-	queue []int // task indices awaiting dispatch on this VM
+	vm     *cloud.VM
+	owner  int
+	dead   bool
+	slots  int
+	busy   int
+	queue  []int // task indices awaiting dispatch on this VM
+	idx    int   // position in Master.vms, the deterministic dispatch order
+	marked bool  // already on the dispatch worklist
 }
 
 // Option configures a Master.
@@ -155,6 +165,15 @@ func WithEstimator(fn func(a *dag.Activation, vm *cloud.VM) float64) Option {
 			m.est = fn
 		}
 	}
+}
+
+// WithCallerOwnedTransport leaves the transport open when Run
+// returns: the caller closes it (Run closes it by default). Used
+// where transport lifetime outlives the run — the benchmark harness
+// tears connections down off the clock, and a future multi-plan
+// master could reuse a joined fleet.
+func WithCallerOwnedTransport() Option {
+	return func(m *Master) { m.keepOpen = true }
 }
 
 // New builds a Master for one plan execution. The plan is validated
@@ -238,7 +257,9 @@ func (m *Master) Run(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return &Report{Tasks: m.w.Len()}, err
 	}
-	defer m.tr.Close()
+	if !m.keepOpen {
+		defer m.tr.Close()
+	}
 	if len(workers) == 0 {
 		return &Report{Tasks: m.w.Len()}, fmt.Errorf("exec: transport opened with zero workers")
 	}
@@ -253,6 +274,10 @@ func (m *Master) Run(ctx context.Context) (*Report, error) {
 	// Partition the fleet across workers round-robin in VM-ID order:
 	// each worker owns a fixed VM subset, as the paper's slaves own
 	// their machines.
+	// State lives in two backing arrays — one allocation each instead
+	// of one per VM and per task, which on a wide plan over a large
+	// fleet is most of the run's setup garbage.
+	vsb := make([]vmState, len(m.fleet.VMs))
 	m.vms = make([]*vmState, 0, m.fleet.Len())
 	m.vmByID = make(map[int]*vmState, m.fleet.Len())
 	for i, vm := range m.fleet.VMs {
@@ -260,16 +285,38 @@ func (m *Master) Run(ctx context.Context) (*Report, error) {
 		if slots <= 0 {
 			slots = 1
 		}
-		vs := &vmState{vm: vm, owner: workers[i%len(workers)], slots: slots}
+		vs := &vsb[i]
+		*vs = vmState{vm: vm, owner: workers[i%len(workers)], slots: slots, idx: i}
 		m.vms = append(m.vms, vs)
 		m.vmByID[vm.ID] = vs
 	}
 
+	tsb := make([]taskState, m.w.Len())
 	m.tasks = make([]*taskState, m.w.Len())
 	for _, a := range m.w.Activations() {
 		vm, _ := m.plan.VM(a.ID) // plan validated complete in New
-		m.tasks[a.Index] = &taskState{a: a, vm: vm, waiting: len(a.Parents()), worker: -1}
+		ts := &tsb[a.Index]
+		*ts = taskState{a: a, vm: vm, waiting: len(a.Parents()), worker: -1}
+		m.tasks[a.Index] = ts
 	}
+	// Carve each VM's dispatch queue out of one backing array sized to
+	// the plan, so steady-state enqueues never grow a slice (repins
+	// after a worker death may still exceed a queue's slice and fall
+	// back to append's growth).
+	counts := make([]int, len(vsb))
+	for _, ts := range m.tasks {
+		if vs := m.vmByID[ts.vm]; vs != nil {
+			counts[vs.idx]++
+		}
+	}
+	qbuf := make([]int, m.w.Len())
+	off := 0
+	for i := range vsb {
+		vsb[i].queue = qbuf[off:off:off+counts[i]]
+		off += counts[i]
+	}
+	m.work = make([]int, 0, len(vsb))
+	m.carry = make([]int, 0, len(vsb))
 	for _, ts := range m.tasks {
 		if ts.waiting == 0 {
 			m.release(ts)
@@ -279,9 +326,19 @@ func (m *Master) Run(ctx context.Context) (*Report, error) {
 	if err := m.dispatch(); err != nil {
 		return m.report(wallStart), err
 	}
+	if err := m.flushSends(); err != nil {
+		return m.report(wallStart), err
+	}
 	n := m.w.Len()
 	for m.done+m.abandoned < n {
-		ev, err := m.tr.Next(ctx, m.deadline())
+		// Fast path: take an already-pending event without computing
+		// the O(tasks) lease deadline. Only when the transport has
+		// nothing ready (EvTick at m.now) does the loop pay for the
+		// deadline scan and block.
+		ev, err := m.tr.Next(ctx, m.now)
+		if err == nil && ev.Kind == EvTick {
+			ev, err = m.tr.Next(ctx, m.deadline())
+		}
 		if err != nil {
 			if err == ErrIdle {
 				err = fmt.Errorf("exec: deadlock: %d/%d activations finished and no events pending", m.done, n)
@@ -303,7 +360,17 @@ func (m *Master) Run(ctx context.Context) (*Report, error) {
 				return m.report(wallStart), err
 			}
 		}
+		// Drain whatever else is already pending before redispatching,
+		// so a burst of completions frees its slots in one pass and
+		// the refill leaves as one flushed batch per worker instead of
+		// one write per task.
+		if err := m.drain(ctx); err != nil {
+			return m.report(wallStart), err
+		}
 		if err := m.dispatch(); err != nil {
+			return m.report(wallStart), err
+		}
+		if err := m.flushSends(); err != nil {
 			return m.report(wallStart), err
 		}
 	}
@@ -322,6 +389,74 @@ func (m *Master) Run(ctx context.Context) (*Report, error) {
 			m.abandoned, n, rep.Failed[0])
 	}
 	return rep, nil
+}
+
+// maxDrain caps events consumed per loop turn, so a flood of
+// heartbeats from a very large fleet cannot starve lease expiry and
+// dispatch indefinitely.
+const maxDrain = 1024
+
+// drain consumes events that are already pending (virtual deadline
+// m.now, so nothing blocks) without dispatching in between: the
+// batching half of the event-loop turn. When the queue runs dry it
+// yields the processor once and re-polls before concluding the turn —
+// worker and reader goroutines that are already runnable get to
+// deliver what they hold, which on a busy machine turns near-misses
+// into one big batch instead of many single-event turns.
+func (m *Master) drain(ctx context.Context) error {
+	yields := 1
+	for i := 0; i < maxDrain; i++ {
+		ev, err := m.tr.Next(ctx, m.now)
+		if err != nil {
+			return err
+		}
+		if ev.Time > m.now {
+			m.now = ev.Time
+		}
+		switch ev.Kind {
+		case EvTick:
+			if yields == 0 {
+				return nil
+			}
+			yields--
+			runtime.Gosched()
+			continue
+		case EvResult:
+			m.onResult(ev)
+		case EvHeartbeat:
+			m.onHeartbeat(ev)
+		case EvWorkerLost:
+			if err := m.onWorkerLost(ev.Worker); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushSends pushes staged dispatches onto the wire for transports
+// that batch (Flusher). A worker whose batch fails delivery is lost;
+// its recovery can queue new work, so the flush loops until a pass
+// delivers everything.
+func (m *Master) flushSends() error {
+	fl, ok := m.tr.(Flusher)
+	if !ok {
+		return nil
+	}
+	for {
+		lost := fl.Flush()
+		if len(lost) == 0 {
+			return nil
+		}
+		for _, w := range lost {
+			if err := m.onWorkerLost(w); err != nil {
+				return err
+			}
+		}
+		if err := m.dispatch(); err != nil {
+			return err
+		}
+	}
 }
 
 // deadline computes the next virtual instant the master must wake at
@@ -358,6 +493,16 @@ func (m *Master) enqueue(ts *taskState) {
 	}
 	ts.queued = true
 	vs.queue = append(vs.queue, ts.a.Index)
+	m.markVM(vs)
+}
+
+// markVM puts the VM on the dispatch worklist (idempotently): call it
+// whenever a VM gains queued work or a free slot.
+func (m *Master) markVM(vs *vmState) {
+	if !vs.marked {
+		vs.marked = true
+		m.work = append(m.work, vs.idx)
+	}
 }
 
 // repin moves a task off a dead VM via the Reassigner and returns the
@@ -417,12 +562,26 @@ func (m *Master) backlog(vmID int) float64 {
 
 // dispatch fills free slots on live VMs, lowest VM ID first, lowest
 // task index first — the deterministic order the in-process
-// bit-identical guarantee rests on. A send failure marks the owning
-// worker lost and recovery continues in the same pass.
+// bit-identical guarantee rests on. It visits only worklisted VMs —
+// those whose dispatchability an event changed since the last pass,
+// plus any still carrying a backlog — so on a large fleet a turn
+// costs the handful of VMs it touched, not a scan of all of them.
+// Each batch is processed in ascending VM order, and VMs a recovery
+// dirties mid-pass (worker loss repinning queues) form the next
+// batch, which preserves the full-scan semantics. A send failure
+// marks the owning worker lost and recovery continues in the same
+// call.
 func (m *Master) dispatch() error {
-	for {
-		progress := false
-		for _, vs := range m.vms {
+	carry := m.carry[:0]
+	for len(m.work) > 0 {
+		work := m.work
+		// Mid-pass marks append after the batch being read; the tail
+		// re-slice keeps them for the next iteration.
+		m.work = work[len(work):]
+		sort.Ints(work)
+		for _, i := range work {
+			vs := m.vms[i]
+			vs.marked = false
 			if vs.dead {
 				continue
 			}
@@ -436,16 +595,23 @@ func (m *Master) dispatch() error {
 					if lerr := m.onWorkerLost(vs.owner); lerr != nil {
 						return lerr
 					}
-					progress = true
 					break
 				}
-				progress = true
+			}
+			if len(vs.queue) > 0 && !vs.marked && !vs.dead {
+				// Backlogged (all slots busy) or backoff-deferred tasks
+				// remain: revisit on the next dispatch, when a slot may
+				// have freed or time advanced past the backoff.
+				vs.marked = true
+				carry = append(carry, i)
 			}
 		}
-		if !progress {
-			return nil
-		}
 	}
+	// The drained work array becomes next call's carry scratch, and the
+	// carried VMs become its worklist.
+	m.carry = m.work[:0]
+	m.work = carry
+	return nil
 }
 
 // pickQueued removes and returns the lowest-index dispatchable task
@@ -504,17 +670,27 @@ func (m *Master) send(ts *taskState, vs *vmState) error {
 // attempts (expired leases, dead workers) are ignored: the guard is
 // what makes the master idempotent under at-least-once delivery.
 func (m *Master) onResult(ev Event) {
-	a := m.w.Get(ev.TaskID)
-	if a == nil {
-		return
+	// Binary results carry the task's workflow index, so the common
+	// path resolves state with a bounds check instead of a map lookup;
+	// the ID match guards against a stale or cross-run index. Legacy
+	// JSON results (index -1) fall back to the workflow's ID map.
+	var ts *taskState
+	if ev.TaskIndex >= 0 && ev.TaskIndex < len(m.tasks) && m.tasks[ev.TaskIndex].a.ID == ev.TaskID {
+		ts = m.tasks[ev.TaskIndex]
+	} else {
+		a := m.w.Get(ev.TaskID)
+		if a == nil {
+			return
+		}
+		ts = m.tasks[a.Index]
 	}
-	ts := m.tasks[a.Index]
 	if ts.done || ts.abandoned || !ts.running || ts.attempts != ev.Attempt || ts.worker != ev.Worker {
 		return
 	}
 	ts.running = false
 	if vs := m.vmByID[ts.vm]; vs != nil {
 		vs.busy--
+		m.markVM(vs) // a freed slot may unblock this VM's backlog
 	}
 	if ev.Err == "" {
 		ts.done = true
@@ -536,7 +712,7 @@ func (m *Master) onResult(ev Event) {
 				Worker: ts.worker, Start: ts.start, Finish: ts.finish,
 			})
 		}
-		for _, c := range a.Children() {
+		for _, c := range ts.a.Children() {
 			cs := m.tasks[c.Index]
 			cs.waiting--
 			if cs.waiting == 0 && !cs.abandoned {
@@ -578,6 +754,7 @@ func (m *Master) expireLeases() {
 		ts.running = false
 		if vs := m.vmByID[ts.vm]; vs != nil {
 			vs.busy--
+			m.markVM(vs)
 		}
 		m.recordAttempt(ts, "expired", "lease expired")
 		m.retry(ts, "expired")
@@ -711,6 +888,7 @@ func (m *Master) report(wallStart time.Time) *Report {
 		Wall: time.Since(wallStart), Tasks: m.w.Len(), Done: m.done,
 		Attempts: m.attempts, Retries: m.retries, Reassigned: m.reassigned,
 		WorkerLost: m.workerLost, Abandoned: m.abandoned,
+		Results: make([]TaskResult, 0, len(m.tasks)),
 	}
 	for _, ts := range m.tasks {
 		if ts.done && ts.finish > rep.Makespan {

@@ -24,6 +24,10 @@ type SimRunner struct {
 	Seed int64
 }
 
+// Instant implements InstantRunner: simulated execution never blocks,
+// so the worker session may run attempts inline.
+func (r SimRunner) Instant() bool { return true }
+
 // Run implements Runner.
 func (r SimRunner) Run(_ context.Context, t TaskSpec) (float64, error) {
 	d := t.Duration
@@ -48,6 +52,13 @@ type FailingRunner struct {
 	Inner Runner
 	Rate  float64
 	Seed  int64
+}
+
+// Instant implements InstantRunner when the wrapped runner does:
+// fault injection adds no blocking of its own.
+func (r FailingRunner) Instant() bool {
+	ir, ok := r.Inner.(InstantRunner)
+	return ok && ir.Instant()
 }
 
 // Run implements Runner.

@@ -3,19 +3,29 @@ package exec
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"fmt"
+	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // TCP is the real-network transport: the master listens on Addr and
-// waits for Workers execworker processes to join over JSON lines
-// (loopback in tests and CI, a real network in anger). Events carry
-// virtual timestamps derived from the wall clock via TimeScale, so
-// the master's lease and backoff arithmetic is identical to the
-// deterministic transport's — only the clock source differs.
+// waits for Workers execworker processes to join (loopback in tests
+// and CI, a real network in anger). Each connection's codec is
+// negotiated at join time — framed binary (version 2) for new
+// workers, JSON lines (version 1) for legacy binaries — so a mixed
+// fleet interoperates within one run. Events carry virtual timestamps
+// derived from the wall clock via TimeScale, so the master's lease
+// and backoff arithmetic is identical to the deterministic
+// transport's — only the clock source differs.
+//
+// Sends are staged per connection and flushed in one write per
+// master event-loop turn (see Flusher); with many activations
+// multiplexed over each worker connection, a dispatch wave costs one
+// syscall per worker instead of one per task.
 type TCP struct {
 	// Addr is the listen address (e.g. "127.0.0.1:0").
 	Addr string
@@ -30,24 +40,69 @@ type TCP struct {
 	JoinTimeout time.Duration
 
 	ln     net.Listener
+	opened []int
 	start  time.Time
-	events chan Event
-	donec  chan struct{}
-	mu     sync.Mutex
-	conns  map[int]*tcpConn
-	closed bool
+	// events carries batches: one reader wakeup delivers every frame
+	// that arrived in the same write as one slice, so the master loop
+	// is woken once per wave of results, not once per task. evbuf and
+	// evhead are the batch Next is consuming — touched only by the
+	// master goroutine.
+	events chan []Event
+	evbuf  []Event
+	evhead int
+	// free recycles consumed batch buffers back to the readers, so
+	// steady-state event delivery reuses slices instead of growing a
+	// fresh one per wave.
+	free  chan []Event
+	donec chan struct{}
+	mu        sync.Mutex
+	conns     map[int]*tcpConn
+	dirty     []int
+	closed    bool
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+	readsIn   atomic.Int64
+	writesOut atomic.Int64
 }
 
 type tcpConn struct {
-	conn net.Conn
-	enc  *json.Encoder
-	mu   sync.Mutex
+	conn  net.Conn
+	c     wireCodec
+	dirty bool
 }
 
-func (c *tcpConn) send(m wireMsg) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.enc.Encode(m)
+// countingConn tallies wire bytes both ways into the owning TCP's
+// counters, the substrate of the bench tier's bytes/task metric.
+type countingConn struct {
+	net.Conn
+	t *TCP
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.t.bytesIn.Add(int64(n))
+	c.t.readsIn.Add(1)
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.t.bytesOut.Add(int64(n))
+	c.t.writesOut.Add(1)
+	return n, err
+}
+
+// Bytes reports the wire bytes received from and sent to workers so
+// far.
+func (t *TCP) Bytes() (in, out int64) {
+	return t.bytesIn.Load(), t.bytesOut.Load()
+}
+
+// Calls reports the master-side Read and Write call counts — with the
+// byte totals, the measure of how well batching is amortising
+// syscalls (bytes per call is the average batch size on the wire).
+func (t *TCP) Calls() (reads, writes int64) {
+	return t.readsIn.Load(), t.writesOut.Load()
 }
 
 // Listen binds the listener without accepting workers, so callers can
@@ -79,8 +134,15 @@ func (t *TCP) vnow() float64 {
 }
 
 // Open implements Transport: it accepts Workers connections,
-// handshakes each, and starts their reader goroutines.
+// negotiates each one's codec, handshakes it, and starts their reader
+// goroutines. Open is idempotent — a second call returns the worker
+// set the first call joined — so callers that need the fleet ready
+// before Run (pre-joining under a benchmark's stopped timer, or a
+// daemon separating join from execution) can open early.
 func (t *TCP) Open(ctx context.Context) ([]int, error) {
+	if t.opened != nil {
+		return t.opened, nil
+	}
 	if t.Workers <= 0 {
 		t.Workers = 1
 	}
@@ -96,7 +158,10 @@ func (t *TCP) Open(ctx context.Context) ([]int, error) {
 	if err := t.Listen(); err != nil {
 		return nil, err
 	}
-	t.events = make(chan Event, 256)
+	// Deep enough to absorb a batch from every connection in the fleet
+	// without back-pressuring the readers mid-turn.
+	t.events = make(chan []Event, 1024)
+	t.free = make(chan []Event, 1024)
 	t.donec = make(chan struct{})
 	t.conns = make(map[int]*tcpConn, t.Workers)
 	heartbeatMs := int(t.HeartbeatEvery * t.TimeScale * 1000)
@@ -105,7 +170,6 @@ func (t *TCP) Open(ctx context.Context) ([]int, error) {
 	}
 	deadline := time.Now().Add(t.JoinTimeout)
 	ids := make([]int, 0, t.Workers)
-	decs := make([]*json.Decoder, 0, t.Workers)
 	for len(ids) < t.Workers {
 		if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
 			deadline = dl
@@ -116,30 +180,23 @@ func (t *TCP) Open(ctx context.Context) ([]int, error) {
 		conn, err := t.ln.Accept()
 		if err != nil {
 			t.Close()
-			return nil, fmt.Errorf("exec: waiting for %d workers (%d joined): %w", t.Workers, len(ids), err)
+			// The join count and bound address make a chaos/soak
+			// failure diagnosable: which side never showed up, and
+			// where it should have connected.
+			return nil, fmt.Errorf("exec: master on %s timed out waiting for workers: %d of %d joined: %w",
+				t.ListenAddr(), len(ids), t.Workers, err)
 		}
 		id := len(ids)
-		tc := &tcpConn{conn: conn, enc: json.NewEncoder(conn)}
-		// Handshake: hello in, welcome out.
-		dec := json.NewDecoder(bufio.NewReader(conn))
-		var hello wireMsg
-		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
-		if err := dec.Decode(&hello); err != nil || hello.Type != msgHello {
+		tc, err := t.handshake(conn, id, heartbeatMs)
+		if err != nil {
 			conn.Close()
 			t.Close()
-			return nil, fmt.Errorf("exec: worker handshake: got %q (%v)", hello.Type, err)
-		}
-		conn.SetReadDeadline(time.Time{})
-		if err := tc.send(wireMsg{Type: msgWelcome, Worker: id, TimeScale: t.TimeScale, HeartbeatMs: heartbeatMs}); err != nil {
-			conn.Close()
-			t.Close()
-			return nil, fmt.Errorf("exec: welcome worker %d: %w", id, err)
+			return nil, err
 		}
 		t.mu.Lock()
 		t.conns[id] = tc
 		t.mu.Unlock()
 		ids = append(ids, id)
-		decs = append(decs, dec)
 	}
 	if tl, ok := t.ln.(*net.TCPListener); ok {
 		tl.SetDeadline(time.Time{})
@@ -148,57 +205,228 @@ func (t *TCP) Open(ctx context.Context) ([]int, error) {
 	// during the join window are stamped at (small) post-epoch times,
 	// never against the zero Time.
 	t.start = time.Now()
+	t.mu.Lock()
 	for _, id := range ids {
-		go t.reader(id, decs[id])
+		go t.reader(id, t.conns[id].c)
 	}
+	t.mu.Unlock()
+	t.opened = ids
 	return ids, nil
 }
 
-// reader pumps one worker's messages into the event channel; a read
-// error (or EOF) becomes a single EvWorkerLost.
-func (t *TCP) reader(id int, dec *json.Decoder) {
-	for {
-		var m wireMsg
-		if err := dec.Decode(&m); err != nil {
-			t.emit(Event{Kind: EvWorkerLost, Worker: id, Time: t.vnow()})
-			return
+// handshake sniffs the joining connection's codec (binary preamble vs
+// JSON's leading '{'), consumes the hello, and answers with a
+// welcome naming the worker, the run's time scale, and the protocol
+// version the master selected.
+func (t *TCP) handshake(conn net.Conn, id, heartbeatMs int) (*tcpConn, error) {
+	cc := countingConn{Conn: conn, t: t}
+	br := bufio.NewReader(cc)
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	c, err := sniffCodec(cc, br)
+	if err != nil {
+		return nil, fmt.Errorf("exec: worker joining %s from %s: %w",
+			t.ListenAddr(), conn.RemoteAddr(), err)
+	}
+	// Result decoding on the master's hot path interns task IDs the
+	// master itself dispatched, so it allocates nothing per result.
+	// Pre-sized here, off the run's hot path, so steady-state inserts
+	// rarely grow the map.
+	if bc, ok := c.(*binCodec); ok {
+		bc.intern = make(map[string]string, 128)
+	}
+	var hello wireMsg
+	if err := c.read(&hello); err != nil || hello.Type != msgHello {
+		return nil, fmt.Errorf("exec: worker handshake on %s: got %q (%v)", t.ListenAddr(), hello.Type, err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	tc := &tcpConn{conn: conn, c: c}
+	welcome := wireMsg{Type: msgWelcome, Worker: id, TimeScale: t.TimeScale,
+		HeartbeatMs: heartbeatMs, Version: c.version()}
+	if err := c.queue(&welcome); err != nil {
+		return nil, fmt.Errorf("exec: welcome worker %d: %w", id, err)
+	}
+	if err := c.flush(); err != nil {
+		return nil, fmt.Errorf("exec: welcome worker %d: %w", id, err)
+	}
+	return tc, nil
+}
+
+// sniffCodec distinguishes a binary worker (preamble 0xBF 'R' 'X'
+// <version>) from a legacy JSON-lines worker ('{') by peeking the
+// first byte.
+func sniffCodec(cc countingConn, br *bufio.Reader) (wireCodec, error) {
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, fmt.Errorf("handshake read: %w", err)
+	}
+	switch first[0] {
+	case binPreamble[0]:
+		var pre [4]byte
+		if _, err := io.ReadFull(br, pre[:]); err != nil {
+			return nil, fmt.Errorf("binary preamble: %w", err)
 		}
-		switch m.Type {
-		case msgResult:
-			t.emit(Event{Kind: EvResult, Worker: id, Time: t.vnow(),
-				TaskID: m.TaskID, Attempt: m.Attempt, Err: m.Error})
-		case msgHeartbeat:
-			t.emit(Event{Kind: EvHeartbeat, Worker: id, Time: t.vnow()})
+		if pre[1] != binPreamble[1] || pre[2] != binPreamble[2] {
+			return nil, fmt.Errorf("bad binary preamble % x", pre)
+		}
+		if pre[3] != wireVersionBinary {
+			return nil, fmt.Errorf("unsupported wire version %d (want %d)", pre[3], wireVersionBinary)
+		}
+		return newBinCodec(cc, br), nil
+	case '{':
+		return newJSONCodec(cc, br), nil
+	}
+	return nil, fmt.Errorf("unrecognised first byte 0x%02x (neither binary preamble nor JSON)", first[0])
+}
+
+// reader pumps one worker's messages into the event channel; a read
+// error (or EOF, or a corrupt frame) becomes a single EvWorkerLost.
+// After a blocking read it keeps decoding while the codec still has
+// bytes buffered — a worker's coalesced write of many results lands
+// as one event batch, one master wakeup. (A partial trailing frame
+// makes one of those reads block briefly, but its remainder is
+// already in flight — the sender writes whole batches.)
+func (t *TCP) reader(id int, c wireCodec) {
+	const maxBatch = 512
+	var m wireMsg
+	for {
+		var batch []Event
+		var now float64
+		for len(batch) < maxBatch {
+			if len(batch) > 0 && !c.buffered() {
+				break
+			}
+			if err := c.read(&m); err != nil {
+				if len(batch) > 0 {
+					t.emit(batch)
+				}
+				t.emit([]Event{{Kind: EvWorkerLost, Worker: id, Time: t.vnow()}})
+				return
+			}
+			if len(batch) == 0 {
+				// One clock read per batch: messages decoded from the
+				// same arrival share its timestamp.
+				now = t.vnow()
+				if batch == nil {
+					// Claim a buffer only now that there is something
+					// to put in it — a reader parked in a blocking
+					// read must not sit on a recycled buffer.
+					select {
+					case b := <-t.free:
+						batch = b[:0]
+					default:
+						// Cold pool: start with room for a typical
+						// wave instead of growing through doublings.
+						// Legacy JSON connections never batch
+						// (buffered is always false), so their waves
+						// are single events.
+						n := 32
+						if _, ok := c.(*binCodec); !ok {
+							n = 1
+						}
+						batch = make([]Event, 0, n)
+					}
+				}
+			}
+			switch m.Type {
+			case msgResult:
+				batch = append(batch, Event{Kind: EvResult, Worker: id, Time: now,
+					TaskID: m.TaskID, TaskIndex: m.Index, Attempt: m.Attempt, Err: m.Error})
+			case msgHeartbeat:
+				batch = append(batch, Event{Kind: EvHeartbeat, Worker: id, Time: now})
+			}
+		}
+		if len(batch) > 0 {
+			t.emit(batch)
 		}
 	}
 }
 
-// emit delivers an event unless the transport has been closed.
-func (t *TCP) emit(ev Event) {
+// emit delivers an event batch unless the transport has been closed.
+// Ownership of the slice passes to the master loop.
+func (t *TCP) emit(evs []Event) {
 	select {
-	case t.events <- ev:
+	case t.events <- evs:
 	case <-t.donec:
 	}
 }
 
-// Send implements Transport.
+// Send implements Transport: the message is staged on the worker's
+// connection and hits the wire at the next Flush (JSON-lines
+// connections write through immediately, as version 1 always did).
 func (t *TCP) Send(worker int, spec TaskSpec) error {
 	t.mu.Lock()
 	tc := t.conns[worker]
+	if tc != nil && !tc.dirty {
+		tc.dirty = true
+		t.dirty = append(t.dirty, worker)
+	}
 	t.mu.Unlock()
 	if tc == nil {
 		return fmt.Errorf("exec: send to unknown worker %d", worker)
 	}
+	// Branches are split by hand so escape analysis sees two disjoint
+	// variables: the binary codec's queue retains nothing, so spec and
+	// the message stay on this stack frame — dispatching a task
+	// allocates nothing master-side. Only the legacy path pays a copy.
+	if bc, ok := tc.c.(*binCodec); ok {
+		m := wireMsg{Type: msgTask, Task: &spec}
+		return bc.queue(&m)
+	}
 	s := spec
-	return tc.send(wireMsg{Type: msgTask, Task: &s})
+	return tc.c.queue(&wireMsg{Type: msgTask, Task: &s})
+}
+
+// Flush implements Flusher: every connection with staged messages
+// gets its batch out in one write (connections nothing was queued on
+// since the last flush are skipped — on a large fleet most turns
+// touch a handful of workers). Workers whose batch cannot be
+// delivered are returned (and dropped) so the master can run its
+// worker-lost recovery directly instead of waiting for the reader to
+// notice.
+func (t *TCP) Flush() []int {
+	t.mu.Lock()
+	if len(t.dirty) == 0 {
+		t.mu.Unlock()
+		return nil
+	}
+	ids := t.dirty
+	t.dirty = t.dirty[len(t.dirty):]
+	sort.Ints(ids)
+	var lost []int
+	for _, id := range ids {
+		tc := t.conns[id]
+		if tc == nil {
+			continue // already dropped by an earlier flush failure
+		}
+		tc.dirty = false
+		if err := tc.c.flush(); err != nil {
+			lost = append(lost, id)
+			tc.conn.Close()
+			delete(t.conns, id)
+		}
+	}
+	t.mu.Unlock()
+	return lost
 }
 
 // Next implements Transport.
 func (t *TCP) Next(ctx context.Context, deadline float64) (Event, error) {
+	// Consume the batch in hand before touching the channel: events
+	// within one batch cost a slice index each, no scheduler round
+	// trip.
+	if t.evhead < len(t.evbuf) {
+		ev := t.evbuf[t.evhead]
+		t.evhead++
+		if t.evhead == len(t.evbuf) {
+			t.recycle(t.evbuf)
+			t.evbuf = nil
+		}
+		return ev, nil
+	}
 	if deadline == Forever {
 		select {
-		case ev := <-t.events:
-			return ev, nil
+		case evs := <-t.events:
+			return t.take(evs), nil
 		case <-ctx.Done():
 			return Event{}, ctx.Err()
 		}
@@ -206,10 +434,10 @@ func (t *TCP) Next(ctx context.Context, deadline float64) (Event, error) {
 	wait := time.Duration((deadline - t.vnow()) * t.TimeScale * float64(time.Second))
 	if wait <= 0 {
 		// The deadline already passed in wall time; drain a pending
-		// event if one is ready, else tick immediately.
+		// batch if one is ready, else tick immediately.
 		select {
-		case ev := <-t.events:
-			return ev, nil
+		case evs := <-t.events:
+			return t.take(evs), nil
 		default:
 			return Event{Kind: EvTick, Time: t.vnow()}, nil
 		}
@@ -217,12 +445,35 @@ func (t *TCP) Next(ctx context.Context, deadline float64) (Event, error) {
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	select {
-	case ev := <-t.events:
-		return ev, nil
+	case evs := <-t.events:
+		return t.take(evs), nil
 	case <-timer.C:
 		return Event{Kind: EvTick, Time: t.vnow()}, nil
 	case <-ctx.Done():
 		return Event{}, ctx.Err()
+	}
+}
+
+// take adopts a received batch (always non-empty) and returns its
+// first event.
+func (t *TCP) take(evs []Event) Event {
+	ev := evs[0]
+	if len(evs) == 1 {
+		t.recycle(evs)
+		return ev
+	}
+	t.evbuf = evs
+	t.evhead = 1
+	return ev
+}
+
+// recycle hands a fully consumed batch buffer back to the readers
+// (dropped when the free list is full — it is garbage then, which is
+// also fine).
+func (t *TCP) recycle(evs []Event) {
+	select {
+	case t.free <- evs[:0]:
+	default:
 	}
 }
 
@@ -242,7 +493,8 @@ func (t *TCP) Close() error {
 		close(t.donec)
 	}
 	for _, tc := range conns {
-		tc.send(wireMsg{Type: msgShutdown})
+		tc.c.queue(&wireMsg{Type: msgShutdown})
+		tc.c.flush()
 		tc.conn.Close()
 	}
 	if t.ln != nil {

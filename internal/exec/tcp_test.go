@@ -97,7 +97,19 @@ func TestSoakWorkerDeaths(t *testing.T) {
 			var conns []net.Conn
 			var mu sync.Mutex
 			for i := 0; i < 3; i++ {
-				conn := startWorker(t, tcp.ListenAddr(), nil)
+				// Mixed fleet: worker 1 speaks legacy JSON lines, so the
+				// soak covers both codecs (and their interleaving) under
+				// -race with mid-run deaths.
+				var conn net.Conn
+				if i == 1 {
+					conn, err = net.Dial("tcp", tcp.ListenAddr())
+					if err != nil {
+						t.Fatal(err)
+					}
+					go ServeConnJSON(context.Background(), conn, nil)
+				} else {
+					conn = startWorker(t, tcp.ListenAddr(), nil)
+				}
 				mu.Lock()
 				conns = append(conns, conn)
 				mu.Unlock()

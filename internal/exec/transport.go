@@ -94,7 +94,7 @@ func (p *InProc) Send(worker int, t TaskSpec) error {
 	if d < 0 {
 		d = 0
 	}
-	ev := Event{Kind: EvResult, Worker: worker, TaskID: t.TaskID, Attempt: t.Attempt}
+	ev := Event{Kind: EvResult, Worker: worker, TaskID: t.TaskID, TaskIndex: t.Index, Attempt: t.Attempt}
 	if err != nil {
 		ev.Err = err.Error()
 	}

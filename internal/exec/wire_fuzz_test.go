@@ -1,0 +1,37 @@
+package exec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireCodec throws arbitrary bytes at the binary payload decoder:
+// it must never panic, and any payload it accepts must re-encode and
+// re-decode to the same message (round-trip stability — byte equality
+// is not required because varints admit non-minimal encodings on
+// input, which the canonical encoder never emits).
+func FuzzWireCodec(f *testing.F) {
+	for _, m := range wireSamples() {
+		m := m
+		f.Add(appendWirePayload(nil, &m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{binTask, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{binResult, 0x02, 'h', 'i', 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m wireMsg
+		if err := decodeWirePayload(data, &m, nil); err != nil {
+			return // rejected cleanly — the required behaviour for junk
+		}
+		re := appendWirePayload(nil, &m)
+		var m2 wireMsg
+		if err := decodeWirePayload(re, &m2, nil); err != nil {
+			t.Fatalf("re-encoded payload rejected: %v\nmsg %+v", err, m)
+		}
+		// Canonical encodings must agree byte for byte (DeepEqual
+		// would trip over NaN durations, whose bits round-trip fine).
+		if re2 := appendWirePayload(nil, &m2); !bytes.Equal(re, re2) {
+			t.Fatalf("round trip unstable:\nfirst  % x (%+v)\nsecond % x (%+v)", re, m, re2, m2)
+		}
+	})
+}

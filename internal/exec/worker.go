@@ -3,7 +3,6 @@ package exec
 import (
 	"bufio"
 	"context"
-	"encoding/json"
 	"fmt"
 	"net"
 	"sync"
@@ -16,26 +15,48 @@ import (
 // nil factory defaults to SleepRunner at the master's scale.
 type NewRunner func(timeScale float64) Runner
 
-// ServeConn runs the worker side of the TCP protocol over an
-// established connection: hello/welcome handshake, then a loop
-// executing task messages (one goroutine per attempt), heartbeating
-// at the master-specified period, and reporting results. It returns
-// nil on an orderly shutdown message, or the read error that ended
-// the session.
+// ServeConn runs the worker side of the protocol over an established
+// connection using the framed binary codec (wire version 2, the
+// default for new workers): preamble + hello/welcome handshake, then
+// a loop executing task messages (one goroutine per attempt),
+// heartbeating at the master-specified period, and reporting results.
+// Results and heartbeats are staged through a coalescing writer, so a
+// burst of completions costs one write instead of one syscall each.
+// It returns nil on an orderly shutdown message, or the read error
+// that ended the session.
 func ServeConn(ctx context.Context, conn net.Conn, newRunner NewRunner) error {
-	enc := json.NewEncoder(conn)
-	var wmu sync.Mutex
-	send := func(m wireMsg) error {
-		wmu.Lock()
-		defer wmu.Unlock()
-		return enc.Encode(m)
+	if _, err := conn.Write(binPreamble[:]); err != nil {
+		return fmt.Errorf("exec: preamble: %w", err)
 	}
-	if err := send(wireMsg{Type: msgHello}); err != nil {
+	c := newBinCodec(conn, bufio.NewReader(conn))
+	stop := make(chan struct{})
+	defer close(stop)
+	c.autoFlush(stop)
+	err := serveCodec(ctx, c, newRunner)
+	c.flush() // a batch the flusher was still holding must not die with the session
+	return err
+}
+
+// ServeConnJSON is ServeConn speaking the legacy JSON-lines protocol
+// (wire version 1) — exactly what pre-binary execworker binaries
+// send, kept as a first-class path so mixed fleets work and the
+// cross-version interop tests exercise the old framing against a new
+// master.
+func ServeConnJSON(ctx context.Context, conn net.Conn, newRunner NewRunner) error {
+	return serveCodec(ctx, newJSONCodec(conn, bufio.NewReader(conn)), newRunner)
+}
+
+// serveCodec is the codec-independent worker session: hello in,
+// welcome out, then heartbeats and the task loop until shutdown.
+func serveCodec(ctx context.Context, c wireCodec, newRunner NewRunner) error {
+	if err := c.queue(&wireMsg{Type: msgHello, Version: c.version()}); err != nil {
 		return fmt.Errorf("exec: hello: %w", err)
 	}
-	dec := json.NewDecoder(bufio.NewReader(conn))
+	if err := c.flush(); err != nil {
+		return fmt.Errorf("exec: hello: %w", err)
+	}
 	var welcome wireMsg
-	if err := dec.Decode(&welcome); err != nil || welcome.Type != msgWelcome {
+	if err := c.read(&welcome); err != nil || welcome.Type != msgWelcome {
 		return fmt.Errorf("exec: expected welcome, got %q (%v)", welcome.Type, err)
 	}
 	var runner Runner
@@ -48,8 +69,20 @@ func ServeConn(ctx context.Context, conn net.Conn, newRunner NewRunner) error {
 
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	var running int32
-	// Heartbeat until the session ends.
+	// A runner that never blocks runs inline on this loop: a wave of
+	// tasks is executed as it is decoded and answered in one write,
+	// with no executor scheduling at all.
+	inline := false
+	if ir, ok := runner.(InstantRunner); ok && ir.Instant() {
+		inline = true
+		if bc, ok := c.(*binCodec); ok {
+			bc.inline.Store(true)
+		}
+	}
+	var running atomic.Int32
+	// Heartbeat until the session ends. The binary codec's flusher
+	// coalesces a heartbeat with any results staged in the same
+	// window.
 	hb := time.Duration(welcome.HeartbeatMs) * time.Millisecond
 	if hb <= 0 {
 		hb = 100 * time.Millisecond
@@ -62,18 +95,35 @@ func ServeConn(ctx context.Context, conn net.Conn, newRunner NewRunner) error {
 			case <-wctx.Done():
 				return
 			case <-tick.C:
-				if send(wireMsg{Type: msgHeartbeat, Running: int(atomic.LoadInt32(&running))}) != nil {
+				hb := wireMsg{Type: msgHeartbeat, Running: int(running.Load())}
+				if queueMsg(c, &hb) != nil {
 					return
 				}
 			}
 		}
 	}()
 
+	// Attempts run on a grow-on-demand executor pool: a task goes to an
+	// executor that is already idle, or a new one is spawned, so every
+	// attempt still runs concurrently (the master does all slot
+	// accounting) but steady-state dispatch reuses warm goroutine
+	// stacks instead of paying newproc + stack growth per attempt.
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	taskc := make(chan TaskSpec)
+	execute := func(spec TaskSpec) {
+		d, err := runner.Run(wctx, spec)
+		res := wireMsg{Type: msgResult, TaskID: spec.TaskID, Index: spec.Index, Attempt: spec.Attempt, Duration: d}
+		if err != nil {
+			res.Error = err.Error()
+		}
+		queueMsg(c, &res)
+		running.Add(-1)
+		wg.Done()
+	}
+	var m wireMsg
 	for {
-		var m wireMsg
-		if err := dec.Decode(&m); err != nil {
+		if err := c.read(&m); err != nil {
 			return err
 		}
 		switch m.Type {
@@ -83,26 +133,46 @@ func ServeConn(ctx context.Context, conn net.Conn, newRunner NewRunner) error {
 			if m.Task == nil {
 				continue
 			}
-			spec := *m.Task
-			atomic.AddInt32(&running, 1)
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer atomic.AddInt32(&running, -1)
-				d, err := runner.Run(wctx, spec)
-				res := wireMsg{Type: msgResult, TaskID: spec.TaskID, Attempt: spec.Attempt, Duration: d}
+			if inline {
+				d, err := runner.Run(wctx, *m.Task)
+				res := wireMsg{Type: msgResult, TaskID: m.Task.TaskID, Index: m.Task.Index, Attempt: m.Task.Attempt, Duration: d}
 				if err != nil {
 					res.Error = err.Error()
 				}
-				send(res)
-			}()
+				queueMsg(c, &res)
+				// Results for the frames still buffered are coming on
+				// this same loop; flush once the wave is drained.
+				if !c.buffered() {
+					c.flush()
+				}
+				continue
+			}
+			spec := *m.Task
+			running.Add(1)
+			wg.Add(1)
+			select {
+			case taskc <- spec: // an idle executor takes it immediately
+			default: // none idle: grow the pool
+				go func(first TaskSpec) {
+					execute(first)
+					for {
+						select {
+						case next := <-taskc:
+							execute(next)
+						case <-wctx.Done():
+							return
+						}
+					}
+				}(spec)
+			}
 		}
 	}
 }
 
 // Dial connects to a master at addr and serves until shutdown — the
 // body of cmd/execworker, exported so tests can run in-process worker
-// goroutines against a real TCP master.
+// goroutines against a real TCP master. It speaks the binary codec;
+// DialJSON speaks the legacy JSON-lines protocol.
 func Dial(ctx context.Context, addr string, newRunner NewRunner) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -110,4 +180,15 @@ func Dial(ctx context.Context, addr string, newRunner NewRunner) error {
 	}
 	defer conn.Close()
 	return ServeConn(ctx, conn, newRunner)
+}
+
+// DialJSON is Dial over the legacy JSON-lines codec (what an old
+// execworker binary does), kept for mixed-version fleets.
+func DialJSON(ctx context.Context, addr string, newRunner NewRunner) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("exec: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	return ServeConnJSON(ctx, conn, newRunner)
 }

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # exec_smoke.sh — end-to-end smoke test of the execution-stage runtime
 # with real processes: a reassign master listens on loopback, two
-# execworker processes join over TCP, Montage-50 executes, and the
-# provenance output is checked for a complete, successful run. A second
-# pass exercises the in-process transport under injected worker deaths
-# (the acceptance scenario: zero lost activations despite failures).
+# execworker processes join over TCP — one speaking the framed binary
+# codec (wire v2), one the legacy JSON-lines codec (wire v1), so the
+# mixed-version fleet path is exercised with real binaries — Montage-50
+# executes, and the provenance output is checked for a complete,
+# successful run. A second pass exercises the in-process transport
+# under injected worker deaths (the acceptance scenario: zero lost
+# activations despite failures).
 #
 # Usage: scripts/exec_smoke.sh [bindir]   (default ./bin)
 set -euo pipefail
@@ -14,13 +17,13 @@ ADDR=127.0.0.1:7077
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
-echo "== exec-smoke: TCP loopback master + 2 execworker processes =="
+echo "== exec-smoke: TCP loopback master + mixed binary/json execworkers =="
 "$BIN/reassign" -sched heft -execute -workers 2 -listen "$ADDR" \
     -prov "$TMP/prov.json" > "$TMP/master.log" 2>&1 &
 MASTER=$!
 "$BIN/execworker" -connect "$ADDR" -retry 30s &
 W1=$!
-"$BIN/execworker" -connect "$ADDR" -retry 30s &
+"$BIN/execworker" -connect "$ADDR" -retry 30s -codec json &
 W2=$!
 
 if ! wait "$MASTER"; then
