@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race race-replicas race-exec exec-smoke schedd-smoke bench benchsmoke benchsmoke-large exec-bench-smoke guard test build vet audit fuzz-smoke
+.PHONY: check race race-replicas race-exec exec-smoke schedd-smoke loadgen-smoke bench benchsmoke benchsmoke-large exec-bench-smoke guard test build vet audit fuzz-smoke
 
 ## check: vet, build, and test everything (the tier-1 gate)
 check: vet build test
@@ -45,6 +45,17 @@ schedd-smoke:
 	$(GO) build -o bin/schedd ./cmd/schedd
 	$(GO) build -o bin/schedload ./cmd/schedload
 	bash scripts/schedd_smoke.sh ./bin
+
+## loadgen-smoke: end-to-end smoke of open-system mode: generate a
+## short seeded multi-tenant trace (bit-identical across two runs),
+## replay it against a race-detector-built schedd with tenant +
+## deadline hints, assert the per-tenant report, labeled /metrics
+## series, and a clean SIGTERM drain
+loadgen-smoke:
+	mkdir -p bin
+	$(GO) build -race -o bin/schedd ./cmd/schedd
+	$(GO) build -o bin/schedload ./cmd/schedload
+	bash scripts/loadgen_smoke.sh ./bin
 
 ## bench: run the benchmark trajectory and record BENCH_core.json
 bench:

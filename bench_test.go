@@ -228,3 +228,12 @@ func BenchmarkBaselines(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkOpenSystem is the open-system throughput tier: a fixed
+// seeded multi-tenant arrival trace replayed through every policy
+// lane (learned warm-table ReASSIgN, HEFT, greedy, EDF) at 3 and 6
+// tenants. The headline metric is lane-jobs served per wall second.
+func BenchmarkOpenSystem(b *testing.B) {
+	b.Run("3tenants", benchsuite.OpenSystem(3))
+	b.Run("6tenants", benchsuite.OpenSystem(6))
+}

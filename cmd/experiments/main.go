@@ -226,7 +226,14 @@ func run() (err error) {
 		if err != nil {
 			return err
 		}
-		return emit("study_replicas", rs)
+		if err := emit("study_replicas", rs); err != nil {
+			return err
+		}
+		osys, err := expt.StudyOpenSystem(o)
+		if err != nil {
+			return err
+		}
+		return emit("study_open_system", osys)
 	}
 	if *baselines {
 		for _, vcpus := range []int{16, 32, 64} {
@@ -348,6 +355,13 @@ func writeReport(o expt.Options, path string) error {
 		return err
 	}
 	b.AddTable(sp)
+
+	b.AddHeading("Open system — multi-tenant arrival lanes")
+	osys, err := expt.StudyOpenSystem(o)
+	if err != nil {
+		return err
+	}
+	b.AddTable(osys)
 
 	b.AddHeading("Schedules — HEFT vs learned plan (16 vCPUs)")
 	charts, err := expt.ScheduleCharts(o)

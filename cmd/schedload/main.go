@@ -12,6 +12,19 @@
 // cache misses (first job of each structure) with hits (the rest) —
 // the warm-start path a steady workload exercises.
 //
+// Open-system mode replays a seeded multi-tenant arrival trace
+// (package loadgen) against the daemon instead of closed-loop
+// hammering:
+//
+//	schedload -writetrace trace.json [-seed 1] [-horizon 300]
+//	          [-tenants 3] [-rate 0.05] [-nodes 50]   # generate only
+//	schedload -trace trace.json [-timescale 10] [-sla 30s]
+//
+// -timescale compresses virtual trace time into wall time (10 =
+// 10 virtual seconds per wall second); -sla attaches a wall-clock
+// deadline hint to every deadline-carrying arrival, and the report
+// breaks latency and deadline attainment down per tenant.
+//
 // The exit code is non-zero when any job fails or is rejected.
 package main
 
@@ -39,9 +52,26 @@ func main() {
 	distinct := flag.Int("distinct", 4, "distinct workflow structures cycled across jobs")
 	execute := flag.Bool("execute", false, "also execute each plan for provenance")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-job completion timeout")
+	trace := flag.String("trace", "", "replay a loadgen trace file instead of closed-loop load")
+	writeTrace := flag.String("writetrace", "", "generate a trace file and exit (no daemon needed)")
+	seed := flag.Int64("seed", 1, "trace generation seed (with -writetrace)")
+	horizon := flag.Float64("horizon", 300, "trace arrival window in virtual seconds (with -writetrace)")
+	tenants := flag.Int("tenants", 3, "tenant count (with -writetrace)")
+	rate := flag.Float64("rate", 0.05, "per-tenant mean arrivals per virtual second (with -writetrace)")
+	timescale := flag.Float64("timescale", 10, "virtual seconds replayed per wall second (with -trace)")
+	sla := flag.Duration("sla", 0, "wall-clock deadline hint per deadline-carrying arrival (with -trace)")
 	flag.Parse()
 
-	if err := run(*addr, *jobs, *concurrency, *nodes, *episodes, *distinct, *execute, *timeout); err != nil {
+	var err error
+	switch {
+	case *writeTrace != "":
+		err = emitTrace(*writeTrace, *seed, *horizon, *tenants, *rate, *nodes)
+	case *trace != "":
+		err = runTrace(*addr, *trace, *timescale, *episodes, *execute, *sla, *timeout)
+	default:
+		err = run(*addr, *jobs, *concurrency, *nodes, *episodes, *distinct, *execute, *timeout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedload:", err)
 		os.Exit(1)
 	}

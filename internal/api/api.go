@@ -215,6 +215,18 @@ type SubmitRequest struct {
 	Workflow      WorkflowSpec `json:"workflow"`
 	Fleet         FleetSpec    `json:"fleet"`
 	Learn         LearnSpec    `json:"learn"`
+	// Tenant labels the submitting tenant for multi-tenant accounting:
+	// the daemon tracks per-tenant queued/running gauges, completion
+	// counters and latency percentiles under this label in /metrics.
+	// Empty submissions are accounted under "default". The label does
+	// not affect scheduling or admission — lanes are fairness
+	// *measurement*, not enforcement (enforcement is future work).
+	Tenant string `json:"tenant,omitempty"`
+	// DeadlineSeconds is an optional SLA hint: the submitter wants the
+	// job finished within this many wall-clock seconds of submission.
+	// The daemon records a per-tenant deadline hit or miss when the job
+	// reaches a terminal state; it never rejects or reorders on it.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 	// Seed drives Q initialisation, exploration and fluctuation draws.
 	// Two submissions differing only in unrelated daemon state return
 	// bit-identical plans for equal seeds (given NoWarmStart).
@@ -255,6 +267,13 @@ type JobStatus struct {
 	Activations int    `json:"activations,omitempty"`
 	Fleet       string `json:"fleet,omitempty"`
 	VMs         int    `json:"vms,omitempty"`
+
+	// Tenant echoes the submission's tenant label ("" when none was
+	// given); DeadlineSeconds its SLA hint. DeadlineMissed is set on
+	// finished jobs that carried a deadline and overran it.
+	Tenant          string  `json:"tenant,omitempty"`
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
+	DeadlineMissed  bool    `json:"deadline_missed,omitempty"`
 
 	SubmittedAt string `json:"submitted_at,omitempty"`
 	StartedAt   string `json:"started_at,omitempty"`

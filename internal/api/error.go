@@ -23,6 +23,9 @@ const (
 	// CodeQueueFull marks an admission-queue rejection; clients
 	// should back off and retry.
 	CodeQueueFull = "queue_full"
+	// CodeTooLarge marks a request body over the daemon's byte bound;
+	// clients should shrink the document, not retry.
+	CodeTooLarge = "too_large"
 	// CodeConflict marks an operation invalid in the job's current
 	// state (e.g. cancelling a finished job).
 	CodeConflict = "conflict"
@@ -63,6 +66,8 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusNotFound
 	case CodeQueueFull:
 		return http.StatusTooManyRequests
+	case CodeTooLarge:
+		return http.StatusRequestEntityTooLarge
 	case CodeConflict:
 		return http.StatusConflict
 	case CodeUnavailable:

@@ -10,8 +10,10 @@ import (
 	"math/rand"
 	"testing"
 
+	"reassign/internal/api"
 	"reassign/internal/cloud"
 	"reassign/internal/core"
+	"reassign/internal/loadgen"
 	"reassign/internal/rl"
 	"reassign/internal/sim"
 	"reassign/internal/trace"
@@ -56,8 +58,10 @@ type Bench struct {
 // Q-table micro-benchmarks, the TD hot path, the headline 100-episode
 // learning run, the replica-scaling ladder, the large-DAG tier
 // (1000- and 10k-activation workflows on 256- and 1024-vCPU fleets),
-// and the exec wire-path tier (a wide 1000-activation plan over
-// InProc and loopback TCP with the JSON and binary codecs).
+// the exec wire-path tier (a wide 1000-activation plan over InProc
+// and loopback TCP with the JSON and binary codecs), and the
+// open-system tier (a seeded multi-tenant trace replayed through
+// every policy lane at 3 and 6 tenants).
 func Suite() []Bench {
 	return []Bench{
 		{"BenchmarkQTableMap", QTable(func() *rl.Table {
@@ -83,6 +87,8 @@ func Suite() []Bench {
 		{"BenchmarkExecThroughput/tcp-bin-1000x64", ExecTCP(1000, 64, true)},
 		{"BenchmarkExecThroughput/tcp-json-1000x256", ExecTCP(1000, 256, false)},
 		{"BenchmarkExecThroughput/tcp-bin-1000x256", ExecTCP(1000, 256, true)},
+		{"BenchmarkOpenSystem/3tenants", OpenSystem(3)},
+		{"BenchmarkOpenSystem/6tenants", OpenSystem(6)},
 	}
 }
 
@@ -257,4 +263,37 @@ func ByName(name string) (Bench, error) {
 		}
 	}
 	return Bench{}, fmt.Errorf("benchsuite: unknown benchmark %q", name)
+}
+
+// OpenSystem returns the open-system throughput tier: one op
+// generates nothing (the trace is fixed up front) and replays the
+// same seeded multi-tenant arrival trace through every policy lane —
+// learned warm-table ReASSIgN, HEFT, greedy immediate, and EDF
+// admission. The extra metric is lane-jobs served per second of wall
+// time, the open-system regime BENCH_core.json tracks.
+func OpenSystem(tenants int) func(*testing.B) {
+	return func(b *testing.B) {
+		tr, err := loadgen.Generate(loadgen.TraceConfig{
+			Seed:    1,
+			Horizon: 400,
+			Tenants: loadgen.DefaultTenants(tenants, 0.02, 30),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := loadgen.LaneConfig{
+			Fleet:    api.FleetSpec{Preset: "table1", VCPUs: 16},
+			Slots:    2,
+			Episodes: 8,
+		}
+		laneJobs := len(tr.Arrivals) * len(loadgen.AllPolicies())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := loadgen.RunLanes(tr, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(laneJobs*b.N)/b.Elapsed().Seconds(), "job/s")
+	}
 }

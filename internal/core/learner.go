@@ -185,6 +185,12 @@ func (l *Learner) Learn() (*Result, error) {
 		if cfg.Sink == nil {
 			cfg.Sink = l.sink
 		}
+		// Cancellation reaches inside the episode too: a single huge-DAG
+		// episode aborts at its next scheduling cycle instead of holding
+		// the learner (and a daemon shutdown) until it finishes.
+		if cfg.Ctx == nil {
+			cfg.Ctx = l.ctx
+		}
 		var simRes *sim.Result
 		if eng == nil {
 			if l.enginePool != nil {

@@ -24,6 +24,10 @@ type Handler func()
 // configured time horizon was reached while events remained pending.
 var ErrHorizon = errors.New("des: time horizon reached with pending events")
 
+// ErrInterrupted is wrapped by the error Run returns after Interrupt
+// was called without a cause.
+var ErrInterrupted = errors.New("des: run interrupted")
+
 // event is one entry in the future-event list. Executed events are
 // recycled through the simulator's free list; gen increments on each
 // recycle so stale EventRefs become no-ops instead of touching the
@@ -91,6 +95,7 @@ type Simulator struct {
 	horizon float64 // 0 means unbounded
 	steps   int64   // events executed
 	running bool
+	stopErr error    // set by Interrupt; Run returns it before the next event
 	free    []*event // recycled events, reused by AtPriority
 
 	// Kernel counters (see Stats): freelist reuse and the queue's
@@ -163,6 +168,18 @@ func (s *Simulator) SetHorizon(t float64) {
 		return
 	}
 	s.horizon = t
+}
+
+// Interrupt makes Run stop before executing any further event,
+// returning err (ErrInterrupted when err is nil). It is meant to be
+// called from inside an event handler — e.g. when a wrapping context
+// is canceled — and leaves pending events queued; a later Reset
+// clears both them and the stop cause.
+func (s *Simulator) Interrupt(err error) {
+	if err == nil {
+		err = ErrInterrupted
+	}
+	s.stopErr = err
 }
 
 // At schedules fn at absolute virtual time t with priority 0.
@@ -250,7 +267,7 @@ func (s *Simulator) Run() error {
 	}
 	s.running = true
 	defer func() { s.running = false }()
-	for len(s.queue) > 0 {
+	for s.stopErr == nil && len(s.queue) > 0 {
 		// Peek without popping so a horizon stop leaves the event
 		// pending.
 		next := s.queue[0]
@@ -262,6 +279,12 @@ func (s *Simulator) Run() error {
 			return ErrHorizon
 		}
 		s.Step()
+	}
+	// An interrupt is honoured even when the interrupting event was
+	// the last one queued; the stop reason is consumed either way.
+	if err := s.stopErr; err != nil {
+		s.stopErr = nil
+		return err
 	}
 	return nil
 }
@@ -300,6 +323,7 @@ func (s *Simulator) Reset() {
 	s.now = 0
 	s.seq = 0
 	s.steps = 0
+	s.stopErr = nil
 	s.freeHits = 0
 	s.freeMisses = 0
 	s.maxDepth = 0

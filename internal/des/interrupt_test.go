@@ -1,0 +1,57 @@
+package des
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInterruptStopsRun(t *testing.T) {
+	s := New()
+	var ran []int
+	s.At(1, func() { ran = append(ran, 1) })
+	s.At(2, func() {
+		ran = append(ran, 2)
+		s.Interrupt(nil)
+	})
+	s.At(3, func() { ran = append(ran, 3) })
+
+	err := s.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("Run returned %v, want ErrInterrupted", err)
+	}
+	if len(ran) != 2 || ran[1] != 2 {
+		t.Fatalf("executed events %v, want [1 2]", ran)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d, want the interrupted event still queued", s.Pending())
+	}
+}
+
+func TestInterruptCustomError(t *testing.T) {
+	sentinel := errors.New("stop it")
+	s := New()
+	s.At(1, func() { s.Interrupt(sentinel) })
+	if err := s.Run(); !errors.Is(err, sentinel) {
+		t.Fatalf("Run returned %v, want the custom error", err)
+	}
+	// The stop reason is consumed: a further Run drains normally.
+	s.At(2, func() {})
+	if err := s.Run(); err != nil {
+		t.Fatalf("second Run: %v", err)
+	}
+}
+
+func TestResetClearsInterrupt(t *testing.T) {
+	s := New()
+	s.At(1, func() { s.Interrupt(nil) })
+	s.Interrupt(nil) // armed before Run even starts
+	s.Reset()
+	done := false
+	s.At(1, func() { done = true })
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run after Reset: %v", err)
+	}
+	if !done {
+		t.Fatal("event after Reset did not run")
+	}
+}

@@ -1,0 +1,262 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"reassign/internal/api"
+)
+
+func testTraceConfig(seed int64) TraceConfig {
+	return TraceConfig{
+		Seed:    seed,
+		Horizon: 400,
+		Tenants: []TenantSpec{
+			{
+				Name: "batch", Rate: 0.02, Shape: ShapePoisson,
+				Workflows: []api.WorkflowSpec{
+					{Synthetic: &api.SyntheticSpec{Family: "montage", Nodes: 12, Seed: 1}},
+				},
+			},
+			{
+				Name: "bursty", Rate: 0.02, Shape: ShapeBurst, DeadlineFactor: 4,
+				Workflows: []api.WorkflowSpec{
+					{Synthetic: &api.SyntheticSpec{Family: "cybershake", Nodes: 10, Seed: 2}},
+				},
+			},
+			{
+				Name: "diurnal", Rate: 0.015, Shape: ShapeDiurnal, DeadlineFactor: 2,
+				Workflows: []api.WorkflowSpec{
+					{Synthetic: &api.SyntheticSpec{Family: "montage", Nodes: 12, Seed: 1}},
+					{Synthetic: &api.SyntheticSpec{Family: "inspiral", Nodes: 10, Seed: 3}},
+				},
+			},
+		},
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testTraceConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testTraceConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	if len(a.Arrivals) == 0 {
+		t.Fatal("trace has no arrivals")
+	}
+	c, err := Generate(testTraceConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Arrivals, c.Arrivals) {
+		t.Fatal("different seeds produced identical arrivals")
+	}
+	// Arrivals are time-ordered and stay inside the horizon.
+	for i, arr := range a.Arrivals {
+		if arr.At < 0 || arr.At >= a.Horizon {
+			t.Fatalf("arrival %s at %v outside horizon %v", arr.ID, arr.At, a.Horizon)
+		}
+		if i > 0 && arr.At < a.Arrivals[i-1].At {
+			t.Fatalf("arrivals out of order at %d", i)
+		}
+	}
+	// The shared montage spec is deduped into one catalog entry.
+	if len(a.Workflows) != 3 {
+		t.Fatalf("catalog has %d entries, want 3 (deduped)", len(a.Workflows))
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []func(*TraceConfig){
+		func(c *TraceConfig) { c.Horizon = 0 },
+		func(c *TraceConfig) { c.Tenants = nil },
+		func(c *TraceConfig) { c.Tenants[0].Name = "" },
+		func(c *TraceConfig) { c.Tenants[0].Name = c.Tenants[1].Name },
+		func(c *TraceConfig) { c.Tenants[0].Rate = -1 },
+		func(c *TraceConfig) { c.Tenants[0].Shape = "square" },
+		func(c *TraceConfig) { c.Tenants[0].Workflows = nil },
+		func(c *TraceConfig) { c.Tenants[0].Workflows = []api.WorkflowSpec{{Format: "dax"}} },
+		func(c *TraceConfig) { c.Tenants[0].DeadlineFactor = -2 },
+		func(c *TraceConfig) { c.Tenants[0].Amplitude = 1.5 },
+	}
+	for i, mutate := range cases {
+		cfg := testTraceConfig(1)
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr, err := Generate(testTraceConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, &back) {
+		t.Fatal("trace changed across JSON round trip")
+	}
+}
+
+func TestRunLanesBitIdentical(t *testing.T) {
+	tr, err := Generate(testTraceConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LaneConfig{
+		Fleet:    api.FleetSpec{Preset: "table1", VCPUs: 16},
+		Slots:    2,
+		Episodes: 4,
+	}
+	a, err := RunLanes(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLanes(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole rendered report — every fairness, SLA and wait figure
+	// for every lane — must match byte for byte.
+	if a.String() != b.String() {
+		t.Fatal("same trace produced different reports")
+	}
+	if a.TSV() != b.TSV() {
+		t.Fatal("same trace produced different TSV reports")
+	}
+	if len(a.Lanes) != len(AllPolicies()) {
+		t.Fatalf("got %d lanes, want %d", len(a.Lanes), len(AllPolicies()))
+	}
+	for _, lane := range a.Lanes {
+		if lane.Makespan <= 0 {
+			t.Fatalf("lane %s has non-positive makespan", lane.Policy)
+		}
+		if len(lane.Outcomes) != len(tr.Arrivals) {
+			t.Fatalf("lane %s served %d of %d jobs", lane.Policy, len(lane.Outcomes), len(tr.Arrivals))
+		}
+		for _, o := range lane.Outcomes {
+			if o.Start < o.Arrival {
+				t.Fatalf("lane %s job %s started before it arrived", lane.Policy, o.ID)
+			}
+			if o.Service <= 0 {
+				t.Fatalf("lane %s job %s has non-positive service", lane.Policy, o.ID)
+			}
+		}
+		if lane.Jain <= 0 || lane.Jain > 1+1e-9 {
+			t.Fatalf("lane %s Jain index %v outside (0,1]", lane.Policy, lane.Jain)
+		}
+		if lane.MaxMin < 0 || lane.MaxMin > 1+1e-9 {
+			t.Fatalf("lane %s max-min ratio %v outside [0,1]", lane.Policy, lane.MaxMin)
+		}
+	}
+}
+
+// TestLaneSlotConcurrency checks the queueing mechanics directly: with
+// one slot everything serialises; with many slots jobs that arrived
+// while the server was busy start earlier.
+func TestLaneSlotConcurrency(t *testing.T) {
+	tr, err := Generate(testTraceConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := RunLanes(tr, LaneConfig{
+		Fleet: api.FleetSpec{Preset: "table1", VCPUs: 16},
+		Slots: 1, Episodes: 2, Policies: []Policy{PolicyGreedy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunLanes(tr, LaneConfig{
+		Fleet: api.FleetSpec{Preset: "table1", VCPUs: 16},
+		Slots: 8, Episodes: 2, Policies: []Policy{PolicyGreedy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Lanes[0].Makespan < many.Lanes[0].Makespan {
+		t.Fatalf("one slot (%v) finished before eight (%v)",
+			one.Lanes[0].Makespan, many.Lanes[0].Makespan)
+	}
+	// Serialised: no two jobs overlap.
+	outs := one.Lanes[0].Outcomes
+	for i := 1; i < len(outs); i++ {
+		if outs[i].Start < outs[i-1].Finish-1e-9 {
+			t.Fatalf("single-slot lane overlapped jobs %s and %s", outs[i-1].ID, outs[i].ID)
+		}
+	}
+}
+
+// TestEDFOrdersByDeadline pins the EDF queue discipline: with one
+// slot and a backlog, the deadline-carrying jobs dispatch before
+// deadline-free ones that arrived earlier.
+func TestEDFOrdersByDeadline(t *testing.T) {
+	spec := api.WorkflowSpec{Synthetic: &api.SyntheticSpec{Family: "montage", Nodes: 10, Seed: 1}}
+	tr := &Trace{
+		Seed:      1,
+		Horizon:   100,
+		Workflows: []api.WorkflowSpec{spec},
+		Arrivals: []Arrival{
+			// j0 occupies the slot; j1 (no deadline) arrives before j2
+			// (tight deadline) — EDF must run j2 first, FIFO must not.
+			{ID: "j0", Tenant: "a", At: 0, Workflow: 0, Seed: 1},
+			{ID: "j1", Tenant: "a", At: 1, Workflow: 0, Seed: 2},
+			{ID: "j2", Tenant: "b", At: 2, Workflow: 0, DeadlineFactor: 2, Seed: 3},
+		},
+	}
+	cfg := LaneConfig{
+		Fleet: api.FleetSpec{Preset: "table1", VCPUs: 16},
+		Slots: 1, Policies: []Policy{PolicyEDF, PolicyGreedy},
+	}
+	rep, err := RunLanes(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(lane LaneReport, id string) JobOutcome {
+		for _, o := range lane.Outcomes {
+			if o.ID == id {
+				return o
+			}
+		}
+		t.Fatalf("no outcome %s", id)
+		return JobOutcome{}
+	}
+	edf, fifo := rep.Lanes[0], rep.Lanes[1]
+	if !(find(edf, "j2").Start < find(edf, "j1").Start) {
+		t.Fatal("EDF did not prioritise the deadline job")
+	}
+	if !(find(fifo, "j1").Start < find(fifo, "j2").Start) {
+		t.Fatal("greedy lane did not dispatch FIFO")
+	}
+}
+
+func TestFairnessMetrics(t *testing.T) {
+	if j := jainIndex([]float64{1, 1, 1}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal attainment: Jain = %v, want 1", j)
+	}
+	// One active tenant among four: Jain collapses to 1/n.
+	if j := jainIndex([]float64{1, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("single-tenant attainment: Jain = %v, want 0.25", j)
+	}
+	if r := maxMinRatio([]float64{2, 1, 4}); math.Abs(r-0.25) > 1e-12 {
+		t.Fatalf("max-min = %v, want 0.25", r)
+	}
+	if jainIndex(nil) != 0 || maxMinRatio(nil) != 0 {
+		t.Fatal("empty attainment should report 0")
+	}
+}

@@ -20,11 +20,12 @@ import (
 // done/failed/canceled. The mutable state behind mu is what status()
 // snapshots for the API.
 type job struct {
-	id    string
-	req   api.SubmitRequest
-	w     *dag.Workflow
-	fleet *cloud.Fleet
-	sig   string
+	id     string
+	req    api.SubmitRequest
+	tenant string // normalised accounting label (empty → "default")
+	w      *dag.Workflow
+	fleet  *cloud.Fleet
+	sig    string
 
 	mu         sync.Mutex
 	state      string
@@ -33,13 +34,14 @@ type job struct {
 	finishedAt time.Time
 	cancelRun  context.CancelFunc
 
-	cacheHit     bool
-	episodes     int
-	learnSeconds float64
-	plan         *api.PlanDocument
-	prov         []provenance.Execution
-	execMakespan float64
-	err          *api.Error
+	cacheHit       bool
+	episodes       int
+	learnSeconds   float64
+	plan           *api.PlanDocument
+	prov           []provenance.Execution
+	execMakespan   float64
+	deadlineMissed bool
+	err            *api.Error
 }
 
 // finished reports whether the job reached a terminal state.
@@ -72,6 +74,9 @@ func (j *job) status() *api.JobStatus {
 		Plan:                j.plan,
 		Provenance:          j.prov,
 		ExecMakespanSeconds: j.execMakespan,
+		Tenant:              j.req.Tenant,
+		DeadlineSeconds:     j.req.DeadlineSeconds,
+		DeadlineMissed:      j.deadlineMissed,
 		Error:               j.err,
 	}
 	if !j.started.IsZero() {
@@ -101,6 +106,7 @@ func (s *Server) runJob(j *job) {
 	j.cancelRun = cancel
 	j.mu.Unlock()
 	defer cancel()
+	s.tenants.started(j.tenant)
 
 	s.inflight.Add(1)
 	err := s.execute(ctx, j)
@@ -121,6 +127,10 @@ func (s *Server) runJob(j *job) {
 	}
 	state := j.state
 	latency := now.Sub(j.submitted).Seconds()
+	deadline := j.req.DeadlineSeconds
+	if deadline > 0 && latency > deadline {
+		j.deadlineMissed = true
+	}
 	j.mu.Unlock()
 
 	switch state {
@@ -131,9 +141,8 @@ func (s *Server) runJob(j *job) {
 	default:
 		s.failed.Add(1)
 	}
-	s.mu.Lock()
-	s.latencies = append(s.latencies, latency)
-	s.mu.Unlock()
+	s.recordLatency(latency)
+	s.tenants.finished(j.tenant, state, latency, deadline, true)
 }
 
 // execute runs the job's pipeline: replay a submitted plan, or learn
@@ -150,11 +159,13 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 	var doc *api.PlanDocument
 	if req.Plan != nil {
 		// Replay path: the plan was validated at submission; simulate it
-		// for its makespan.
+		// for its makespan. The run carries the job's context, so cancel
+		// (and daemon shutdown) aborts a replay mid-simulation instead
+		// of blocking until it finishes.
 		eng, err := s.pool.Acquire(j.w, j.fleet, &sched.Plan{
 			PlanName: "submitted",
 			Assign:   req.Plan.Plan.Map(),
-		}, sim.Config{Seed: req.Seed, Fluct: fluct, Sink: s.agg})
+		}, sim.Config{Seed: req.Seed, Fluct: fluct, Sink: s.agg, Ctx: ctx})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,334 @@
+package schedd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"reassign/internal/api"
+	"reassign/internal/core"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+)
+
+// TestSubmitRollbackStorm hammers a full admission queue with
+// concurrent submissions while accepted jobs keep registering. The
+// old rollback blindly truncated the order slice's tail, so a
+// rejected submission racing an accepted one could orphan the
+// accepted job's registry entry; removal by ID keeps the registry
+// consistent. Run with -race to catch the interleaving.
+func TestSubmitRollbackStorm(t *testing.T) {
+	// A tight queue with workers actively draining it: slots free up
+	// mid-storm, so a submission can register, lose its slot to a
+	// later-registered one, and roll back while the winner sits at the
+	// registry tail — exactly the interleaving blind truncation
+	// corrupts.
+	s, url := newTestServer(t, Config{Workers: 2, QueueDepth: 1})
+
+	tiny := func(seed int64) api.SubmitRequest {
+		req := smallJob(seed)
+		req.Workflow = api.WorkflowSpec{Synthetic: &api.SyntheticSpec{Family: "montage", Nodes: 10, Seed: 1}}
+		req.Learn = api.LearnSpec{Episodes: 1}
+		return req
+	}
+	const storm = 64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var accepted []string
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			st, r := submit(t, url, tiny(seed))
+			if st != nil {
+				mu.Lock()
+				accepted = append(accepted, st.ID)
+				mu.Unlock()
+			} else if r.StatusCode != http.StatusTooManyRequests {
+				t.Errorf("rejection was HTTP %d, want 429", r.StatusCode)
+			}
+		}(int64(i))
+	}
+	wg.Wait()
+
+	// Registry integrity: order and jobs agree exactly, no duplicates,
+	// no dangling IDs, and every accepted job is still registered.
+	s.mu.Lock()
+	if len(s.order) != len(s.jobs) {
+		s.mu.Unlock()
+		t.Fatalf("order has %d entries, jobs map %d", len(s.order), len(s.jobs))
+	}
+	seen := make(map[string]bool, len(s.order))
+	for _, id := range s.order {
+		if seen[id] {
+			s.mu.Unlock()
+			t.Fatalf("duplicate id %s in order", id)
+		}
+		seen[id] = true
+		if s.jobs[id] == nil {
+			s.mu.Unlock()
+			t.Fatalf("order references unregistered job %s", id)
+		}
+	}
+	s.mu.Unlock()
+	for _, id := range accepted {
+		if st := getStatus(t, url, id); st.ID != id {
+			t.Fatalf("accepted job %s lost from registry", id)
+		}
+	}
+	if want := int64(storm - len(accepted)); s.rejected.Load() != want {
+		t.Fatalf("rejected counter %d, want %d", s.rejected.Load(), want)
+	}
+}
+
+// TestSubmitRollbackInterleaved forces the exact interleaving the
+// storm only hits probabilistically: submission R registers first,
+// then stalls while submission A registers behind it and wins the
+// last queue slot; R is rejected and rolls back. The old blind tail
+// truncation removed A's registry entry instead of R's, leaving R
+// dangling in the order slice.
+func TestSubmitRollbackInterleaved(t *testing.T) {
+	// No workers started: the queue (depth 1) is never drained, so
+	// whoever sends first wins the only slot.
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rStalled := make(chan struct{})
+	release := make(chan struct{})
+	var claimed atomic.Bool
+	s.testSubmitHook = func(*job) {
+		// Only the first submission (R) stalls; A passes straight
+		// through to the queue send (a sync.Once would block A until
+		// R's stalled hook returned).
+		if claimed.CompareAndSwap(false, true) {
+			close(rStalled)
+			<-release
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var rResp submitResp
+	go func() {
+		defer wg.Done()
+		_, rResp = submit(t, ts.URL, smallJob(1))
+	}()
+	<-rStalled
+
+	// A registers behind R and takes the slot.
+	a, resp := submit(t, ts.URL, smallJob(2))
+	if a == nil {
+		t.Fatalf("second submit rejected: HTTP %d", resp.StatusCode)
+	}
+	close(release)
+	wg.Wait()
+	if rResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("stalled submit: HTTP %d, want 429", rResp.StatusCode)
+	}
+
+	// R's rollback must have removed R, not A.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.order) != 1 || s.order[0] != a.ID {
+		t.Fatalf("order = %v, want exactly the accepted job %s", s.order, a.ID)
+	}
+	if s.jobs[a.ID] == nil {
+		t.Fatalf("accepted job %s missing from registry", a.ID)
+	}
+	if len(s.jobs) != 1 {
+		t.Fatalf("registry holds %d jobs, want 1", len(s.jobs))
+	}
+}
+
+// TestCancelDuringReplay pins the replay path's cancellation: a plan
+// replay whose context is already canceled must abort inside the
+// simulation with context.Canceled instead of running to completion.
+// Before the fix the replay ignored its context entirely.
+func TestCancelDuringReplay(t *testing.T) {
+	s := New(Config{})
+	req := smallJob(1)
+	w, err := req.Workflow.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := req.Fleet.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &sched.HEFT{}
+	if _, err := sim.Run(w, fleet, h, sim.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	req.Plan = api.NewPlanDocument(w.Name, fleet.Name, 1, core.NewPlan(h.Assign()))
+
+	j := &job{id: "replay", req: req, tenant: DefaultTenant, w: w, fleet: fleet,
+		state: api.StateQueued, submitted: time.Now()}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.execute(ctx, j); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled replay returned %v, want context.Canceled", err)
+	}
+
+	// An uncanceled context replays normally.
+	if err := s.execute(context.Background(), j); err != nil {
+		t.Fatalf("live replay failed: %v", err)
+	}
+}
+
+func TestLatencyRingBounds(t *testing.T) {
+	r := newLatencyRing(4)
+	for i := 0; i < 10; i++ {
+		r.add(float64(i))
+	}
+	if r.n() != 4 {
+		t.Fatalf("ring holds %d samples, want 4", r.n())
+	}
+	got := r.snapshot(nil)
+	sum := 0.0
+	for _, v := range got {
+		sum += v
+	}
+	// The last four samples are 6..9 regardless of storage order.
+	if sum != 6+7+8+9 {
+		t.Fatalf("ring kept %v, want the newest four samples", got)
+	}
+}
+
+// TestLatencyWindowBounded runs more jobs than the configured window
+// and checks the daemon retains only the window (the old unbounded
+// slice grew forever in a long-lived daemon).
+func TestLatencyWindowBounded(t *testing.T) {
+	s, url := newTestServer(t, Config{Workers: 2, LatencyWindow: 3})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		st, resp := submit(t, url, smallJob(int64(i)))
+		if st == nil {
+			t.Fatalf("submit %d rejected: HTTP %d", i, resp.StatusCode)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		waitDone(t, url, id)
+	}
+	s.mu.Lock()
+	n := s.lat.n()
+	s.mu.Unlock()
+	if n != 3 {
+		t.Fatalf("latency window holds %d samples, want 3", n)
+	}
+	// /metrics still summarises the window.
+	body := fetchMetrics(t, url)
+	if !strings.Contains(body, "schedd_job_latency_seconds_p50") {
+		t.Fatal("latency summary missing from /metrics")
+	}
+}
+
+// TestOversizedBody413 pins the typed over-limit error: a body beyond
+// MaxBodyBytes must return 413 with CodeTooLarge, not a generic 400.
+func TestOversizedBody413(t *testing.T) {
+	_, url := newTestServer(t, Config{Workers: 1, MaxBodyBytes: 256})
+	// Valid JSON longer than the limit, so the decoder is reading
+	// clean syntax when the byte cap trips mid-stream.
+	blob := []byte(`{"pad":"` + strings.Repeat("x", 512) + `"}`)
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: HTTP %d, want 413", resp.StatusCode)
+	}
+	var apiErr api.Error
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	if apiErr.Code != api.CodeTooLarge {
+		t.Fatalf("error code %q, want %q", apiErr.Code, api.CodeTooLarge)
+	}
+}
+
+func TestNegativeDeadlineRejected(t *testing.T) {
+	_, url := newTestServer(t, Config{Workers: 1})
+	req := smallJob(1)
+	req.DeadlineSeconds = -5
+	st, resp := submit(t, url, req)
+	if st != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative deadline: HTTP %d, want 400", resp.StatusCode)
+	}
+	if resp.Err == nil || resp.Err.Field != "deadline_seconds" {
+		t.Fatalf("error body %+v", resp.Err)
+	}
+}
+
+// TestTenantTracking submits jobs under named tenants with deadline
+// hints and checks the per-tenant accounting: JobStatus echoes the
+// tenant and deadline outcome, and /metrics exports labeled series.
+func TestTenantTracking(t *testing.T) {
+	s, url := newTestServer(t, Config{Workers: 2})
+
+	acme := smallJob(1)
+	acme.Tenant = "acme"
+	acme.DeadlineSeconds = 1e-9 // unmeetable: any real run overshoots
+	a, resp := submit(t, url, acme)
+	if a == nil {
+		t.Fatalf("acme submit rejected: HTTP %d", resp.StatusCode)
+	}
+	b, resp := submit(t, url, smallJob(2)) // anonymous → "default"
+	if b == nil {
+		t.Fatalf("default submit rejected: HTTP %d", resp.StatusCode)
+	}
+
+	aDone := waitDone(t, url, a.ID)
+	waitDone(t, url, b.ID)
+	if aDone.Tenant != "acme" || aDone.DeadlineSeconds != 1e-9 {
+		t.Fatalf("status lost tenant/deadline: %+v", aDone)
+	}
+	if !aDone.DeadlineMissed {
+		t.Fatal("nanosecond deadline should be missed")
+	}
+
+	body := fetchMetrics(t, url)
+	for _, want := range []string{
+		`schedd_tenant_jobs_submitted_total{tenant="acme"} 1`,
+		`schedd_tenant_jobs_submitted_total{tenant="default"} 1`,
+		`schedd_tenant_jobs_completed_total{tenant="acme"} 1`,
+		`schedd_tenant_deadline_misses_total{tenant="acme"} 1`,
+		`schedd_tenant_jobs_running{tenant="acme"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	// Gauges settled back to zero.
+	s.tenants.mu.Lock()
+	for name, ts := range s.tenants.tenants {
+		if ts.queued != 0 || ts.running != 0 {
+			t.Errorf("tenant %s gauges not settled: queued=%d running=%d", name, ts.queued, ts.running)
+		}
+	}
+	s.tenants.mu.Unlock()
+}
+
+func fetchMetrics(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}

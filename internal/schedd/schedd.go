@@ -29,6 +29,7 @@ package schedd
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -61,6 +62,10 @@ type Config struct {
 	// DefaultEpisodes applies when a submission leaves Episodes zero
 	// (default core.DefaultEpisodes via the learner).
 	DefaultEpisodes int
+	// LatencyWindow bounds the retained submit→finish latency samples
+	// (global and per tenant) feeding the /metrics percentiles; older
+	// samples are overwritten (default 8192).
+	LatencyWindow int
 }
 
 func (c *Config) defaults() {
@@ -79,6 +84,9 @@ func (c *Config) defaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
 	}
+	if c.LatencyWindow <= 0 {
+		c.LatencyWindow = 8192
+	}
 }
 
 // Server is the daemon: an admission queue, a worker pool, the warm
@@ -92,10 +100,12 @@ type Server struct {
 	pool  *sim.Pool
 	agg   *telemetry.Aggregator
 
-	mu        sync.Mutex
-	jobs      map[string]*job
-	order     []string  // submission order, for listing and eviction
-	latencies []float64 // submit→finish seconds of finished jobs
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string     // submission order, for listing and eviction
+	lat   *latencyRing // submit→finish seconds, bounded to LatencyWindow
+
+	tenants *tenantTracker
 
 	seq       atomic.Int64
 	submitted atomic.Int64
@@ -113,6 +123,10 @@ type Server struct {
 	// testHook, when set (tests only), runs at the start of every
 	// job's execution — a seam for holding workers to fill the queue.
 	testHook func(*job)
+	// testSubmitHook, when set (tests only), runs between a
+	// submission's registry insert and its queue send — the window
+	// where a concurrent submission can register behind it.
+	testSubmitHook func(*job)
 }
 
 // New builds a stopped server; Start launches the worker pool.
@@ -126,6 +140,8 @@ func New(cfg Config) *Server {
 		pool:    sim.NewPool(),
 		agg:     telemetry.NewAggregator(),
 		jobs:    make(map[string]*job),
+		lat:     newLatencyRing(cfg.LatencyWindow),
+		tenants: newTenantTracker(cfg.LatencyWindow),
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
@@ -203,6 +219,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req api.SubmitRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		// An oversized body surfaces as *http.MaxBytesError mid-decode;
+		// that is a 413 with its own code (the client must shrink the
+		// document, not fix its syntax), not a generic 400.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeErr(w, api.Errorf(api.CodeTooLarge, "",
+				"request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeErr(w, api.Errorf(api.CodeBadRequest, "", "decoding request: %v", err))
 		return
 	}
@@ -218,6 +243,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Learn.Replicas < 0 {
 		writeErr(w, api.Errorf(api.CodeBadRequest, "learn.replicas",
 			"negative replica count %d", req.Learn.Replicas))
+		return
+	}
+	if req.DeadlineSeconds < 0 {
+		writeErr(w, api.Errorf(api.CodeBadRequest, "deadline_seconds",
+			"negative deadline %v", req.DeadlineSeconds))
 		return
 	}
 	// Build the inputs synchronously so malformed documents fail the
@@ -243,6 +273,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := &job{
 		id:        fmt.Sprintf("j%06d", s.seq.Add(1)),
 		req:       req,
+		tenant:    tenantLabel(req.Tenant),
 		w:         wf,
 		fleet:     fleet,
 		sig:       api.StructureSignature(wf, fleet),
@@ -255,15 +286,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.evictLocked()
 	s.mu.Unlock()
 
+	if s.testSubmitHook != nil {
+		s.testSubmitHook(j)
+	}
 	select {
 	case s.queue <- j:
 		s.submitted.Add(1)
+		s.tenants.enqueued(j.tenant)
 		writeJSON(w, http.StatusAccepted, j.status())
 	default:
 		s.rejected.Add(1)
+		s.tenants.rejected(j.tenant)
+		// Roll back the registration by removing this job's own ID. The
+		// registry lock was released between registration and the queue
+		// send, so concurrent submissions may have appended behind us —
+		// blindly truncating the tail here would orphan one of *their*
+		// IDs (and leak this one).
 		s.mu.Lock()
 		delete(s.jobs, j.id)
-		s.order = s.order[:len(s.order)-1]
+		for i := len(s.order) - 1; i >= 0; i-- {
+			if s.order[i] == j.id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
 		s.mu.Unlock()
 		writeErr(w, api.Errorf(api.CodeQueueFull, "",
 			"admission queue full (%d queued); retry later", s.cfg.QueueDepth))
@@ -333,8 +379,12 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		j.state = api.StateCanceled
 		j.finishedAt = time.Now()
 		j.err = api.Errorf(api.CodeCanceled, "", "canceled while queued")
+		latency := j.finishedAt.Sub(j.submitted).Seconds()
+		deadline := j.req.DeadlineSeconds
 		j.mu.Unlock()
 		s.canceled.Add(1)
+		s.recordLatency(latency)
+		s.tenants.finished(j.tenant, api.StateCanceled, latency, deadline, false)
 	case api.StateRunning:
 		cancel := j.cancelRun
 		j.mu.Unlock()
@@ -348,6 +398,14 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
+}
+
+// recordLatency adds one submit→finish sample to the bounded global
+// window.
+func (s *Server) recordLatency(seconds float64) {
+	s.mu.Lock()
+	s.lat.add(seconds)
+	s.mu.Unlock()
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -365,7 +423,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.agg.Snapshot().WriteProm(w)
 
 	s.mu.Lock()
-	lat := metrics.Summarize(s.latencies)
+	lat := metrics.Summarize(s.lat.snapshot(nil))
 	s.mu.Unlock()
 	hits, misses := s.cache.stats()
 	reused, fresh := s.pool.Stats()
@@ -397,4 +455,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("schedd_job_latency_seconds_mean", "Submit-to-finish latency (mean)", lat.Mean)
 		gauge("schedd_job_latency_seconds_max", "Submit-to-finish latency (max)", lat.Max)
 	}
+	s.tenants.writeProm(w)
 }

@@ -1,0 +1,223 @@
+package schedd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"reassign/internal/api"
+	"reassign/internal/metrics"
+)
+
+// latencyRing is a bounded window over the most recent latency
+// samples. The daemon used to append every finish to an unbounded
+// slice — harmless in a load test, a slow leak in a long-running
+// service. The ring keeps the last cap(buf) samples: percentiles
+// become "over the recent window", which is also the more useful
+// operational quantity. Not safe for concurrent use; callers hold
+// their own lock.
+type latencyRing struct {
+	buf  []float64
+	next int // overwrite cursor once full
+}
+
+func newLatencyRing(window int) *latencyRing {
+	return &latencyRing{buf: make([]float64, 0, window)}
+}
+
+func (r *latencyRing) add(v float64) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v)
+		return
+	}
+	r.buf[r.next] = v
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+}
+
+// snapshot copies the window into dst (sample order is immaterial to
+// metrics.Summarize).
+func (r *latencyRing) snapshot(dst []float64) []float64 {
+	return append(dst[:0], r.buf...)
+}
+
+func (r *latencyRing) n() int { return len(r.buf) }
+
+// DefaultTenant is the accounting label for submissions that carry no
+// tenant.
+const DefaultTenant = "default"
+
+// tenantStats is one tenant's live accounting: lifecycle counters,
+// queue occupancy gauges, deadline outcomes and a bounded latency
+// window.
+type tenantStats struct {
+	submitted int64
+	completed int64
+	failed    int64
+	canceled  int64
+	rejected  int64
+
+	queued  int64
+	running int64
+
+	deadlineHits   int64
+	deadlineMisses int64
+
+	lat *latencyRing
+}
+
+// tenantTracker aggregates per-tenant series for /metrics. All
+// transitions take the tracker lock; the daemon's request rate is
+// nowhere near making that contended.
+type tenantTracker struct {
+	mu      sync.Mutex
+	window  int
+	tenants map[string]*tenantStats
+}
+
+func newTenantTracker(window int) *tenantTracker {
+	return &tenantTracker{window: window, tenants: make(map[string]*tenantStats)}
+}
+
+// tenantLabel normalises a submission's tenant for accounting.
+func tenantLabel(t string) string {
+	if t == "" {
+		return DefaultTenant
+	}
+	return t
+}
+
+func (tt *tenantTracker) get(name string) *tenantStats {
+	ts := tt.tenants[name]
+	if ts == nil {
+		ts = &tenantStats{lat: newLatencyRing(tt.window)}
+		tt.tenants[name] = ts
+	}
+	return ts
+}
+
+// enqueued records an accepted submission.
+func (tt *tenantTracker) enqueued(tenant string) {
+	tt.mu.Lock()
+	ts := tt.get(tenant)
+	ts.submitted++
+	ts.queued++
+	tt.mu.Unlock()
+}
+
+// rejected records a queue-full rejection.
+func (tt *tenantTracker) rejected(tenant string) {
+	tt.mu.Lock()
+	tt.get(tenant).rejected++
+	tt.mu.Unlock()
+}
+
+// started records a queued job beginning execution.
+func (tt *tenantTracker) started(tenant string) {
+	tt.mu.Lock()
+	ts := tt.get(tenant)
+	ts.queued--
+	ts.running++
+	tt.mu.Unlock()
+}
+
+// finished records a terminal state. ran distinguishes jobs settled
+// from running (worker finished or mid-run cancel) from jobs settled
+// straight out of the queue (canceled while queued). deadline is the
+// submission's SLA hint in seconds (0 = none).
+func (tt *tenantTracker) finished(tenant, state string, latency, deadline float64, ran bool) {
+	tt.mu.Lock()
+	ts := tt.get(tenant)
+	if ran {
+		ts.running--
+	} else {
+		ts.queued--
+	}
+	switch state {
+	case api.StateDone:
+		ts.completed++
+	case api.StateCanceled:
+		ts.canceled++
+	default:
+		ts.failed++
+	}
+	ts.lat.add(latency)
+	if deadline > 0 {
+		if latency <= deadline {
+			ts.deadlineHits++
+		} else {
+			ts.deadlineMisses++
+		}
+	}
+	tt.mu.Unlock()
+}
+
+// writeProm emits the per-tenant series in Prometheus text form, one
+// labeled sample per tenant per metric, tenants in sorted order so the
+// output is stable.
+func (tt *tenantTracker) writeProm(w io.Writer) {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if len(tt.tenants) == 0 {
+		return
+	}
+	names := make([]string, 0, len(tt.tenants))
+	for name := range tt.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	series := func(metric, typ, help string, value func(*tenantStats) (float64, bool)) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+		for _, name := range names {
+			if v, ok := value(tt.tenants[name]); ok {
+				fmt.Fprintf(w, "%s{tenant=%q} %v\n", metric, name, v)
+			}
+		}
+	}
+	count := func(v int64) (float64, bool) { return float64(v), true }
+	series("schedd_tenant_jobs_submitted_total", "counter", "Jobs admitted per tenant",
+		func(ts *tenantStats) (float64, bool) { return count(ts.submitted) })
+	series("schedd_tenant_jobs_completed_total", "counter", "Jobs finished successfully per tenant",
+		func(ts *tenantStats) (float64, bool) { return count(ts.completed) })
+	series("schedd_tenant_jobs_failed_total", "counter", "Jobs failed per tenant",
+		func(ts *tenantStats) (float64, bool) { return count(ts.failed) })
+	series("schedd_tenant_jobs_canceled_total", "counter", "Jobs canceled per tenant",
+		func(ts *tenantStats) (float64, bool) { return count(ts.canceled) })
+	series("schedd_tenant_jobs_rejected_total", "counter", "Queue-full rejections per tenant",
+		func(ts *tenantStats) (float64, bool) { return count(ts.rejected) })
+	series("schedd_tenant_jobs_queued", "gauge", "Jobs waiting in the admission queue per tenant",
+		func(ts *tenantStats) (float64, bool) { return count(ts.queued) })
+	series("schedd_tenant_jobs_running", "gauge", "Jobs executing per tenant",
+		func(ts *tenantStats) (float64, bool) { return count(ts.running) })
+	series("schedd_tenant_deadline_hits_total", "counter", "Jobs finished within their deadline hint per tenant",
+		func(ts *tenantStats) (float64, bool) { return count(ts.deadlineHits) })
+	series("schedd_tenant_deadline_misses_total", "counter", "Jobs that overran their deadline hint per tenant",
+		func(ts *tenantStats) (float64, bool) { return count(ts.deadlineMisses) })
+
+	// Latency percentiles over each tenant's bounded window.
+	sums := make(map[string]metrics.Summary, len(names))
+	for _, name := range names {
+		sums[name] = metrics.Summarize(tt.tenants[name].lat.snapshot(nil))
+	}
+	for _, m := range []struct {
+		suffix string
+		help   string
+		value  func(metrics.Summary) float64
+	}{
+		{"p50", "Per-tenant submit-to-finish latency (median, recent window)", func(s metrics.Summary) float64 { return s.P50 }},
+		{"p95", "Per-tenant submit-to-finish latency (95th percentile, recent window)", func(s metrics.Summary) float64 { return s.P95 }},
+		{"p99", "Per-tenant submit-to-finish latency (99th percentile, recent window)", func(s metrics.Summary) float64 { return s.P99 }},
+	} {
+		metric := "schedd_tenant_job_latency_seconds_" + m.suffix
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", metric, m.help, metric)
+		for _, name := range names {
+			if s := sums[name]; s.N > 0 {
+				fmt.Fprintf(w, "%s{tenant=%q} %v\n", metric, name, m.value(s))
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/trace"
+)
+
+// cancelHook cancels a context after N scheduling decisions — a
+// deterministic stand-in for an external cancel landing mid-run.
+type cancelHook struct {
+	after  int
+	cancel context.CancelFunc
+	seen   int
+}
+
+func (h *cancelHook) RunStart(*Env) RunHook { return h }
+func (h *cancelHook) Decision(float64, *Context) {
+	h.seen++
+	if h.seen == h.after {
+		h.cancel()
+	}
+}
+func (h *cancelHook) TaskReady(float64, *Task)                        {}
+func (h *cancelHook) TaskStart(float64, *Task, *VMState)              {}
+func (h *cancelHook) TaskFinish(float64, *Task, *VMState, bool, bool) {}
+func (h *cancelHook) TaskAbort(float64, *Task, *VMState)              {}
+func (h *cancelHook) TaskCancel(float64, *Task)                       {}
+func (h *cancelHook) VMAdded(float64, *VMState)                       {}
+func (h *cancelHook) VMRetired(float64, *VMState)                     {}
+func (h *cancelHook) VMRevoked(float64, *VMState)                     {}
+func (h *cancelHook) RunEnd(*Result)                                  {}
+
+func cancelTestProblem(t *testing.T) (*Engine, *cancelHook, context.Context) {
+	t.Helper()
+	w := trace.Montage50(rand.New(rand.NewSource(1)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	h := &cancelHook{after: 3, cancel: cancel}
+	eng, err := NewEngine(w, fleet, &greedyFirst{}, Config{Ctx: ctx, Hook: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, h, ctx
+}
+
+func TestRunCanceledMidRun(t *testing.T) {
+	eng, h, _ := cancelTestProblem(t)
+	_, err := eng.Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if h.seen < h.after {
+		t.Fatalf("hook saw %d decisions, cancel never fired", h.seen)
+	}
+	// The cancel is observed at the next scheduling cycle, not at the
+	// end of the workflow: the run must abort well short of Montage50's
+	// full decision count.
+	if h.seen > h.after+1 {
+		t.Fatalf("run kept scheduling after cancel: %d decisions", h.seen)
+	}
+}
+
+func TestRunPreCanceled(t *testing.T) {
+	w := trace.Montage50(rand.New(rand.NewSource(1)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Run(w, fleet, &greedyFirst{}, Config{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestResetAfterCancel pins the recovery path the daemon's engine
+// pool relies on: an interrupted engine, once Reset with a live
+// config, runs to completion with results identical to a fresh one.
+func TestResetAfterCancel(t *testing.T) {
+	eng, _, _ := cancelTestProblem(t)
+	if _, err := eng.Run(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first run: %v, want context.Canceled", err)
+	}
+	if err := eng.Reset(Config{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != FinishedOK {
+		t.Fatalf("reset run ended %v", res.State)
+	}
+
+	w := trace.Montage50(rand.New(rand.NewSource(1)))
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(w, fleet, &greedyFirst{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != fresh.Makespan {
+		t.Fatalf("reset-after-cancel makespan %v != fresh %v", res.Makespan, fresh.Makespan)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -102,6 +103,11 @@ type Config struct {
 	// lifecycle, VM churn, scheduling decisions) for invariant auditing.
 	// Nil keeps every call site a single pointer comparison.
 	Hook Hook
+	// Ctx, when non-nil, cancels the run: the engine checks it at every
+	// scheduling cycle and aborts with the context's error, so callers
+	// serving remote cancellation (the schedd daemon) are not held
+	// hostage by a long simulation. Nil keeps the hot path untouched.
+	Ctx context.Context
 }
 
 // Env provides estimation helpers and live aggregates to schedulers.
@@ -717,6 +723,14 @@ func (g *Engine) workflowState() WorkflowState {
 // cycle invokes the scheduler while the workflow stays Available and
 // the scheduler keeps making progress.
 func (g *Engine) cycle() {
+	if g.cfg.Ctx != nil {
+		if err := g.cfg.Ctx.Err(); err != nil {
+			// Stop the kernel before the next event; Run surfaces the
+			// context error (errors.Is-able as context.Canceled etc.).
+			g.sim.Interrupt(err)
+			return
+		}
+	}
 	g.autoscaleStep()
 	if booted := g.bootedCount(); booted > g.peakBooted {
 		g.peakBooted = booted
