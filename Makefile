@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race race-replicas race-exec exec-smoke schedd-smoke loadgen-smoke bench benchsmoke benchsmoke-large exec-bench-smoke guard test build vet audit fuzz-smoke
+.PHONY: check race race-replicas race-exec exec-smoke schedd-smoke loadgen-smoke market-smoke bench benchsmoke benchsmoke-large exec-bench-smoke guard test build vet audit fuzz-smoke
 
 ## check: vet, build, and test everything (the tier-1 gate)
 check: vet build test
@@ -56,6 +56,16 @@ loadgen-smoke:
 	$(GO) build -race -o bin/schedd ./cmd/schedd
 	$(GO) build -o bin/schedload ./cmd/schedload
 	bash scripts/loadgen_smoke.sh ./bin
+
+## market-smoke: end-to-end smoke of the spot-market subsystem:
+## generate a hostile trace (bit-identical across two runs), replay it
+## through the audited simulator, then through the exec master under
+## both market policies, asserting notice-reactive pays no more than
+## reactive-only
+market-smoke:
+	mkdir -p bin
+	$(GO) build -o bin/reassign ./cmd/reassign
+	bash scripts/market_smoke.sh ./bin
 
 ## bench: run the benchmark trajectory and record BENCH_core.json
 bench:

@@ -237,3 +237,14 @@ func BenchmarkOpenSystem(b *testing.B) {
 	b.Run("3tenants", benchsuite.OpenSystem(3))
 	b.Run("6tenants", benchsuite.OpenSystem(6))
 }
+
+// BenchmarkMarketPlayback is the spot-market tier: the step-function
+// price integration behind every bill, and a full execution replay
+// with a hostile trace feeding preemption notices, kills and health
+// degradations into the master. The gap between exec-200x16 here and
+// the market-free InProc ceiling is the cost of
+// cordon/drain/remediate.
+func BenchmarkMarketPlayback(b *testing.B) {
+	b.Run("cost", benchsuite.MarketCost())
+	b.Run("exec-200x16", benchsuite.MarketExec(200))
+}

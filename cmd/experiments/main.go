@@ -39,7 +39,7 @@ func run() (err error) {
 	replicas := flag.Int("replicas", 1, "parallel learning replicas per configuration (best plan wins)")
 	ablations := flag.Bool("ablations", false, "run the ablation suite instead of Tables I-V")
 	baselines := flag.Bool("baselines", false, "run the wider baseline comparison")
-	studies := flag.Bool("studies", false, "run the beyond-paper studies (elasticity, spot revocations)")
+	studies := flag.Bool("studies", false, "run the beyond-paper studies (elasticity, spot revocations, open system, market frontier)")
 	curves := flag.String("curves", "", "write ReASSIgN learning curves (SVG) to this file and exit")
 	reportPath := flag.String("report", "", "write a self-contained HTML report (all tables + figures) and exit")
 	outDir := flag.String("out", "", "also write TSV files to this directory")
@@ -233,7 +233,14 @@ func run() (err error) {
 		if err != nil {
 			return err
 		}
-		return emit("study_open_system", osys)
+		if err := emit("study_open_system", osys); err != nil {
+			return err
+		}
+		mf, err := expt.StudyMarketFrontier(o)
+		if err != nil {
+			return err
+		}
+		return emit("study_market_frontier", mf)
 	}
 	if *baselines {
 		for _, vcpus := range []int{16, 32, 64} {
@@ -362,6 +369,13 @@ func writeReport(o expt.Options, path string) error {
 		return err
 	}
 	b.AddTable(osys)
+
+	b.AddHeading("Spot market — notice-reactive vs reactive-only frontier")
+	mf, err := expt.StudyMarketFrontier(o)
+	if err != nil {
+		return err
+	}
+	b.AddTable(mf)
 
 	b.AddHeading("Schedules — HEFT vs learned plan (16 vCPUs)")
 	charts, err := expt.ScheduleCharts(o)

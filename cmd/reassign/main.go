@@ -34,6 +34,7 @@ import (
 	"reassign/internal/exec"
 	"reassign/internal/gantt"
 	"reassign/internal/invariant"
+	"reassign/internal/market"
 	"reassign/internal/metrics"
 	"reassign/internal/plot"
 	"reassign/internal/provenance"
@@ -84,6 +85,11 @@ func run() error {
 	traceOut := flag.String("trace", "", "write a JSONL telemetry trace (episodes, decisions, kernel counters, spans) to this file")
 	metricsOut := flag.String("metrics", "", "write aggregated metrics in Prometheus text format to this file on exit")
 	audit := flag.Bool("audit", false, "attach the runtime invariant auditor to every simulation and fail on violations")
+	marketGen := flag.String("marketgen", "", "generate a spot-market trace (JSON) for the fleet, write it to this file and exit")
+	marketIn := flag.String("market", "", "replay a spot-market trace (JSON): traced prices, preemptions and node health drive plan simulation and execution (learning episodes stay clean)")
+	regime := flag.String("regime", "volatile", "market regime for -marketgen: stable|volatile|hostile")
+	horizon := flag.Float64("horizon", 3600, "market trace horizon in virtual seconds for -marketgen")
+	reactiveOnly := flag.Bool("reactiveonly", false, "with -market and -workers, disable notice-reactive cordon/drain: the master reacts to kills only")
 	flag.Parse()
 
 	if *replicas < 1 {
@@ -118,12 +124,46 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *marketGen != "" {
+		rg, ok := market.RegimeByName(*regime)
+		if !ok {
+			return fmt.Errorf("unknown market regime %q (stable|volatile|hostile)", *regime)
+		}
+		tr, err := market.Generate(market.DefaultCatalogue(), fleet, rg, *seed, *horizon)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*marketGen)
+		if err != nil {
+			return err
+		}
+		if err := tr.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("market:   %s trace written to %s (%d VMs, %d events, horizon %.0fs)\n",
+			tr.Regime, *marketGen, len(tr.Assign), len(tr.Events), tr.Horizon)
+		return nil
+	}
+	var marketPB *market.Playback
+	if *marketIn != "" {
+		pb, err := market.LoadPlayback(*marketIn, nil)
+		if err != nil {
+			return err
+		}
+		marketPB = pb
+		fmt.Printf("market:   replaying %s (%s regime, %d events, horizon %.0fs)\n",
+			*marketIn, pb.Trace().Regime, len(pb.Events()), pb.Horizon())
+	}
 	var fm *cloud.FluctuationModel
 	if *fluct {
 		f := cloud.DefaultFluctuation()
 		fm = &f
 	}
-	cfg := sim.Config{Fluct: fm, Seed: *seed}
+	cfg := sim.Config{Fluct: fm, Seed: *seed, Market: marketPB}
 	if *autoscale > 0 {
 		cfg.Autoscale = &sim.Autoscale{
 			Type: cloud.T2Large, MaxVMs: *autoscale,
@@ -185,8 +225,12 @@ func run() error {
 			opts = append(opts, core.WithProvenanceSeed(ps))
 			fmt.Printf("seed:     Q table seeded from %s (%d records)\n", *seedProv, ps.Len())
 		}
+		// Learning episodes run market-free: the trace drives plan
+		// replay and execution, not the Q-learning environment.
+		lcfg := cfg
+		lcfg.Market = nil
 		l, err := core.NewLearner(core.Config{
-			Workflow: w, Fleet: fleet, Params: p, Episodes: *episodes, Sim: cfg,
+			Workflow: w, Fleet: fleet, Params: p, Episodes: *episodes, Sim: lcfg,
 		}, opts...)
 		if err != nil {
 			return err
@@ -261,6 +305,11 @@ func run() error {
 	fmt.Printf("plan:     %d activations scheduled, simulated makespan %.3fs (%s)\n",
 		plan.Len(), makespan, metrics.FormatDuration(makespan))
 	printPlanSummary(plan, fleet)
+	if lastRes != nil && lastRes.Market != nil {
+		mr := lastRes.Market
+		fmt.Printf("market:   %d notices, %d kills, %d degraded, bill $%.4f\n",
+			mr.Notices, mr.Kills, mr.Degraded, mr.Cost.Total)
+	}
 
 	if *ascii || *ganttOut != "" {
 		if lastRes == nil {
@@ -294,7 +343,8 @@ func run() error {
 		store := provenance.NewStore()
 		if *workers > 0 {
 			if err := runMaster(w, fleet, plan, store, sink, learnedTable,
-				*workers, *listen, *faultRate, *failRate, fm, *seed); err != nil {
+				*workers, *listen, *faultRate, *failRate, fm, *seed,
+				marketPB, *reactiveOnly); err != nil {
 				return err
 			}
 		} else {
@@ -499,7 +549,8 @@ func readPlan(path string) (core.Plan, error) {
 func runMaster(w *dag.Workflow, fleet *cloud.Fleet, plan core.Plan,
 	store *provenance.Store, sink telemetry.Sink, table *rl.Table,
 	workers int, listen string, faultRate, failRate float64,
-	fm *cloud.FluctuationModel, seed int64) error {
+	fm *cloud.FluctuationModel, seed int64,
+	pb *market.Playback, reactiveOnly bool) error {
 	var runner exec.Runner = exec.SimRunner{Fluct: fm, Seed: seed + 2000}
 	if failRate > 0 {
 		runner = exec.FailingRunner{Inner: runner, Rate: failRate, Seed: seed}
@@ -520,6 +571,16 @@ func runMaster(w *dag.Workflow, fleet *cloud.Fleet, plan core.Plan,
 		tr = &exec.Fault{Inner: tr, Rate: faultRate, Seed: seed}
 	}
 	opts := []exec.Option{exec.WithStore(store, "cli"), exec.WithSink(sink)}
+	if pb != nil {
+		// Outermost wrapper, so traced notices, kills and health
+		// changes interleave with (possibly fault-injected) worker
+		// traffic in virtual-time order.
+		tr = exec.NewMarketFeed(tr, pb)
+		opts = append(opts, exec.WithMarket(pb))
+		if reactiveOnly {
+			opts = append(opts, exec.WithReactiveOnly())
+		}
+	}
 	if table != nil {
 		opts = append(opts, exec.WithReassigner(exec.QTableReassigner{Table: table}))
 	}
@@ -534,6 +595,10 @@ func runMaster(w *dag.Workflow, fleet *cloud.Fleet, plan core.Plan,
 			rep.Wall.Round(time.Millisecond))
 		fmt.Printf("exec:     %d attempts, %d retries, %d reassigned, %d worker(s) lost, %d abandoned\n",
 			rep.Attempts, rep.Retries, rep.Reassigned, rep.WorkerLost, rep.Abandoned)
+		if pb != nil {
+			fmt.Printf("market:   %d notices, %d kills, %d cordoned, %d remediated, %d degraded, bill $%.4f\n",
+				rep.PreemptNotices, rep.Preempted, rep.Cordoned, rep.Remediated, rep.Degraded, rep.Cost)
+		}
 	}
 	if tcp != nil && rep != nil && rep.Done > 0 {
 		in, out := tcp.Bytes()

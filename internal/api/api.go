@@ -207,6 +207,28 @@ type LearnSpec struct {
 	Epsilon  float64 `json:"epsilon,omitempty"`
 }
 
+// MarketSpec asks the daemon to execute the job's plan over a
+// generated spot-market trace: spot prices, preemption notices and
+// kills, and node-health degradations follow the named regime
+// deterministically from the seed. Requires Execute; the job's
+// status gains the run's traced bill and preemption count, and the
+// daemon's /metrics gains per-provider market series.
+type MarketSpec struct {
+	// Regime names the market weather: "stable", "volatile" or
+	// "hostile".
+	Regime string `json:"regime"`
+	// Seed drives trace generation (default: the submission Seed
+	// offset by a fixed constant, so learning and market draws stay
+	// independent).
+	Seed int64 `json:"seed,omitempty"`
+	// Horizon bounds the trace in virtual seconds (default 3600).
+	Horizon float64 `json:"horizon,omitempty"`
+	// ReactiveOnly disables the notice-reactive cordon/drain policy:
+	// the master reacts to kills only (the baseline in the frontier
+	// study).
+	ReactiveOnly bool `json:"reactive_only,omitempty"`
+}
+
 // SubmitRequest is the POST /v1/jobs payload: schedule Workflow onto
 // Fleet, either by learning a plan (the default) or by validating and
 // replaying a submitted Plan.
@@ -241,6 +263,9 @@ type SubmitRequest struct {
 	// Execute runs the extracted plan on the virtual-time execution
 	// master after learning and attaches provenance to the job.
 	Execute bool `json:"execute,omitempty"`
+	// Market replays a generated spot-market trace during execution
+	// (requires Execute).
+	Market *MarketSpec `json:"market,omitempty"`
 	// Plan, when set, skips learning: the plan is validated against
 	// the workflow and fleet (400 on mismatch) and replayed for its
 	// simulated makespan.
@@ -296,6 +321,12 @@ type JobStatus struct {
 	// was submitted with Execute; ExecMakespanSeconds its makespan.
 	Provenance          []provenance.Execution `json:"provenance,omitempty"`
 	ExecMakespanSeconds float64                `json:"exec_makespan_seconds,omitempty"`
+
+	// Market execution results (submissions with Market only):
+	// MarketCostUSD is the run's bill against the traced prices and
+	// Preemptions the traced kills executed on live VMs.
+	MarketCostUSD float64 `json:"market_cost_usd,omitempty"`
+	Preemptions   int     `json:"preemptions,omitempty"`
 
 	Error *Error `json:"error,omitempty"`
 }

@@ -59,9 +59,10 @@ type Bench struct {
 // learning run, the replica-scaling ladder, the large-DAG tier
 // (1000- and 10k-activation workflows on 256- and 1024-vCPU fleets),
 // the exec wire-path tier (a wide 1000-activation plan over InProc
-// and loopback TCP with the JSON and binary codecs), and the
+// and loopback TCP with the JSON and binary codecs), the
 // open-system tier (a seeded multi-tenant trace replayed through
-// every policy lane at 3 and 6 tenants).
+// every policy lane at 3 and 6 tenants), and the spot-market tier
+// (trace-bill integration and a full replay under a hostile trace).
 func Suite() []Bench {
 	return []Bench{
 		{"BenchmarkQTableMap", QTable(func() *rl.Table {
@@ -89,6 +90,8 @@ func Suite() []Bench {
 		{"BenchmarkExecThroughput/tcp-bin-1000x256", ExecTCP(1000, 256, true)},
 		{"BenchmarkOpenSystem/3tenants", OpenSystem(3)},
 		{"BenchmarkOpenSystem/6tenants", OpenSystem(6)},
+		{"BenchmarkMarketPlayback/cost", MarketCost()},
+		{"BenchmarkMarketPlayback/exec-200x16", MarketExec(200)},
 	}
 }
 

@@ -1,0 +1,91 @@
+package benchsuite
+
+import (
+	"context"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/exec"
+	"reassign/internal/market"
+)
+
+// The market tier measures spot-trace playback: the step-function
+// price integration behind every bill, and a full execution replay —
+// a wide plan driven through the master while a hostile trace delivers
+// preemption notices, kills and health degradations. Headline metric
+// for the replay is "tasks/s" against the no-market ExecInProc
+// ceiling: the gap is the total cost of cordon/drain/remediate.
+
+// marketBenchTrace generates the shared hostile trace for the tier.
+func marketBenchTrace(b *testing.B, fleet *cloud.Fleet) *market.Playback {
+	b.Helper()
+	rg, _ := market.RegimeByName("hostile")
+	tr, err := market.Generate(market.DefaultCatalogue(), fleet, rg, 7, 900)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pb, err := market.NewPlayback(tr, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pb
+}
+
+// MarketCost benchmarks one full-fleet bill: integrating every VM's
+// step-function price series from 0 to the horizon.
+func MarketCost() func(*testing.B) {
+	return func(b *testing.B) {
+		fleet, err := cloud.FleetTable1(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pb := marketBenchTrace(b, fleet)
+		horizon := pb.Horizon()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep := pb.FleetCost(horizon)
+			if rep.Total <= 0 {
+				b.Fatalf("fleet bill %v", rep.Total)
+			}
+		}
+	}
+}
+
+// MarketExec benchmarks a full market replay: the wide plan through
+// the in-process master with the trace feeding notices, kills and
+// health changes. Every op replays the identical trace, so the
+// numbers track playback + cordon/drain/remediate cost, not draw
+// variance.
+func MarketExec(tasks int) func(*testing.B) {
+	return func(b *testing.B) {
+		fleet, err := cloud.FleetTable1(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, plan := execWorkload(tasks, fleet)
+		pb := marketBenchTrace(b, fleet)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := exec.NewMarketFeed(
+				&exec.InProc{Workers: 4, Runner: exec.SimRunner{}, HeartbeatEvery: 1e9}, pb)
+			m, err := exec.New(w, fleet, plan, tr,
+				exec.WithLease(1e9, 1), exec.WithMarket(pb))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := m.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Done != tasks {
+				b.Fatalf("done = %d of %d", rep.Done, tasks)
+			}
+			if rep.Cost <= 0 {
+				b.Fatalf("market replay billed %v", rep.Cost)
+			}
+		}
+		reportExecThroughput(b, tasks, 0, 0)
+	}
+}

@@ -66,6 +66,18 @@ const (
 	// EvWorkerLost reports a worker dying (connection lost, injected
 	// fault). Its attempts and pinned queue entries must be recovered.
 	EvWorkerLost
+	// EvPreemptNotice warns that a VM will be killed at
+	// Event.Market.KillAt
+	// (spot preemption notice). Synthesised master-side by MarketFeed;
+	// never crosses the worker wire.
+	EvPreemptNotice
+	// EvVMKill executes a traced preemption: the VM in Event.VM dies.
+	// Synthesised master-side by MarketFeed.
+	EvVMKill
+	// EvVMHealth reports a VM health change: tasks on Event.VM now run
+	// Event.Factor times slower (1 = recovered). Synthesised
+	// master-side by MarketFeed.
+	EvVMHealth
 )
 
 // String names the kind for logs and errors.
@@ -79,6 +91,12 @@ func (k EventKind) String() string {
 		return "heartbeat"
 	case EvWorkerLost:
 		return "worker-lost"
+	case EvPreemptNotice:
+		return "preempt-notice"
+	case EvVMKill:
+		return "vm-kill"
+	case EvVMHealth:
+		return "vm-health"
 	}
 	return "unknown"
 }
@@ -98,6 +116,22 @@ type Event struct {
 	TaskIndex int
 	Attempt   int
 	Err       string
+	// Market is set on market lifecycle events only (EvPreemptNotice,
+	// EvVMKill, EvVMHealth) and nil on every worker event. The
+	// payload rides behind a pointer so market-free runs — the hot
+	// path — pay one nil word per buffered event, not three fields.
+	Market *MarketPayload
+}
+
+// MarketPayload is the payload of a synthesised market lifecycle
+// event: the affected VM, the announced kill time (preemption
+// notices) and the health factor (health events, 1 = recovered).
+// These events are built master-side by MarketFeed and never cross
+// the worker wire, so the wire codecs are untouched.
+type MarketPayload struct {
+	VM     int
+	KillAt float64
+	Factor float64
 }
 
 // Forever is the deadline meaning "block until the next event".

@@ -11,6 +11,7 @@ import (
 	"reassign/internal/cloud"
 	"reassign/internal/core"
 	"reassign/internal/dag"
+	"reassign/internal/market"
 	"reassign/internal/provenance"
 	"reassign/internal/telemetry"
 )
@@ -39,6 +40,11 @@ type Master struct {
 	est         func(a *dag.Activation, vm *cloud.VM) float64
 	keepOpen    bool
 
+	// Market execution (WithMarket).
+	market       *market.Playback
+	reactiveOnly bool
+	healthCordon float64
+
 	// Run state.
 	tasks      []*taskState
 	vms        []*vmState
@@ -55,6 +61,16 @@ type Master struct {
 
 	done, abandoned                           int
 	attempts, retries, reassigned, workerLost int
+
+	// Market run state: sorted worker join order (deterministic
+	// replacement ownership), the highest VM ID handed out, market
+	// counters and the replacement acquires to bill at report time.
+	workerIDs                                            []int
+	maxVMID                                              int
+	preemptNotices, preempted, cordonedCount, remediated int
+	degradedCount                                        int
+	bills                                                []replacementBill
+	acq                                                  []pendingAcquire
 }
 
 type taskState struct {
@@ -86,6 +102,19 @@ type vmState struct {
 	queue  []int // task indices awaiting dispatch on this VM
 	idx    int   // position in Master.vms, the deterministic dispatch order
 	marked bool  // already on the dispatch worklist
+
+	// Market state: cordoned VMs accept no new work; a cordon with a
+	// pending kill (killAt > 0, a preemption notice) still dispatches
+	// queued tasks that provably finish before the kill, while a health
+	// cordon (killAt == 0) blocks dispatch entirely. slow (>= 1) scales
+	// duration estimates and leases, bootAt gates dispatch to a
+	// still-provisioning replacement, remediated records that a
+	// replacement was already bought for this VM.
+	cordoned   bool
+	killAt     float64
+	slow       float64
+	bootAt     float64
+	remediated bool
 }
 
 // Option configures a Master.
@@ -207,6 +236,9 @@ func New(w *dag.Workflow, fleet *cloud.Fleet, plan core.Plan, tr Transport, opts
 	for _, opt := range opts {
 		opt(m)
 	}
+	if err := m.validateMarketFleet(); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -242,6 +274,21 @@ type Report struct {
 	// descendants doomed by them); Failed lists their IDs, sorted.
 	Abandoned int
 	Failed    []string
+	// Market execution (masters configured WithMarket only):
+	// PreemptNotices counts notices received, Preempted the kills
+	// executed, Cordoned the VMs cordoned, Remediated the on-demand
+	// replacements acquired, Degraded the health downgrades applied.
+	// Cost is the run's bill against the traced prices — every traced
+	// VM from t=0 to the makespan (clipped at its kill) plus each
+	// replacement from its acquire — split per provider in
+	// CostByProvider.
+	PreemptNotices int
+	Preempted      int
+	Cordoned       int
+	Remediated     int
+	Degraded       int
+	Cost           float64
+	CostByProvider []market.ProviderCost
 	// Results holds one entry per activation, in completion order
 	// (unfinished activations last, in index order).
 	Results []TaskResult
@@ -264,6 +311,7 @@ func (m *Master) Run(ctx context.Context) (*Report, error) {
 		return &Report{Tasks: m.w.Len()}, fmt.Errorf("exec: transport opened with zero workers")
 	}
 	sort.Ints(workers)
+	m.workerIDs = workers
 
 	m.alive = make(map[int]bool, len(workers))
 	for _, id := range workers {
@@ -286,9 +334,12 @@ func (m *Master) Run(ctx context.Context) (*Report, error) {
 			slots = 1
 		}
 		vs := &vsb[i]
-		*vs = vmState{vm: vm, owner: workers[i%len(workers)], slots: slots, idx: i}
+		*vs = vmState{vm: vm, owner: workers[i%len(workers)], slots: slots, idx: i, slow: 1}
 		m.vms = append(m.vms, vs)
 		m.vmByID[vm.ID] = vs
+		if vm.ID > m.maxVMID {
+			m.maxVMID = vm.ID
+		}
 	}
 
 	tsb := make([]taskState, m.w.Len())
@@ -348,6 +399,7 @@ func (m *Master) Run(ctx context.Context) (*Report, error) {
 		if ev.Time > m.now {
 			m.now = ev.Time
 		}
+		m.processAcquires()
 		switch ev.Kind {
 		case EvTick:
 			m.expireLeases()
@@ -359,6 +411,12 @@ func (m *Master) Run(ctx context.Context) (*Report, error) {
 			if err := m.onWorkerLost(ev.Worker); err != nil {
 				return m.report(wallStart), err
 			}
+		case EvPreemptNotice:
+			m.onPreemptNotice(ev)
+		case EvVMKill:
+			m.onVMKill(ev)
+		case EvVMHealth:
+			m.onVMHealth(ev)
 		}
 		// Drain whatever else is already pending before redispatching,
 		// so a burst of completions frees its slots in one pass and
@@ -413,6 +471,7 @@ func (m *Master) drain(ctx context.Context) error {
 		if ev.Time > m.now {
 			m.now = ev.Time
 		}
+		m.processAcquires()
 		switch ev.Kind {
 		case EvTick:
 			if yields == 0 {
@@ -429,6 +488,12 @@ func (m *Master) drain(ctx context.Context) error {
 			if err := m.onWorkerLost(ev.Worker); err != nil {
 				return err
 			}
+		case EvPreemptNotice:
+			m.onPreemptNotice(ev)
+		case EvVMKill:
+			m.onVMKill(ev)
+		case EvVMHealth:
+			m.onVMHealth(ev)
 		}
 	}
 	return nil
@@ -471,6 +536,14 @@ func (m *Master) deadline() float64 {
 			dl = ts.nextAt
 		}
 	}
+	for _, vs := range m.vms {
+		if !vs.dead && len(vs.queue) > 0 && vs.bootAt > m.now && vs.bootAt < dl {
+			dl = vs.bootAt
+		}
+	}
+	if len(m.acq) > 0 && m.acq[0].at < dl {
+		dl = m.acq[0].at
+	}
 	return dl
 }
 
@@ -482,10 +555,10 @@ func (m *Master) release(ts *taskState) {
 }
 
 // enqueue places a task on its VM's queue, repinning first if the VM
-// has died since planning.
+// has died or been cordoned since planning.
 func (m *Master) enqueue(ts *taskState) {
 	vs := m.vmByID[ts.vm]
-	if vs == nil || vs.dead {
+	if vs == nil || vs.dead || (vs.cordoned && !m.fitsBeforeKill(vs, ts)) {
 		vs = m.repin(ts)
 		if vs == nil {
 			return // no survivors; the run is already failing
@@ -505,13 +578,22 @@ func (m *Master) markVM(vs *vmState) {
 	}
 }
 
-// repin moves a task off a dead VM via the Reassigner and returns the
-// new VM's state (nil when no VM survives).
+// repin moves a task off a dead or cordoned VM via the Reassigner and
+// returns the new VM's state (nil when no VM survives).
 func (m *Master) repin(ts *taskState) *vmState {
 	var cands []*cloud.VM
 	for _, vs := range m.vms {
-		if !vs.dead {
+		if !vs.dead && !vs.cordoned {
 			cands = append(cands, vs.vm)
+		}
+	}
+	if len(cands) == 0 {
+		// Every live VM is cordoned: park on one rather than dropping
+		// the task — the kill's recovery repins it again.
+		for _, vs := range m.vms {
+			if !vs.dead {
+				cands = append(cands, vs.vm)
+			}
 		}
 	}
 	if len(cands) == 0 {
@@ -557,7 +639,16 @@ func (m *Master) backlog(vmID int) float64 {
 			sum += m.est(ts.a, vs.vm)
 		}
 	}
-	return sum / float64(vs.slots)
+	if vs.slow > 1 {
+		sum *= vs.slow
+	}
+	per := sum / float64(vs.slots)
+	if vs.bootAt > m.now {
+		// A still-provisioning replacement can't start anything before
+		// its boot completes; make EarliestFinish see that wait.
+		per += vs.bootAt - m.now
+	}
+	return per
 }
 
 // dispatch fills free slots on live VMs, lowest VM ID first, lowest
@@ -582,7 +673,14 @@ func (m *Master) dispatch() error {
 		for _, i := range work {
 			vs := m.vms[i]
 			vs.marked = false
-			if vs.dead {
+			if vs.dead || (vs.cordoned && vs.killAt == 0) {
+				continue
+			}
+			if vs.bootAt > m.now {
+				// Replacement still provisioning: keep it on the worklist
+				// and revisit at the boot tick.
+				vs.marked = true
+				carry = append(carry, i)
 				continue
 			}
 			for vs.busy < vs.slots {
@@ -623,6 +721,16 @@ func (m *Master) pickQueued(vs *vmState) int {
 		if ts.nextAt > m.now {
 			continue
 		}
+		if vs.killAt > 0 {
+			// Pending kill: only start work that finishes before it.
+			est := m.est(ts.a, vs.vm)
+			if vs.slow > 1 {
+				est *= vs.slow
+			}
+			if m.now+est > vs.killAt {
+				continue
+			}
+		}
 		if best == -1 || i < best {
 			best, bestAt = i, at
 		}
@@ -639,6 +747,12 @@ func (m *Master) send(ts *taskState, vs *vmState) error {
 	ts.attempts++
 	m.attempts++
 	est := m.est(ts.a, vs.vm)
+	if vs.slow > 1 {
+		// Degraded node health: the attempt runs slower, so both the
+		// duration handed to the runner and the lease must stretch, or
+		// healthy-speed leases would expire degraded attempts.
+		est *= vs.slow
+	}
 	lease := m.leaseTTL
 	if f := est * m.leaseFactor; f > lease {
 		lease = f
@@ -816,7 +930,7 @@ func (m *Master) retry(ts *taskState, reason string) {
 		m.abandon(ts)
 		return
 	}
-	if reason == "worker-lost" {
+	if reason == "worker-lost" || reason == "preempted" {
 		ts.nextAt = m.now
 	} else {
 		backoff := m.backoffBase * math.Pow(2, float64(ts.attempts-1))
@@ -901,6 +1015,18 @@ func (m *Master) report(wallStart time.Time) *Report {
 			ID: ts.a.ID, Activity: ts.a.Activity, VM: ts.vm, Worker: ts.worker,
 			Attempts: ts.attempts, Start: ts.start, Finish: ts.finish, Done: ts.done,
 		})
+	}
+	if m.market != nil {
+		rep.PreemptNotices, rep.Preempted = m.preemptNotices, m.preempted
+		rep.Cordoned, rep.Remediated, rep.Degraded = m.cordonedCount, m.remediated, m.degradedCount
+		cost := m.market.FleetCost(rep.Makespan)
+		for _, b := range m.bills {
+			if c := m.market.ReplacementCost(b.provider, b.typ, b.from, rep.Makespan); c > 0 {
+				cost.Add(b.provider, c)
+			}
+		}
+		rep.Cost = cost.Total
+		rep.CostByProvider = cost.ByProvider
 	}
 	sort.Strings(rep.Failed)
 	sort.SliceStable(rep.Results, func(i, j int) bool {

@@ -1,0 +1,46 @@
+package expt
+
+import "testing"
+
+// TestMarketFrontierNoticeDominates runs the frontier and checks the
+// tentpole claim: under at least one regime the notice-reactive policy
+// achieves a strictly lower cost×makespan than reactive-only, and it
+// never does worse anywhere preemptions actually landed.
+func TestMarketFrontierNoticeDominates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("frontier study executes six master runs")
+	}
+	rows, err := MarketFrontier(Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (3 regimes x 2 policies)", len(rows))
+	}
+	byRegime := map[string]map[string]MarketFrontierRow{}
+	for _, r := range rows {
+		if byRegime[r.Regime] == nil {
+			byRegime[r.Regime] = map[string]MarketFrontierRow{}
+		}
+		byRegime[r.Regime][r.Policy] = r
+		t.Logf("%-10s %-16s mk=%.2f cost=%.4f prod=%.2f notices=%d preempt=%d remediated=%d retries=%d",
+			r.Regime, r.Policy, r.Makespan, r.Cost, r.Product, r.Notices, r.Preempt, r.Remedied, r.Retries)
+	}
+	strictlyBetter := false
+	for regime, pair := range byRegime {
+		nr, ro := pair["notice-reactive"], pair["reactive-only"]
+		if nr.Notices != ro.Notices {
+			t.Fatalf("%s: notice counts differ (%d vs %d) on the same trace", regime, nr.Notices, ro.Notices)
+		}
+		if nr.Product < ro.Product {
+			strictlyBetter = true
+		}
+		if nr.Product > ro.Product*1.001 && ro.Preempt > 0 {
+			t.Errorf("%s: notice-reactive product %.2f worse than reactive-only %.2f",
+				regime, nr.Product, ro.Product)
+		}
+	}
+	if !strictlyBetter {
+		t.Error("notice-reactive never strictly beat reactive-only in any regime")
+	}
+}

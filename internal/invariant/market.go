@@ -1,0 +1,132 @@
+package invariant
+
+import (
+	"math"
+
+	"reassign/internal/sim"
+)
+
+// Market-trace invariants. When a run replays a market trace
+// (sim.Config.Market), the auditor additionally checks that:
+//
+//   - a cordoned VM (preemption notice received) never starts new
+//     work;
+//   - every traced kill was preceded by its notice — revocation of a
+//     never-noticed VM, or before the noticed time, is a breach;
+//   - the traced bill is non-negative and monotone in virtual time;
+//   - at run end, Result.Cost equals the market report's total and
+//     the report's counters match the observed events.
+//
+// runAudit implements sim.MarketRunHook, so the engine delivers
+// notice and health transitions directly.
+
+// VMNoticed implements sim.MarketRunHook.
+func (r *runAudit) VMNoticed(now float64, v *sim.VMState, killAt float64) {
+	r.clock(now)
+	r.mNotices++
+	if r.cordoned == nil {
+		r.cordoned = make(map[*sim.VMState]float64)
+	}
+	if _, again := r.cordoned[v]; again {
+		r.fail(now, "notice-twice", "%v noticed twice", v)
+	}
+	r.cordoned[v] = now
+	if killAt < now {
+		r.fail(now, "notice-kill-order", "%v noticed at %v with kill already past at %v", v, now, killAt)
+	}
+}
+
+// VMHealthChanged implements sim.MarketRunHook.
+func (r *runAudit) VMHealthChanged(now float64, v *sim.VMState, factor float64) {
+	r.clock(now)
+	if factor > 1 {
+		r.mDegrades++
+	}
+	if factor < 1 {
+		r.fail(now, "health-factor", "%v moved to health factor %v < 1", v, factor)
+	}
+}
+
+// marketStart checks a task start against the cordon set: a noticed
+// VM must accept no new work.
+func (r *runAudit) marketStart(now float64, t *sim.Task, v *sim.VMState) {
+	if _, yes := r.cordoned[v]; yes {
+		r.fail(now, "cordoned-start", "task %s started on cordoned %v", t.Act.ID, v)
+	}
+}
+
+// marketRevoke checks notice-then-kill ordering for a traced
+// preemption. Market and Spot are mutually exclusive, so with a
+// market configured every revocation is a traced kill.
+func (r *runAudit) marketRevoke(now float64, v *sim.VMState) {
+	if r.env.Market() == nil {
+		return
+	}
+	at, noticed := r.cordoned[v]
+	if !noticed {
+		r.fail(now, "kill-without-notice", "%v revoked without a preemption notice", v)
+		return
+	}
+	if now < at {
+		r.fail(now, "notice-kill-order", "%v killed at %v before its notice at %v", v, now, at)
+	}
+}
+
+// marketCost checks the traced bill at the current clock: never
+// negative, never decreasing.
+func (r *runAudit) marketCost(now float64) {
+	if r.env.Market() == nil {
+		return
+	}
+	c := r.env.MarketCostAt(now)
+	if c < 0 {
+		r.fail(now, "market-cost-negative", "traced bill %v < 0", c)
+	}
+	if c < r.lastMarketCost-1e-9 {
+		r.fail(now, "market-cost-monotone", "traced bill fell from %v to %v", r.lastMarketCost, c)
+	}
+	if c > r.lastMarketCost {
+		r.lastMarketCost = c
+	}
+}
+
+// marketEnd checks the end-of-run market report against the observed
+// events and the traced bill.
+func (r *runAudit) marketEnd(res *sim.Result) {
+	now := r.last
+	const eps = 1e-9
+	if res.Market == nil {
+		if r.env.Market() != nil {
+			r.fail(now, "market-report-missing", "market run finished without a market report")
+		}
+		return
+	}
+	m := res.Market
+	if math.Abs(res.Cost-m.Cost.Total) > eps {
+		r.fail(now, "market-cost", "Cost %v != market bill total %v", res.Cost, m.Cost.Total)
+	}
+	if billed := r.env.MarketCostAt(res.Makespan); math.Abs(m.Cost.Total-billed) > eps {
+		r.fail(now, "market-cost", "market bill %v != traced bill at makespan %v", m.Cost.Total, billed)
+	}
+	if m.Cost.Total < r.lastMarketCost-eps {
+		r.fail(now, "market-cost-monotone", "final bill %v below mid-run bill %v", m.Cost.Total, r.lastMarketCost)
+	}
+	if m.Notices != r.mNotices {
+		r.fail(now, "market-notices", "report says %d notices, auditor observed %d", m.Notices, r.mNotices)
+	}
+	if m.Kills != r.revoked {
+		r.fail(now, "market-kills", "report says %d kills, auditor observed %d revocations", m.Kills, r.revoked)
+	}
+	if m.Degraded != r.mDegrades {
+		r.fail(now, "market-degraded", "report says %d degradations, auditor observed %d", m.Degraded, r.mDegrades)
+	}
+	alive := 0
+	for v := range r.cordoned {
+		if !r.dead[v] {
+			alive++
+		}
+	}
+	if m.CordonedAtEnd != alive {
+		r.fail(now, "market-cordoned", "report says %d cordoned at end, auditor counts %d", m.CordonedAtEnd, alive)
+	}
+}

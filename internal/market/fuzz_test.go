@@ -1,0 +1,77 @@
+package market
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"reassign/internal/cloud"
+)
+
+// FuzzMarketTrace throws arbitrary bytes at the trace decoder. Inputs
+// must either be rejected with an error or decode to a valid trace
+// that round-trips: Encode followed by Decode reproduces the trace and
+// the re-encoded bytes exactly. The decoder must never panic, and
+// every accepted trace must build a usable Playback whose fleet cost
+// stays finite, non-negative and monotone over the horizon.
+func FuzzMarketTrace(f *testing.F) {
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, r := range Regimes() {
+		tr, err := Generate(DefaultCatalogue(), fleet, r, 42, 1800)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(`{"version":1,"horizon":10}`))
+	f.Add([]byte(`{"version":1,"horizon":10,"events":[{"vm":0,"kind":"kill","at":5}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatalf("Encode failed on a trace Decode accepted: %v", err)
+		}
+		tr2, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("Decode rejected its own Encode output: %v", err)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatal("round trip changed the trace")
+		}
+		var buf2 bytes.Buffer
+		if err := tr2.Encode(&buf2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("re-encoding is not byte-stable")
+		}
+		pb, err := NewPlayback(tr, DefaultCatalogue())
+		if err != nil {
+			return // decoded but unplayable (e.g. unpriced pair) is fine
+		}
+		prev := 0.0
+		steps := 8
+		for i := 0; i <= steps; i++ {
+			end := tr.Horizon * float64(i) / float64(steps)
+			rep := pb.FleetCost(end)
+			if rep.Total < 0 || rep.Total != rep.Total {
+				t.Fatalf("fleet cost %v at %g is negative or NaN", rep.Total, end)
+			}
+			if rep.Total < prev {
+				t.Fatalf("fleet cost not monotone: %v at %g after %v", rep.Total, end, prev)
+			}
+			prev = rep.Total
+		}
+	})
+}

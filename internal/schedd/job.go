@@ -11,6 +11,7 @@ import (
 	"reassign/internal/core"
 	"reassign/internal/dag"
 	"reassign/internal/exec"
+	"reassign/internal/market"
 	"reassign/internal/provenance"
 	"reassign/internal/sched"
 	"reassign/internal/sim"
@@ -40,6 +41,8 @@ type job struct {
 	plan           *api.PlanDocument
 	prov           []provenance.Execution
 	execMakespan   float64
+	marketCost     float64
+	preemptions    int
 	deadlineMissed bool
 	err            *api.Error
 }
@@ -74,6 +77,8 @@ func (j *job) status() *api.JobStatus {
 		Plan:                j.plan,
 		Provenance:          j.prov,
 		ExecMakespanSeconds: j.execMakespan,
+		MarketCostUSD:       j.marketCost,
+		Preemptions:         j.preemptions,
 		Tenant:              j.req.Tenant,
 		DeadlineSeconds:     j.req.DeadlineSeconds,
 		DeadlineMissed:      j.deadlineMissed,
@@ -245,12 +250,42 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 	if workers > 8 {
 		workers = 8
 	}
-	tr := &exec.InProc{
+	var tr exec.Transport = &exec.InProc{
 		Workers: workers,
 		Runner:  exec.SimRunner{Fluct: fluct, Seed: req.Seed + 2000},
 	}
-	m, err := exec.New(j.w, j.fleet, doc.Plan, tr,
-		exec.WithStore(store, j.id), exec.WithSink(s.agg))
+	opts := []exec.Option{exec.WithStore(store, j.id), exec.WithSink(s.agg)}
+
+	// Market replay: generate the trace against the job's fleet and
+	// wrap the transport so traced notices, kills and health changes
+	// reach the master interleaved with worker traffic.
+	var pb *market.Playback
+	if req.Market != nil {
+		rg, _ := market.RegimeByName(req.Market.Regime) // validated at submit
+		mseed := req.Market.Seed
+		if mseed == 0 {
+			mseed = req.Seed + 4000
+		}
+		horizon := req.Market.Horizon
+		if horizon == 0 {
+			horizon = 3600
+		}
+		trc, err := market.Generate(market.DefaultCatalogue(), j.fleet, rg, mseed, horizon)
+		if err != nil {
+			return err
+		}
+		pb, err = market.NewPlayback(trc, nil)
+		if err != nil {
+			return err
+		}
+		tr = exec.NewMarketFeed(tr, pb)
+		opts = append(opts, exec.WithMarket(pb))
+		if req.Market.ReactiveOnly {
+			opts = append(opts, exec.WithReactiveOnly())
+		}
+	}
+
+	m, err := exec.New(j.w, j.fleet, doc.Plan, tr, opts...)
 	if err != nil {
 		return err
 	}
@@ -261,6 +296,13 @@ func (s *Server) execute(ctx context.Context, j *job) error {
 	j.mu.Lock()
 	j.prov = store.All()
 	j.execMakespan = rep.Makespan
+	if pb != nil {
+		j.marketCost = rep.Cost
+		j.preemptions = rep.Preempted
+	}
 	j.mu.Unlock()
+	if pb != nil {
+		s.markets.record(pb, rep)
+	}
 	return nil
 }

@@ -1,0 +1,114 @@
+package schedd
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"reassign/internal/api"
+)
+
+// marketJob is a fast-learning submission that executes over a
+// hostile market trace (short horizon so kills land mid-run).
+func marketJob(seed int64) api.SubmitRequest {
+	req := smallJob(seed)
+	req.Execute = true
+	req.Market = &api.MarketSpec{Regime: "hostile", Horizon: 600}
+	return req
+}
+
+func TestSubmitMarketValidation(t *testing.T) {
+	_, url := newTestServer(t, Config{Workers: 1})
+
+	// Market without execute is rejected.
+	req := smallJob(1)
+	req.Market = &api.MarketSpec{Regime: "stable"}
+	if _, resp := submit(t, url, req); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("market without execute: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown regime is rejected.
+	req = smallJob(1)
+	req.Execute = true
+	req.Market = &api.MarketSpec{Regime: "sunny"}
+	if _, resp := submit(t, url, req); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown regime: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestMarketJobMetrics runs a market execution through the daemon and
+// checks the job status carries the traced bill and that /metrics
+// exports the per-provider market series.
+func TestMarketJobMetrics(t *testing.T) {
+	_, url := newTestServer(t, Config{Workers: 1})
+
+	st, resp := submit(t, url, marketJob(9))
+	if st == nil {
+		t.Fatalf("submit rejected: HTTP %d (%v)", resp.StatusCode, resp.Err)
+	}
+	done := waitDone(t, url, st.ID)
+	if done.State != api.StateDone {
+		t.Fatalf("job ended %s: %+v", done.State, done.Error)
+	}
+	if done.MarketCostUSD <= 0 {
+		t.Fatalf("market job carries no bill: %+v", done.MarketCostUSD)
+	}
+	if done.ExecMakespanSeconds <= 0 || len(done.Provenance) == 0 {
+		t.Fatal("market job missing execution results")
+	}
+
+	mresp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	blob, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(blob)
+	for _, want := range []string{
+		"schedd_market_runs_total 1",
+		"schedd_market_cost_usd_total{provider=",
+		"schedd_market_cordoned_vms",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The hostile regime over 600s virtually always draws at least one
+	// notice; if it did, the labeled counters must be present.
+	if done.Preemptions > 0 && !strings.Contains(body, "schedd_market_revocations_total{provider=") {
+		t.Error("/metrics missing per-provider revocation counter despite preemptions")
+	}
+}
+
+// TestMarketJobDeterministic submits the same market job twice with
+// NoWarmStart: the traced bill and preemption count must match
+// exactly (trace generation and replay are seed-deterministic).
+func TestMarketJobDeterministic(t *testing.T) {
+	_, url := newTestServer(t, Config{Workers: 1})
+
+	req := marketJob(21)
+	req.NoWarmStart = true
+	a, resp := submit(t, url, req)
+	if a == nil {
+		t.Fatalf("submit rejected: HTTP %d", resp.StatusCode)
+	}
+	doneA := waitDone(t, url, a.ID)
+	b, _ := submit(t, url, req)
+	doneB := waitDone(t, url, b.ID)
+	if doneA.State != api.StateDone || doneB.State != api.StateDone {
+		t.Fatalf("states %s/%s", doneA.State, doneB.State)
+	}
+	if doneA.MarketCostUSD != doneB.MarketCostUSD {
+		t.Fatalf("bills differ: %v vs %v", doneA.MarketCostUSD, doneB.MarketCostUSD)
+	}
+	if doneA.Preemptions != doneB.Preemptions {
+		t.Fatalf("preemptions differ: %d vs %d", doneA.Preemptions, doneB.Preemptions)
+	}
+	if doneA.ExecMakespanSeconds != doneB.ExecMakespanSeconds {
+		t.Fatalf("makespans differ: %v vs %v", doneA.ExecMakespanSeconds, doneB.ExecMakespanSeconds)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"reassign/internal/api"
+	"reassign/internal/market"
 	"reassign/internal/metrics"
 	"reassign/internal/sim"
 	"reassign/internal/telemetry"
@@ -106,6 +107,7 @@ type Server struct {
 	lat   *latencyRing // submit→finish seconds, bounded to LatencyWindow
 
 	tenants *tenantTracker
+	markets *marketTracker
 
 	seq       atomic.Int64
 	submitted atomic.Int64
@@ -142,6 +144,7 @@ func New(cfg Config) *Server {
 		jobs:    make(map[string]*job),
 		lat:     newLatencyRing(cfg.LatencyWindow),
 		tenants: newTenantTracker(cfg.LatencyWindow),
+		markets: newMarketTracker(),
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
@@ -249,6 +252,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, api.Errorf(api.CodeBadRequest, "deadline_seconds",
 			"negative deadline %v", req.DeadlineSeconds))
 		return
+	}
+	if req.Market != nil {
+		if !req.Execute {
+			writeErr(w, api.Errorf(api.CodeBadRequest, "market",
+				"market replay requires execute"))
+			return
+		}
+		if _, ok := market.RegimeByName(req.Market.Regime); !ok {
+			writeErr(w, api.Errorf(api.CodeBadRequest, "market.regime",
+				"unknown market regime %q", req.Market.Regime))
+			return
+		}
+		if req.Market.Horizon < 0 {
+			writeErr(w, api.Errorf(api.CodeBadRequest, "market.horizon",
+				"negative horizon %v", req.Market.Horizon))
+			return
+		}
 	}
 	// Build the inputs synchronously so malformed documents fail the
 	// submission itself (400), not the job later.
@@ -456,4 +476,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		gauge("schedd_job_latency_seconds_max", "Submit-to-finish latency (max)", lat.Max)
 	}
 	s.tenants.writeProm(w)
+	s.markets.writeProm(w)
 }

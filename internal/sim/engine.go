@@ -10,6 +10,7 @@ import (
 	"reassign/internal/cloud"
 	"reassign/internal/dag"
 	"reassign/internal/des"
+	"reassign/internal/market"
 	"reassign/internal/telemetry"
 )
 
@@ -87,6 +88,12 @@ type Config struct {
 	// Spot, when non-nil, revokes eligible VMs at random times,
 	// aborting and requeueing their running activations.
 	Spot *SpotPolicy
+	// Market, when non-nil, replays a market trace: preemptions arrive
+	// as notice-then-kill events (notice cordons the VM, the kill
+	// revokes it), health degradations slow tasks, and Result.Cost is
+	// billed against the traced per-provider prices. Mutually
+	// exclusive with Spot and Autoscale.
+	Market *market.Playback
 	// Seed drives all randomness in the run.
 	Seed int64
 	// Horizon aborts runaway simulations (virtual seconds; 0 = none).
@@ -292,6 +299,9 @@ type Result struct {
 	Elasticity *ElasticityReport
 	// Revocations counts spot VMs revoked during the run.
 	Revocations int
+	// Market is set when Config.Market was active: the traced bill and
+	// market event counters (Cost then equals Market.Cost.Total).
+	Market *MarketReport
 }
 
 // Run simulates the workflow on the fleet under the scheduler. It is
@@ -324,6 +334,9 @@ func NewEngine(w *dag.Workflow, fleet *cloud.Fleet, sched Scheduler, cfg Config)
 	if err := validateConfig(cfg); err != nil {
 		return nil, err
 	}
+	if err := validateMarket(fleet, cfg.Market); err != nil {
+		return nil, err
+	}
 	return &Engine{
 		w:     w,
 		fleet: fleet,
@@ -350,6 +363,14 @@ func validateConfig(cfg Config) error {
 	if cfg.Spot != nil {
 		if err := cfg.Spot.validate(); err != nil {
 			return err
+		}
+	}
+	if cfg.Market != nil {
+		if cfg.Spot != nil {
+			return fmt.Errorf("sim: Market and Spot are mutually exclusive (the trace owns preemption)")
+		}
+		if cfg.Autoscale != nil {
+			return fmt.Errorf("sim: Market does not support Autoscale (acquired VMs are untraced)")
 		}
 	}
 	return nil
@@ -413,8 +434,12 @@ type Engine struct {
 	scaler      *scaler
 	peakBooted  int
 	// hook is this run's observer (cfg.Hook.RunStart), nil when
-	// observation is disabled.
-	hook RunHook
+	// observation is disabled; mhook is its optional market extension,
+	// resolved once per run.
+	hook  RunHook
+	mhook MarketRunHook
+	// marketStats accumulates the per-run market event counters.
+	marketStats marketCounters
 	// abortBuf is reused scratch for collecting the tasks a spot
 	// revocation kills, so they can be aborted in task-index order
 	// rather than map order.
@@ -441,6 +466,9 @@ type Engine struct {
 // must copy first.
 func (g *Engine) Reset(cfg Config) error {
 	if err := validateConfig(cfg); err != nil {
+		return err
+	}
+	if err := validateMarket(g.fleet, cfg.Market); err != nil {
 		return err
 	}
 	if g.result != nil {
@@ -477,7 +505,7 @@ func (g *Engine) setup() {
 		if len(fileAt) > 0 {
 			clear(fileAt)
 		}
-		*st = VMState{VM: vm, Slots: vm.Type.VCPUs, booted: true, fileAt: fileAt}
+		*st = VMState{VM: vm, Slots: vm.Type.VCPUs, booted: true, slow: 1, fileAt: fileAt}
 		g.vms = append(g.vms, st)
 	}
 	if g.env == nil {
@@ -511,7 +539,12 @@ func (g *Engine) setup() {
 	} else {
 		g.hook = nil
 	}
+	g.mhook = nil
+	if g.hook != nil {
+		g.mhook, _ = g.hook.(MarketRunHook)
+	}
 	g.scheduleRevocations()
+	g.scheduleMarket()
 	n := g.w.Len()
 	if g.taskBacking == nil {
 		g.taskBacking = make([]Task, n)
@@ -622,7 +655,11 @@ func (g *Engine) Run() (*Result, error) {
 			g.result.Makespan = r.FinishAt
 		}
 	}
-	g.result.Cost = g.fleet.Cost(g.result.Makespan)
+	if g.cfg.Market != nil {
+		g.finishMarket()
+	} else {
+		g.result.Cost = g.fleet.Cost(g.result.Makespan)
+	}
 	g.result.Events = g.sim.Steps()
 	if g.anyFailed {
 		g.result.State = FinishedFailed
@@ -854,6 +891,13 @@ func (g *Engine) duration(t *Task, v *VMState) float64 {
 			}
 			d += float64(f.Size) / (rate * 1e6)
 		}
+	}
+	if v.slow > 1 {
+		// Degraded node health (market trace): the whole execution runs
+		// slower. Applied before fluctuation, and never reflected in
+		// EstimateExec — degradation is part of the unmodelled
+		// environment the scheduler must adapt to.
+		d *= v.slow
 	}
 	if g.cfg.Fluct != nil {
 		d = g.cfg.Fluct.Apply(g.env.rng, v.VM, d)

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+
+	"reassign/internal/cloud"
+	"reassign/internal/market"
+)
+
+// MarketReport summarises the market side of one traced run.
+type MarketReport struct {
+	// Cost is the traced bill: per-second billing against the traced
+	// spot prices (on-demand VMs at the fixed rate), each VM clipped
+	// at its kill time. Result.Cost equals Cost.Total.
+	Cost market.CostReport
+	// Notices counts preemption notices delivered (VM cordoned).
+	Notices int
+	// Kills counts preemptions executed (VM revoked).
+	Kills int
+	// Degraded counts health downgrades applied.
+	Degraded int
+	// CordonedAtEnd counts VMs still cordoned-but-alive when the run
+	// finished (notice received, kill not yet landed).
+	CordonedAtEnd int
+}
+
+// MarketRunHook is an optional RunHook extension: hooks that also
+// implement it receive market lifecycle transitions. The engine
+// resolves the assertion once per run, so plain hooks pay nothing.
+type MarketRunHook interface {
+	// VMNoticed fires when a preemption notice cordons a VM; killAt is
+	// the traced kill time.
+	VMNoticed(now float64, v *VMState, killAt float64)
+	// VMHealthChanged fires when a VM's health factor changes (factor
+	// > 1 = degraded, factor == 1 = recovered).
+	VMHealthChanged(now float64, v *VMState, factor float64)
+}
+
+// marketCounters accumulates per-run market event counts.
+type marketCounters struct {
+	notices, kills, degrades int
+}
+
+// validateMarket checks that a market playback covers the fleet:
+// every VM must be assigned a traced provider, or cost accounting
+// would silently under-bill.
+func validateMarket(fleet *cloud.Fleet, pb *market.Playback) error {
+	if pb == nil {
+		return nil
+	}
+	for _, vm := range fleet.VMs {
+		if _, ok := pb.AssignFor(vm.ID); !ok {
+			return fmt.Errorf("sim: market trace does not assign vm %d (%s); regenerate the trace for this fleet",
+				vm.ID, vm.Type.Name)
+		}
+	}
+	return nil
+}
+
+// scheduleMarket arms the trace's lifecycle events: notices cordon,
+// kills revoke (notice-then-kill by trace validation), degrade/recover
+// move the health factor. Events for unknown VMs are impossible here —
+// validateMarket requires full fleet coverage, and extra traced VMs
+// simply have no state to resolve.
+func (g *Engine) scheduleMarket() {
+	g.marketStats = marketCounters{}
+	pb := g.cfg.Market
+	if pb == nil {
+		return
+	}
+	for _, ev := range pb.Events() {
+		ev := ev
+		v := g.env.VMStateByID(ev.VM)
+		if v == nil {
+			continue
+		}
+		switch ev.Kind {
+		case market.EvNotice:
+			g.sim.At(ev.At, func() { g.marketNotice(v, ev.At, ev.KillAt) })
+		case market.EvKill:
+			g.sim.At(ev.At, func() { g.marketKill(v) })
+		case market.EvDegrade:
+			g.sim.At(ev.At, func() { g.marketHealth(v, ev.Slow) })
+		case market.EvRecover:
+			g.sim.At(ev.At, func() { g.marketHealth(v, 1) })
+		}
+	}
+}
+
+// marketNotice cordons a VM: running work may finish, no new work is
+// dispatched, and the kill lands at killAt.
+func (g *Engine) marketNotice(v *VMState, now, killAt float64) {
+	if g.remaining == 0 || !v.booted || v.cordoned {
+		return
+	}
+	v.cordoned = true
+	v.noticedAt, v.killAt = now, killAt
+	g.marketStats.notices++
+	if g.mhook != nil {
+		g.mhook.VMNoticed(g.sim.Now(), v, killAt)
+	}
+	// Cordoning only removes capacity; nothing becomes schedulable, so
+	// no cycle is posted.
+}
+
+// marketKill executes a traced preemption through the spot revocation
+// path: running attempts abort back to the ready queue in task-index
+// order and the VM never returns.
+func (g *Engine) marketKill(v *VMState) {
+	if g.remaining == 0 || !v.booted {
+		return
+	}
+	g.marketStats.kills++
+	g.revoke(v)
+}
+
+// marketHealth moves a VM's health factor. Only executions that start
+// after the transition observe the new factor — in-flight completions
+// keep their drawn duration, the way a slowly degrading node hurts
+// the next task more than the current one.
+func (g *Engine) marketHealth(v *VMState, factor float64) {
+	if g.remaining == 0 || !v.booted {
+		return
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	if factor == v.slow {
+		return
+	}
+	v.slow = factor
+	if factor > 1 {
+		g.marketStats.degrades++
+	}
+	if g.mhook != nil {
+		g.mhook.VMHealthChanged(g.sim.Now(), v, factor)
+	}
+}
+
+// finishMarket bills the run against the traced prices and attaches
+// the market report. Billing is per-second from t=0 to the makespan,
+// each VM clipped at its traced kill time, accumulated in VM-id order
+// so the totals are bit-identical across runs.
+func (g *Engine) finishMarket() {
+	pb := g.cfg.Market
+	rep := &MarketReport{
+		Cost:     pb.FleetCost(g.result.Makespan),
+		Notices:  g.marketStats.notices,
+		Kills:    g.marketStats.kills,
+		Degraded: g.marketStats.degrades,
+	}
+	for _, v := range g.vms {
+		if v.cordoned && v.booted {
+			rep.CordonedAtEnd++
+		}
+	}
+	g.result.Market = rep
+	g.result.Cost = rep.Cost.Total
+}
+
+// Market returns the active market playback, or nil.
+func (e *Env) Market() *market.Playback { return e.cfg.Market }
+
+// MarketCostAt returns the traced fleet bill accrued by virtual time
+// t — a pure function of the trace (kill clipping included), so
+// auditors can check that accounted cost is non-negative and monotone
+// without engine state.
+func (e *Env) MarketCostAt(t float64) float64 {
+	if e.cfg.Market == nil {
+		return 0
+	}
+	return e.cfg.Market.FleetCost(t).Total
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"reassign/internal/cloud"
+	"reassign/internal/market"
+	"reassign/internal/trace"
+)
+
+// handTrace wraps a hand-built trace in a playback, failing the test
+// on validation errors.
+func handTrace(t *testing.T, tr *market.Trace) *market.Playback {
+	t.Helper()
+	pb, err := market.NewPlayback(tr, market.DefaultCatalogue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb
+}
+
+// microTrace builds a minimal valid trace assigning n t2.micro VMs
+// (ids 0..n-1) to aws, all spot except VM 0, with the given events.
+func microTrace(n int, horizon float64, events []market.VMEvent) *market.Trace {
+	tr := &market.Trace{
+		Version: market.TraceVersion, Regime: "hand", Horizon: horizon, PriceStep: horizon,
+		Prices: []market.PriceSeries{{
+			Provider: "aws", Type: "t2.micro",
+			Points: []market.PricePoint{{At: 0, Price: 0.004}},
+		}},
+		Events: events,
+	}
+	for id := 0; id < n; id++ {
+		tr.Assign = append(tr.Assign, market.VMAssign{
+			VM: id, Provider: "aws", Type: "t2.micro", Spot: id != 0,
+		})
+	}
+	return tr
+}
+
+func TestMarketConfigValidation(t *testing.T) {
+	w := chain(1)
+	fleet := singleVMFleet()
+	pb := handTrace(t, microTrace(1, 100, nil))
+	if _, err := Run(w, fleet, &greedyFirst{}, Config{
+		Market: pb, Spot: &SpotPolicy{MeanLifetime: 10},
+	}); err == nil {
+		t.Fatal("Market+Spot accepted")
+	}
+	if _, err := Run(w, fleet, &greedyFirst{}, Config{
+		Market: pb, Autoscale: &Autoscale{Type: cloud.T2Large, MaxVMs: 2},
+	}); err == nil {
+		t.Fatal("Market+Autoscale accepted")
+	}
+	// A trace that does not cover the fleet is rejected up front.
+	two := cloud.MustFleet("two", []cloud.VMType{cloud.T2Micro}, []int{2})
+	if _, err := Run(chain(1, 1), two, &greedyFirst{}, Config{Market: pb}); err == nil {
+		t.Fatal("trace missing a fleet VM accepted")
+	}
+}
+
+func TestMarketNoticeThenKill(t *testing.T) {
+	// Two 1-slot VMs; VM 1 is noticed at t=1.5 and killed at t=3.
+	// After the notice no new work may start there, and the kill
+	// aborts whatever still runs.
+	w := trace.Montage(rand.New(rand.NewSource(1)), 8, 2)
+	fleet := cloud.MustFleet("two", []cloud.VMType{cloud.T2Micro}, []int{2})
+	pb := handTrace(t, microTrace(2, 1000, []market.VMEvent{
+		{VM: 1, Kind: market.EvNotice, At: 1.5, KillAt: 3},
+		{VM: 1, Kind: market.EvKill, At: 3},
+	}))
+	res, err := Run(w, fleet, &greedyFirst{}, Config{Seed: 1, Market: pb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != FinishedOK {
+		t.Fatalf("state = %v", res.State)
+	}
+	if res.Market == nil {
+		t.Fatal("no market report")
+	}
+	if res.Market.Notices != 1 || res.Market.Kills != 1 {
+		t.Fatalf("notices=%d kills=%d, want 1/1", res.Market.Notices, res.Market.Kills)
+	}
+	if res.Revocations != 1 {
+		t.Fatalf("revocations = %d, want 1", res.Revocations)
+	}
+	// No successful record may start on VM 1 inside the cordon window
+	// or after the kill.
+	for _, r := range res.Records {
+		if r.VMID == 1 && r.StartAt >= 1.5 {
+			t.Fatalf("task %s started on cordoned vm1 at %g", r.TaskID, r.StartAt)
+		}
+	}
+	if err := res.Verify(w, fleet); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarketDegradeSlowsTasks(t *testing.T) {
+	// A degraded-from-the-start VM runs the whole chain 2x slower;
+	// recovery halfway restores full speed for later tasks.
+	w := chain(10, 10)
+	fleet := singleVMFleet()
+	base, err := Run(w, fleet, &greedyFirst{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := handTrace(t, microTrace(1, 1000, []market.VMEvent{
+		{VM: 0, Kind: market.EvDegrade, At: 0, Slow: 2},
+	}))
+	slow, err := Run(w, fleet, &greedyFirst{}, Config{Market: pb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := base.Makespan * 2; math.Abs(slow.Makespan-want) > 1e-9 {
+		t.Fatalf("degraded makespan %g, want %g", slow.Makespan, want)
+	}
+	// Recover after the first task: only the first task is slow.
+	pb = handTrace(t, microTrace(1, 1000, []market.VMEvent{
+		{VM: 0, Kind: market.EvDegrade, At: 0, Slow: 2},
+		{VM: 0, Kind: market.EvRecover, At: 20},
+	}))
+	half, err := Run(w, fleet, &greedyFirst{}, Config{Market: pb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 20.0 + 10.0; math.Abs(half.Makespan-want) > 1e-9 {
+		t.Fatalf("recovered makespan %g, want %g", half.Makespan, want)
+	}
+	if slow.Market.Degraded != 1 {
+		t.Fatalf("degraded = %d, want 1", slow.Market.Degraded)
+	}
+}
+
+func TestMarketCostMatchesPlayback(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := trace.Montage50(rng)
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regime, _ := market.RegimeByName("volatile")
+	mt, err := market.Generate(market.DefaultCatalogue(), fleet, regime, 7, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := market.NewPlayback(mt, market.DefaultCatalogue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(w, fleet, &greedyFirst{}, Config{Seed: 2, Market: pb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Market == nil {
+		t.Fatal("no market report")
+	}
+	want := pb.FleetCost(res.Makespan)
+	if res.Cost != want.Total {
+		t.Fatalf("Cost %v != playback fleet cost %v", res.Cost, want.Total)
+	}
+	if !reflect.DeepEqual(res.Market.Cost, want) {
+		t.Fatalf("cost report %+v != playback %+v", res.Market.Cost, want)
+	}
+	if res.Cost < 0 {
+		t.Fatalf("negative cost %v", res.Cost)
+	}
+}
+
+func TestMarketRunDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w := trace.Montage50(rng)
+	fleet, err := cloud.FleetTable1(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regime, _ := market.RegimeByName("hostile")
+	mt, err := market.Generate(market.DefaultCatalogue(), fleet, regime, 11, 7200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		pb, err := market.NewPlayback(mt, market.DefaultCatalogue())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(w, fleet, &greedyFirst{}, Config{Seed: 3, Market: pb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Records, b.Records) {
+		t.Fatal("records differ between identical market runs")
+	}
+	if a.Cost != b.Cost || a.Makespan != b.Makespan {
+		t.Fatalf("cost/makespan differ: %v/%v vs %v/%v", a.Cost, a.Makespan, b.Cost, b.Makespan)
+	}
+	if !reflect.DeepEqual(a.Market, b.Market) {
+		t.Fatalf("market reports differ: %+v vs %+v", a.Market, b.Market)
+	}
+}

@@ -41,7 +41,7 @@ type ExecRetryEvent struct {
 	Attempt int `json:"attempt"`
 	VM      int `json:"vm"`
 	Worker  int `json:"worker"`
-	// Reason is "failed", "expired" or "worker-lost".
+	// Reason is "failed", "expired", "worker-lost" or "preempted".
 	Reason string  `json:"reason"`
 	Time   float64 `json:"time"`
 	// NextAt is when the retry becomes dispatchable (exponential
@@ -81,6 +81,20 @@ type ExecCompleteEvent struct {
 
 // Kind implements Event.
 func (ExecCompleteEvent) Kind() string { return "exec_complete" }
+
+// ExecRemediateEvent records the master buying an on-demand
+// replacement for a preempted (or preemption-noticed) VM.
+type ExecRemediateEvent struct {
+	// FromVM is the doomed VM, NewVM its replacement.
+	FromVM int     `json:"from_vm"`
+	NewVM  int     `json:"new_vm"`
+	Time   float64 `json:"time"`
+	// BootAt is when the replacement becomes dispatchable.
+	BootAt float64 `json:"boot_at"`
+}
+
+// Kind implements Event.
+func (ExecRemediateEvent) Kind() string { return "exec_remediate" }
 
 // ExecRunEvent summarises one master run.
 type ExecRunEvent struct {
